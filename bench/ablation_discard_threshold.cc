@@ -1,0 +1,62 @@
+// Ablation: discard-timeout threshold sweep around the paper's 1 ms choice.
+//
+// Runs the prototype on the Fine-Grain trace at 90% load with polling(3)
+// and a range of discard thresholds. Too small a threshold throws away
+// almost all load information (degenerating toward random); too large a
+// threshold stops saving polling time. The paper picked 1 ms by profiling;
+// this sweep shows how wide the sweet spot actually is.
+//
+//   ablation_discard_threshold [--requests=2000] [--seed=1] [--load=0.9]
+//                              [--thresholds-ms=0.25,0.5,1,2,4,8]
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cluster/experiment.h"
+#include "common/flags.h"
+#include "workload/catalog.h"
+
+using namespace finelb;
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  const std::int64_t requests = flags.get_int("requests", 3000);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const double load = flags.get_double("load", 0.9);
+  const auto thresholds_ms =
+      flags.get_double_list("thresholds-ms", {0.25, 0.5, 1, 2, 4, 8});
+
+  const Workload workload = make_fine_grain(50'000, seed + 20);
+
+  cluster::PrototypeConfig base;
+  base.policy = PolicyConfig::polling(3);
+  base.load = load;
+  base.total_requests = requests;
+  base.seed = seed;
+  const auto no_discard = cluster::run_prototype(base, workload);
+
+  bench::print_header(
+      "Ablation: discard threshold sweep (prototype, Fine-Grain)",
+      "16 servers, polling(3), " + bench::Table::pct(load, 0) +
+          " busy; no-discard baseline mean response " +
+          bench::Table::num(no_discard.clients.response_ms.mean(), 1) +
+          " ms, poll time " +
+          bench::Table::num(no_discard.clients.poll_time_ms.mean(), 2) +
+          " ms");
+  bench::Table table(15);
+  table.row({"threshold(ms)", "resp(ms)", "poll(ms)", "timeouts",
+             "vs-basic"});
+
+  for (const double threshold : thresholds_ms) {
+    cluster::PrototypeConfig config = base;
+    config.policy = PolicyConfig::polling(3, from_ms(threshold));
+    const auto result = cluster::run_prototype(config, workload);
+    const double resp = result.clients.response_ms.mean();
+    table.row(
+        {bench::Table::num(threshold, 2), bench::Table::num(resp, 1),
+         bench::Table::num(result.clients.poll_time_ms.mean(), 2),
+         std::to_string(result.clients.polls_timed_out),
+         bench::Table::pct((no_discard.clients.response_ms.mean() - resp) /
+                           no_discard.clients.response_ms.mean())});
+  }
+  return 0;
+}

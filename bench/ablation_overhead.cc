@@ -1,0 +1,62 @@
+// Ablation: per-poll overhead sensitivity (the Figure 4 vs Figure 6 gap).
+//
+// The paper's simulator charges nothing for polls, so poll size 8 looks
+// fine in Figure 4; its prototype shows size 8 losing (Figure 6). This
+// ablation closes the loop inside the simulator: it sweeps a per-poll
+// server CPU charge (scaled by queue length, modelling busy servers
+// answering late) and reports where the poll-size ordering inverts — the
+// §5 discussion of how faster networks (VIA) would shift this crossover.
+//
+//   ablation_overhead [--requests=120000] [--seed=1] [--load=0.9]
+//                     [--reply-cpu-us=0,400,1600,6400]
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "sim/config.h"
+#include "workload/catalog.h"
+
+using namespace finelb;
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  const std::int64_t requests = flags.get_int("requests", 120'000);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const double load = flags.get_double("load", 0.9);
+  const auto reply_cpu_us =
+      flags.get_double_list("reply-cpu-us", {0, 400, 1600, 6400});
+
+  const Workload workload = make_fine_grain(100'000, seed + 20);
+
+  bench::print_header(
+      "Ablation: poll-reply overhead vs poll size (Fine-Grain trace)",
+      "16 servers, " + bench::Table::pct(load, 0) +
+          " busy; reply delayed by cpu_us x (1 + queue length); mean "
+          "response (ms)");
+  bench::Table table(13);
+  table.row({"cpu(us)", "random", "poll(2)", "poll(3)", "poll(8)"});
+
+  for (const double cpu : reply_cpu_us) {
+    std::vector<std::string> row = {bench::Table::num(cpu, 0)};
+    for (const auto& policy :
+         {PolicyConfig::random(), PolicyConfig::polling(2),
+          PolicyConfig::polling(3), PolicyConfig::polling(8)}) {
+      sim::SimConfig config;
+      config.policy = policy;
+      config.load = load;
+      config.network.poll_reply_cpu = from_us(cpu);
+      config.network.poll_reply_scales_with_queue = true;
+      config.total_requests = requests;
+      config.warmup_requests = requests / 10;
+      config.seed = seed;
+      row.push_back(bench::Table::num(
+          run_cluster_sim(config, workload).mean_response_ms(), 1));
+    }
+    table.row(row);
+  }
+  std::printf(
+      "\nExpected: at 0 overhead poll(8) <= poll(2); as the per-reply cost\n"
+      "grows, poll(8) degrades first (it waits for the slowest of eight\n"
+      "replies) and eventually loses to poll(2) - the Figure 6 effect.\n");
+  return 0;
+}

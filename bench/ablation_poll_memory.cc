@@ -1,0 +1,54 @@
+// Ablation (extension): memory-augmented random polling.
+//
+// Mitzenmacher's "How Useful Is Old Information?" (cited in the paper's
+// related work) suggests remembering the previous round's winner as a free
+// extra candidate. This sweep quantifies the effect across poll sizes and
+// loads: memory is worth roughly one extra poll at small d, and nothing
+// once d is large.
+//
+//   ablation_poll_memory [--requests=120000] [--seed=1]
+//                        [--loads=0.7,0.9] [--poll-sizes=1,2,3]
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "sim/config.h"
+#include "workload/catalog.h"
+
+using namespace finelb;
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  const std::int64_t requests = flags.get_int("requests", 120'000);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto loads = flags.get_double_list("loads", {0.7, 0.9});
+  const auto poll_sizes = flags.get_int_list("poll-sizes", {1, 2, 3});
+
+  const Workload workload = make_poisson_exp(0.050);
+
+  for (const double load : loads) {
+    bench::print_header(
+        "Ablation: polling with memory, " + bench::Table::pct(load, 0) +
+            " busy (extension)",
+        "16 servers, Poisson/Exp 50 ms; mean response (ms)");
+    bench::Table table(14);
+    table.row({"poll size", "plain", "with memory", "memory gain"});
+    for (const auto d : poll_sizes) {
+      sim::SimConfig config;
+      config.policy = PolicyConfig::polling(static_cast<int>(d));
+      config.load = load;
+      config.total_requests = requests;
+      config.warmup_requests = requests / 10;
+      config.seed = seed;
+      const double plain =
+          run_cluster_sim(config, workload).mean_response_ms();
+      config.policy.poll_memory = true;
+      const double with_memory =
+          run_cluster_sim(config, workload).mean_response_ms();
+      table.row({std::to_string(d), bench::Table::num(plain, 1),
+                 bench::Table::num(with_memory, 1),
+                 bench::Table::pct((plain - with_memory) / plain)});
+    }
+  }
+  return 0;
+}

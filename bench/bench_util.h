@@ -1,0 +1,50 @@
+// Shared output helpers for the experiment harnesses.
+//
+// Every harness prints a self-describing header (experiment id, parameters)
+// followed by aligned rows, so bench_output.txt reads like the paper's
+// tables. Keep stdout for results only; diagnostics go through the logger.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace finelb::bench {
+
+/// Prints "=== <title> ===" with a parameter line underneath.
+inline void print_header(const std::string& title,
+                         const std::string& params) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  if (!params.empty()) std::printf("%s\n", params.c_str());
+}
+
+/// Fixed-width row printer: pads every cell to `width`.
+class Table {
+ public:
+  explicit Table(int width = 12) : width_(width) {}
+
+  void row(const std::vector<std::string>& cells) {
+    for (const auto& cell : cells) {
+      std::printf("%-*s", width_, cell.c_str());
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+
+  static std::string num(double value, int precision = 2) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+  }
+
+  static std::string pct(double fraction, int precision = 1) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+  }
+
+ private:
+  int width_;
+};
+
+}  // namespace finelb::bench

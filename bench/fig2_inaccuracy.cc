@@ -1,0 +1,74 @@
+// Figure 2 reproduction: impact of dissemination delay on load-index
+// inaccuracy, single server, 90% busy (panel A) and 50% busy (panel B).
+//
+// For each workload the harness simulates one server, records its queue
+// trajectory, and reports E|Q(t+delta) - Q(t)| for delays of 0..10x the
+// mean service time, alongside the Equation (1) upper bound for
+// Poisson/Exp: 2 rho / (1 - rho^2).
+//
+//   fig2_inaccuracy [--requests=400000] [--samples=40000] [--seed=1]
+//                   [--loads=0.9,0.5] [--delays=0,0.5,1,2,4,6,8,10]
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "sim/inaccuracy.h"
+#include "stats/queueing.h"
+#include "workload/catalog.h"
+
+using namespace finelb;
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  const std::int64_t requests = flags.get_int("requests", 400'000);
+  const std::int64_t samples = flags.get_int("samples", 40'000);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto loads = flags.get_double_list("loads", {0.9, 0.5});
+  const auto delays =
+      flags.get_double_list("delays", {0, 0.5, 1, 2, 4, 6, 8, 10});
+
+  const std::vector<std::pair<std::string, Workload>> workloads = {
+      {"Poisson/Exp", make_poisson_exp(0.050)},
+      {"Medium-Grain", make_medium_grain(100'000, seed + 10)},
+      {"Fine-Grain", make_fine_grain(100'000, seed + 20)},
+  };
+
+  for (const double rho : loads) {
+    bench::print_header(
+        "Figure 2: load index inaccuracy vs delay, server " +
+            bench::Table::pct(rho, 0) + " busy",
+        "1 server; delay normalized to mean service time; " +
+            std::to_string(requests) + " requests, " +
+            std::to_string(samples) + " samples per point");
+    bench::Table table(14);
+    std::vector<std::string> head = {"delay/svc"};
+    for (const auto& [name, w] : workloads) {
+      (void)w;
+      head.push_back(name);
+    }
+    head.push_back("Eq.1 bound");
+    table.row(head);
+
+    std::vector<std::vector<sim::InaccuracyPoint>> sweeps;
+    for (const auto& [name, workload] : workloads) {
+      (void)name;
+      sweeps.push_back(
+          sim::inaccuracy_sweep(workload, rho, delays, requests, samples,
+                                seed));
+    }
+    const double bound = queueing::stale_index_inaccuracy_bound(rho);
+    for (std::size_t d = 0; d < delays.size(); ++d) {
+      std::vector<std::string> row = {bench::Table::num(delays[d], 1)};
+      for (const auto& sweep : sweeps) {
+        row.push_back(bench::Table::num(sweep[d].inaccuracy, 3));
+      }
+      row.push_back(bench::Table::num(bound, 3));
+      table.row(row);
+    }
+  }
+  std::printf(
+      "\nPaper shape: inaccuracy rises with delay; at 50%% it saturates\n"
+      "near the 1.33 bound quickly; at 90%% it keeps growing (error ~3 at\n"
+      "delay 10x) toward the 9.47 asymptote.\n");
+  return 0;
+}

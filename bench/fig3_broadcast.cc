@@ -1,0 +1,94 @@
+// Figure 3 reproduction: impact of broadcast frequency, 16 servers,
+// 90% busy (panel A) and 50% busy (panel B).
+//
+// For each workload, sweeps the mean broadcast interval and reports the
+// mean response time normalized to the IDEAL policy (accurate, free load
+// information at every request).
+//
+//   fig3_broadcast [--requests=150000] [--seed=1] [--loads=0.9,0.5]
+//                  [--intervals-ms=2,5,10,20,50,100,200,500,1000]
+//                  [--servers=16] [--clients=6]
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "sim/config.h"
+#include "workload/catalog.h"
+
+using namespace finelb;
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  const std::int64_t requests = flags.get_int("requests", 150'000);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto loads = flags.get_double_list("loads", {0.9, 0.5});
+  const auto intervals_ms = flags.get_double_list(
+      "intervals-ms", {2, 5, 10, 20, 50, 100, 200, 500, 1000});
+  const int servers = static_cast<int>(flags.get_int("servers", 16));
+  const int clients = static_cast<int>(flags.get_int("clients", 6));
+
+  const std::vector<std::pair<std::string, Workload>> workloads = {
+      {"Poisson/Exp-50ms", make_poisson_exp(0.050)},
+      {"Medium-Grain", make_medium_grain(100'000, seed + 10)},
+      {"Fine-Grain", make_fine_grain(100'000, seed + 20)},
+  };
+
+  const auto run = [&](const Workload& workload, PolicyConfig policy,
+                       double load) {
+    sim::SimConfig config;
+    config.servers = servers;
+    config.clients = clients;
+    config.policy = policy;
+    config.load = load;
+    config.total_requests = requests;
+    config.warmup_requests = requests / 10;
+    config.seed = seed;
+    return run_cluster_sim(config, workload);
+  };
+
+  for (const double load : loads) {
+    bench::print_header(
+        "Figure 3: broadcast frequency impact, servers " +
+            bench::Table::pct(load, 0) + " busy",
+        std::to_string(servers) + " servers, " + std::to_string(clients) +
+            " clients; mean response normalized to IDEAL; " +
+            std::to_string(requests) + " requests per point");
+    bench::Table table(18);
+    std::vector<std::string> head = {"interval(ms)"};
+    for (const auto& [name, w] : workloads) {
+      (void)w;
+      head.push_back(name);
+    }
+    table.row(head);
+
+    std::vector<double> ideal_ms;
+    for (const auto& [name, workload] : workloads) {
+      (void)name;
+      ideal_ms.push_back(
+          run(workload, PolicyConfig::ideal(), load).mean_response_ms());
+    }
+
+    for (const double interval : intervals_ms) {
+      std::vector<std::string> row = {bench::Table::num(interval, 0)};
+      for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const auto result = run(workloads[w].second,
+                                PolicyConfig::broadcast(from_ms(interval)),
+                                load);
+        row.push_back(
+            bench::Table::num(result.mean_response_ms() / ideal_ms[w], 2) +
+            "x");
+      }
+      table.row(row);
+    }
+    std::printf("IDEAL mean response (ms):");
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+      std::printf(" %s=%.1f", workloads[w].first.c_str(), ideal_ms[w]);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nPaper shape: ~1 s intervals are an order of magnitude worse than\n"
+      "IDEAL for fine-grain workloads at 90%% busy (2-3x at 50%%); low\n"
+      "intervals approach IDEAL at prohibitive message cost.\n");
+  return 0;
+}

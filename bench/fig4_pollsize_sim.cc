@@ -1,0 +1,82 @@
+// Figure 4 reproduction: impact of poll size (simulation), 16 servers.
+//
+// Three panels (Medium-Grain, Poisson/Exp 50 ms, Fine-Grain); x-axis is
+// server load 50%-90%; series are random, polling with poll sizes 2/3/4/8,
+// and IDEAL. Values are mean response times in milliseconds, exactly the
+// quantity Figure 4 plots.
+//
+//   fig4_pollsize_sim [--requests=120000] [--seed=1]
+//                     [--loads=0.5,0.6,0.7,0.8,0.9] [--poll-sizes=2,3,4,8]
+//                     [--servers=16] [--clients=6]
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "sim/config.h"
+#include "workload/catalog.h"
+
+using namespace finelb;
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  const std::int64_t requests = flags.get_int("requests", 120'000);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto loads =
+      flags.get_double_list("loads", {0.5, 0.6, 0.7, 0.8, 0.9});
+  const auto poll_sizes = flags.get_int_list("poll-sizes", {2, 3, 4, 8});
+  const int servers = static_cast<int>(flags.get_int("servers", 16));
+  const int clients = static_cast<int>(flags.get_int("clients", 6));
+
+  const std::vector<std::pair<std::string, Workload>> workloads = {
+      {"Medium-Grain", make_medium_grain(100'000, seed + 10)},
+      {"Poisson/Exp-50ms", make_poisson_exp(0.050)},
+      {"Fine-Grain", make_fine_grain(100'000, seed + 20)},
+  };
+
+  std::vector<std::pair<std::string, PolicyConfig>> policies;
+  policies.emplace_back("random", PolicyConfig::random());
+  for (const auto d : poll_sizes) {
+    policies.emplace_back("poll(" + std::to_string(d) + ")",
+                          PolicyConfig::polling(static_cast<int>(d)));
+  }
+  policies.emplace_back("ideal", PolicyConfig::ideal());
+
+  for (const auto& [wname, workload] : workloads) {
+    bench::print_header(
+        "Figure 4 <" + wname + ">: poll size impact (simulation)",
+        std::to_string(servers) + " servers, " + std::to_string(clients) +
+            " clients; mean response time (ms); " + std::to_string(requests) +
+            " requests per point");
+    bench::Table table(12);
+    std::vector<std::string> head = {"load"};
+    for (const auto& [pname, p] : policies) {
+      (void)p;
+      head.push_back(pname);
+    }
+    table.row(head);
+
+    for (const double load : loads) {
+      std::vector<std::string> row = {bench::Table::pct(load, 0)};
+      for (const auto& [pname, policy] : policies) {
+        (void)pname;
+        sim::SimConfig config;
+        config.servers = servers;
+        config.clients = clients;
+        config.policy = policy;
+        config.load = load;
+        config.total_requests = requests;
+        config.warmup_requests = requests / 10;
+        config.seed = seed;
+        row.push_back(bench::Table::num(
+            run_cluster_sim(config, workload).mean_response_ms(), 1));
+      }
+      table.row(row);
+    }
+  }
+  std::printf(
+      "\nPaper shape: poll size 2 is an exponential improvement over\n"
+      "random; sizes 3/4/8 add little; all polling curves track IDEAL\n"
+      "across loads and granularities (the simulator charges nothing for\n"
+      "polls - contrast with Figure 6).\n");
+  return 0;
+}

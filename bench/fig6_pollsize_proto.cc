@@ -1,0 +1,109 @@
+// Figure 6 reproduction: impact of poll size on the prototype
+// implementation, 16 server nodes on loopback.
+//
+// Same grid as Figure 4 but executed by the real runtime: UDP polling
+// agents, server worker pools, the availability directory, and (for IDEAL)
+// the centralized load-index manager. The headline divergence from the
+// simulation: with real messaging overhead, poll size 8 stops paying off
+// and on the Fine-Grain trace lands at or above pure random.
+//
+//   fig6_pollsize_proto [--requests=4000] [--seed=1]
+//                       [--loads=0.5,0.7,0.9] [--poll-sizes=2,3,8]
+//                       [--servers=16] [--clients=6] [--paper]
+//
+// --paper switches to the full five-load, four-poll-size grid (long run).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cluster/experiment.h"
+#include "common/flags.h"
+#include "net/pingpong.h"
+#include "net/tcp.h"
+#include "workload/catalog.h"
+
+using namespace finelb;
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  const bool paper = flags.get_bool("paper", false);
+  const std::int64_t requests =
+      flags.get_int("requests", paper ? 8000 : 4000);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto loads = flags.get_double_list(
+      "loads", paper ? std::vector<double>{0.5, 0.6, 0.7, 0.8, 0.9}
+                     : std::vector<double>{0.5, 0.7, 0.9});
+  const auto poll_sizes = flags.get_int_list(
+      "poll-sizes", paper ? std::vector<std::int64_t>{2, 3, 4, 8}
+                          : std::vector<std::int64_t>{2, 3, 8});
+  const int servers = static_cast<int>(flags.get_int("servers", 16));
+  const int clients = static_cast<int>(flags.get_int("clients", 6));
+
+  const auto rtt = net::measure_udp_rtt(500, 50);
+  std::printf("UDP ping-pong on this host: mean %.0f us, min %.0f us, "
+              "p99 %.0f us (paper measured 290 us)\n",
+              rtt.mean_rtt_us, rtt.min_rtt_us, rtt.p99_rtt_us);
+  const auto tcp = net::measure_tcp_rtt(200, 20);
+  std::printf("TCP ping-pong: persistent %.0f us, with setup/teardown "
+              "%.0f us (paper: 339 us / 516 us)\n",
+              tcp.persistent_rtt_us, tcp.per_connection_rtt_us);
+
+  const std::vector<std::pair<std::string, Workload>> workloads = {
+      {"Medium-Grain", make_medium_grain(50'000, seed + 10)},
+      {"Poisson/Exp-50ms", make_poisson_exp(0.050)},
+      {"Fine-Grain", make_fine_grain(50'000, seed + 20)},
+  };
+
+  std::vector<std::pair<std::string, PolicyConfig>> policies;
+  policies.emplace_back("random", PolicyConfig::random());
+  for (const auto d : poll_sizes) {
+    policies.emplace_back("poll(" + std::to_string(d) + ")",
+                          PolicyConfig::polling(static_cast<int>(d)));
+  }
+  policies.emplace_back("ideal", PolicyConfig::ideal());
+
+  for (const auto& [wname, workload] : workloads) {
+    bench::print_header(
+        "Figure 6 <" + wname + ">: poll size impact (prototype)",
+        std::to_string(servers) + " server nodes, " + std::to_string(clients) +
+            " client nodes on loopback; mean response time (ms); " +
+            std::to_string(requests) + " requests per point");
+    bench::Table table(12);
+    std::vector<std::string> head = {"load"};
+    for (const auto& [pname, p] : policies) {
+      (void)p;
+      head.push_back(pname);
+    }
+    head.push_back("completed");
+    table.row(head);
+
+    for (const double load : loads) {
+      std::vector<std::string> row = {bench::Table::pct(load, 0)};
+      std::int64_t completed = 0;
+      std::int64_t issued = 0;
+      for (const auto& [pname, policy] : policies) {
+        (void)pname;
+        cluster::PrototypeConfig config;
+        config.servers = servers;
+        config.clients = clients;
+        config.policy = policy;
+        config.load = load;
+        config.total_requests = requests;
+        config.seed = seed;
+        const auto result = cluster::run_prototype(config, workload);
+        row.push_back(
+            bench::Table::num(result.clients.response_ms.mean(), 1));
+        completed += result.clients.completed;
+        issued += result.clients.issued;
+      }
+      row.push_back(bench::Table::pct(
+          static_cast<double>(completed) / static_cast<double>(issued), 1));
+      table.row(row);
+    }
+  }
+  std::printf(
+      "\nPaper shape: Medium-Grain and Poisson/Exp confirm the simulation;\n"
+      "on the Fine-Grain trace poll size 8 is far worse than small poll\n"
+      "sizes and at/below pure random at high load (polling delay + stale\n"
+      "replies dominate for very fine services).\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Micro-benchmarks for the networking substrate (google-benchmark):
+// message codecs, loopback datagram round trips, and poller wakeups.
+#include <benchmark/benchmark.h>
+
+#include <array>
+
+#include "net/message.h"
+#include "net/poller.h"
+#include "net/socket.h"
+
+namespace finelb::net {
+namespace {
+
+void BM_EncodeLoadInquiry(benchmark::State& state) {
+  LoadInquiry msg;
+  msg.seq = 12345;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(msg.encode());
+  }
+}
+BENCHMARK(BM_EncodeLoadInquiry);
+
+void BM_DecodeLoadReply(benchmark::State& state) {
+  LoadReply msg;
+  msg.seq = 12345;
+  msg.queue_length = 7;
+  const auto bytes = msg.encode();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LoadReply::decode(bytes));
+  }
+}
+BENCHMARK(BM_DecodeLoadReply);
+
+void BM_EncodeSnapshotReply16(benchmark::State& state) {
+  SnapshotReply reply;
+  for (int i = 0; i < 16; ++i) {
+    Publish p;
+    p.service = "experiment";
+    p.server = i;
+    p.service_port = static_cast<std::uint16_t>(40000 + i);
+    p.load_port = static_cast<std::uint16_t>(41000 + i);
+    p.ttl_ms = 2000;
+    reply.entries.push_back(p);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reply.encode());
+  }
+}
+BENCHMARK(BM_EncodeSnapshotReply16);
+
+void BM_LoopbackDatagramRoundTrip(benchmark::State& state) {
+  UdpSocket server;
+  UdpSocket client;
+  client.connect(server.local_address());
+  Poller client_poller;
+  client_poller.add(client.fd(), 0);
+  Poller server_poller;
+  server_poller.add(server.fd(), 0);
+  LoadInquiry inquiry;
+  std::array<std::uint8_t, 64> buf{};
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    inquiry.seq = ++seq;
+    client.send(inquiry.encode());
+    while (true) {
+      server_poller.wait(kSecond);
+      if (auto dgram = server.recv_from(buf)) {
+        LoadReply reply;
+        reply.seq = seq;
+        reply.queue_length = 1;
+        server.send_to(reply.encode(), dgram->from);
+        break;
+      }
+    }
+    while (true) {
+      client_poller.wait(kSecond);
+      if (client.recv(buf)) break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LoopbackDatagramRoundTrip)->Unit(benchmark::kMicrosecond);
+
+void BM_PollerWaitReady(benchmark::State& state) {
+  UdpSocket a;
+  UdpSocket sender;
+  Poller poller;
+  poller.add(a.fd(), 0);
+  const std::array<std::uint8_t, 1> payload = {1};
+  std::array<std::uint8_t, 16> buf{};
+  for (auto _ : state) {
+    sender.send_to(payload, a.local_address());
+    benchmark::DoNotOptimize(poller.wait(kSecond));
+    a.recv_from(buf);
+  }
+}
+BENCHMARK(BM_PollerWaitReady)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace finelb::net
+
+BENCHMARK_MAIN();

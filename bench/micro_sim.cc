@@ -1,0 +1,120 @@
+// Micro-benchmarks for the simulation and core hot paths (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/selection.h"
+#include "sim/config.h"
+#include "sim/engine.h"
+#include "stats/accumulator.h"
+#include "stats/histogram.h"
+#include "workload/catalog.h"
+
+namespace finelb {
+namespace {
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng());
+  }
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngExponential(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.exponential(0.05));
+  }
+}
+BENCHMARK(BM_RngExponential);
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  const auto batch = static_cast<int>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::int64_t sum = 0;
+    for (int i = 0; i < batch; ++i) {
+      engine.schedule_at(static_cast<SimTime>(rng.uniform_int(1'000'000)),
+                         [&sum] { ++sum; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EngineScheduleRun)->Arg(1024)->Arg(16384);
+
+void BM_PickLeastLoaded(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<ServerLoad> loads(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    loads[i] = {static_cast<ServerId>(i),
+                static_cast<std::int32_t>(rng.uniform_int(8)), 0};
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pick_least_loaded(loads, rng));
+  }
+}
+BENCHMARK(BM_PickLeastLoaded)->Arg(2)->Arg(8)->Arg(16);
+
+void BM_ChoosePollSet(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<ServerId> servers(16);
+  for (int i = 0; i < 16; ++i) servers[static_cast<std::size_t>(i)] = i;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(choose_poll_set(servers, d, rng));
+  }
+}
+BENCHMARK(BM_ChoosePollSet)->Arg(2)->Arg(3)->Arg(8);
+
+void BM_HistogramAdd(benchmark::State& state) {
+  LatencyHistogram hist;
+  Rng rng(1);
+  for (auto _ : state) {
+    hist.add(rng.exponential(22.2));
+  }
+  benchmark::DoNotOptimize(hist.count());
+}
+BENCHMARK(BM_HistogramAdd);
+
+void BM_AccumulatorAdd(benchmark::State& state) {
+  Accumulator acc;
+  Rng rng(1);
+  for (auto _ : state) {
+    acc.add(rng.uniform01());
+  }
+  benchmark::DoNotOptimize(acc.mean());
+}
+BENCHMARK(BM_AccumulatorAdd);
+
+void BM_WorkloadSourceNext(benchmark::State& state) {
+  const Workload workload = make_fine_grain(10'000, 1);
+  auto source = workload.make_source(1.0, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(source->next());
+  }
+}
+BENCHMARK(BM_WorkloadSourceNext);
+
+void BM_FullSimulationThroughput(benchmark::State& state) {
+  const Workload workload = make_poisson_exp(0.050);
+  for (auto _ : state) {
+    sim::SimConfig config;
+    config.policy = PolicyConfig::polling(2);
+    config.load = 0.9;
+    config.total_requests = 20'000;
+    config.warmup_requests = 2'000;
+    benchmark::DoNotOptimize(
+        run_cluster_sim(config, workload).mean_response_ms());
+  }
+  state.SetItemsProcessed(state.iterations() * 20'000);
+}
+BENCHMARK(BM_FullSimulationThroughput)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace finelb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Quickstart: compare load-balancing policies in the simulator.
+//
+// Builds a 16-server cluster model, drives it with the paper's Poisson/Exp
+// workload at 90% per-server load, and prints the mean response time of
+// each policy. This is the smallest end-to-end use of the finelb API:
+//   1. pick a Workload (workload/catalog.h),
+//   2. describe a policy (core/policy.h),
+//   3. run the simulation (sim/config.h).
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "sim/config.h"
+#include "workload/catalog.h"
+
+int main() {
+  using namespace finelb;
+
+  // The paper's synthetic workload: Poisson arrivals, exponential service
+  // times with a 50 ms mean.
+  const Workload workload = make_poisson_exp(0.050);
+
+  const std::pair<const char*, PolicyConfig> policies[] = {
+      {"random          ", PolicyConfig::random()},
+      {"round-robin     ", PolicyConfig::round_robin()},
+      {"broadcast(100ms)", PolicyConfig::broadcast(from_ms(100))},
+      {"polling(2)      ", PolicyConfig::polling(2)},
+      {"polling(3)      ", PolicyConfig::polling(3)},
+      {"ideal           ", PolicyConfig::ideal()},
+  };
+
+  std::printf("16 servers, Poisson/Exp 50 ms services, 90%% busy\n");
+  std::printf("%-18s %12s %10s %10s\n", "policy", "mean(ms)", "p95(ms)",
+              "messages");
+  for (const auto& [name, policy] : policies) {
+    sim::SimConfig config;
+    config.servers = 16;
+    config.clients = 6;
+    config.policy = policy;
+    config.load = 0.90;
+    config.total_requests = 80'000;
+    config.warmup_requests = 8'000;
+    config.seed = 42;
+
+    const sim::SimResult result = run_cluster_sim(config, workload);
+    std::printf("%-18s %12.1f %10.1f %10lld\n", name,
+                result.mean_response_ms(), result.response_hist_ms.p95(),
+                static_cast<long long>(result.messages));
+  }
+  std::printf(
+      "\nTakeaway (paper conclusion 1-2): just-in-time polling with a poll\n"
+      "size of two already performs close to the IDEAL oracle, while\n"
+      "periodic broadcast suffers from stale load information.\n");
+  return 0;
+}

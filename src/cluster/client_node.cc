@@ -1,0 +1,452 @@
+#include "cluster/client_node.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "net/clock.h"
+#include "net/message.h"
+
+namespace finelb::cluster {
+namespace {
+constexpr std::uint64_t kServiceTag = 0;
+constexpr std::uint64_t kManagerTag = 1;
+constexpr std::uint64_t kBroadcastTag = 2;
+constexpr std::uint64_t kPollTagBase = 1000;
+constexpr std::uint32_t kSubscribeTtlMs = 5000;
+}  // namespace
+
+void ClientStats::merge(const ClientStats& other) {
+  response_ms.merge(other.response_ms);
+  response_hist_ms.merge(other.response_hist_ms);
+  poll_time_ms.merge(other.poll_time_ms);
+  poll_rtt_ms.merge(other.poll_rtt_ms);
+  queue_at_arrival.merge(other.queue_at_arrival);
+  issued += other.issued;
+  completed += other.completed;
+  recorded += other.recorded;
+  polls_sent += other.polls_sent;
+  poll_replies_used += other.poll_replies_used;
+  polls_discarded += other.polls_discarded;
+  polls_timed_out += other.polls_timed_out;
+  manager_timeouts += other.manager_timeouts;
+  response_timeouts += other.response_timeouts;
+  send_failures += other.send_failures;
+  broadcasts_received += other.broadcasts_received;
+}
+
+ClientNode::ClientNode(ClientOptions options,
+                       std::unique_ptr<RequestSource> source)
+    : options_(std::move(options)),
+      source_(std::move(source)),
+      rng_(options_.seed) {
+  FINELB_CHECK(!options_.servers.empty(), "client needs at least one server");
+  FINELB_CHECK(options_.total_requests > 0, "nothing to do");
+  FINELB_CHECK(source_ != nullptr, "client needs a request source");
+  if (options_.policy.kind == PolicyKind::kIdeal) {
+    FINELB_CHECK(options_.ideal_manager.has_value(),
+                 "ideal policy requires a load-index manager address");
+  }
+  if (options_.policy.kind == PolicyKind::kBroadcast) {
+    FINELB_CHECK(options_.broadcast_channel.has_value(),
+                 "broadcast policy requires a broadcast channel address");
+  }
+
+  server_ids_.reserve(options_.servers.size());
+  for (const auto& server : options_.servers) {
+    server_ids_.push_back(server.id);
+  }
+
+  service_socket_.set_buffer_sizes(1 << 21);
+  poller_.add(service_socket_.fd(), kServiceTag);
+
+  poll_sockets_.reserve(options_.servers.size());
+  for (std::size_t i = 0; i < options_.servers.size(); ++i) {
+    poll_sockets_.emplace_back();
+    poll_sockets_.back().connect(options_.servers[i].load_addr);
+    poller_.add(poll_sockets_.back().fd(), kPollTagBase + i);
+  }
+
+  if (options_.ideal_manager) {
+    manager_socket_ = std::make_unique<net::UdpSocket>();
+    manager_socket_->connect(*options_.ideal_manager);
+    poller_.add(manager_socket_->fd(), kManagerTag);
+  }
+
+  if (options_.broadcast_channel) {
+    broadcast_socket_ = std::make_unique<net::UdpSocket>();
+    broadcast_socket_->set_buffer_sizes(1 << 21);
+    broadcast_socket_->connect(*options_.broadcast_channel);
+    poller_.add(broadcast_socket_->fd(), kBroadcastTag);
+    broadcast_table_.resize(options_.servers.size());
+    for (std::size_t i = 0; i < options_.servers.size(); ++i) {
+      // ServerLoad.server holds the endpoint *index* (as in poll replies).
+      broadcast_table_[i] = {static_cast<ServerId>(i), 0, 0};
+    }
+    net::Subscribe subscribe;
+    subscribe.ttl_ms = kSubscribeTtlMs;
+    if (!broadcast_socket_->send(subscribe.encode())) ++stats_.send_failures;
+    subscribe_refresh_at_ =
+        net::monotonic_now() +
+        static_cast<SimDuration>(kSubscribeTtlMs / 2) * kMillisecond;
+  }
+}
+
+void ClientNode::run() {
+  TraceRecord pending = source_->next();
+  SimTime next_arrival = net::monotonic_now() + pending.arrival_interval;
+
+  while (resolved_ < options_.total_requests) {
+    SimTime now = net::monotonic_now();
+
+    // Keep the broadcast-channel subscription alive (soft state).
+    if (broadcast_socket_ && now >= subscribe_refresh_at_) {
+      net::Subscribe subscribe;
+      subscribe.ttl_ms = kSubscribeTtlMs;
+      if (!broadcast_socket_->send(subscribe.encode())) {
+        ++stats_.send_failures;
+      }
+      subscribe_refresh_at_ =
+          now + static_cast<SimDuration>(kSubscribeTtlMs / 2) * kMillisecond;
+    }
+
+    // Fire due arrivals (possibly several if the loop fell behind).
+    while (stats_.issued < options_.total_requests && next_arrival <= now) {
+      Access access;
+      access.index = stats_.issued++;
+      access.started_at = now;
+      access.service_us = static_cast<std::uint32_t>(
+          pending.service_time / kMicrosecond);
+      begin_access(access);
+      pending = source_->next();
+      next_arrival += pending.arrival_interval;
+      now = net::monotonic_now();
+    }
+
+    fire_deadlines(now);
+
+    // Wait for the earliest of: next arrival, any round/response deadline.
+    const auto deadline = next_deadline(
+        stats_.issued < options_.total_requests ? next_arrival : -1);
+    SimDuration wait = 100 * kMillisecond;
+    if (deadline) {
+      wait = std::clamp<SimDuration>(*deadline - net::monotonic_now(), 0,
+                                     wait);
+    }
+    for (const net::Ready& ready : poller_.wait(wait)) {
+      if (!ready.readable && !ready.error) continue;
+      if (ready.tag == kServiceTag) {
+        drain_service_socket();
+      } else if (ready.tag == kManagerTag) {
+        drain_manager_socket();
+      } else if (ready.tag == kBroadcastTag) {
+        drain_broadcast_socket();
+      } else {
+        drain_poll_socket(static_cast<std::size_t>(ready.tag - kPollTagBase));
+      }
+    }
+  }
+}
+
+void ClientNode::begin_access(const Access& access) {
+  switch (options_.policy.kind) {
+    case PolicyKind::kRandom:
+      dispatch(access, rng_.uniform_int(options_.servers.size()));
+      break;
+    case PolicyKind::kRoundRobin: {
+      const ServerId id = rr_.next(server_ids_);
+      for (std::size_t i = 0; i < server_ids_.size(); ++i) {
+        if (server_ids_[i] == id) {
+          dispatch(access, i);
+          break;
+        }
+      }
+      break;
+    }
+    case PolicyKind::kPolling:
+      start_poll_round(access);
+      break;
+    case PolicyKind::kIdeal: {
+      const std::uint64_t seq = next_seq_++;
+      net::Acquire acquire;
+      acquire.seq = seq;
+      if (!manager_socket_->send(acquire.encode())) {
+        ++stats_.send_failures;
+        ++stats_.manager_timeouts;
+        dispatch(access, rng_.uniform_int(options_.servers.size()));
+        return;
+      }
+      ManagerRound round;
+      round.access = access;
+      round.deadline = access.started_at + options_.manager_timeout;
+      manager_rounds_.emplace(seq, round);
+      break;
+    }
+    case PolicyKind::kBroadcast: {
+      const ServerId index = pick_least_loaded(broadcast_table_, rng_);
+      if (options_.policy.optimistic_increment) {
+        ++broadcast_table_[static_cast<std::size_t>(index)].queue_length;
+      }
+      dispatch(access, static_cast<std::size_t>(index));
+      break;
+    }
+  }
+}
+
+void ClientNode::start_poll_round(const Access& access) {
+  const std::uint64_t seq = next_seq_++;
+  PollRound round;
+  round.access = access;
+  round.sent_at = access.started_at;
+  const SimDuration wait = options_.policy.discard_timeout > 0
+                               ? options_.policy.discard_timeout
+                               : options_.max_poll_wait;
+  round.deadline = access.started_at + wait;
+
+  // Choose poll targets as indices into the endpoint table.
+  std::vector<ServerId> index_pool(options_.servers.size());
+  for (std::size_t i = 0; i < index_pool.size(); ++i) {
+    index_pool[i] = static_cast<ServerId>(i);
+  }
+  const auto chosen = choose_poll_set(
+      index_pool, static_cast<std::size_t>(options_.policy.poll_size), rng_);
+  round.targets.assign(chosen.begin(), chosen.end());
+
+  net::LoadInquiry inquiry;
+  inquiry.seq = seq;
+  const auto payload = inquiry.encode();
+  for (const std::size_t target : round.targets) {
+    if (poll_sockets_[target].send(payload)) {
+      ++stats_.polls_sent;
+    } else {
+      ++stats_.send_failures;
+    }
+  }
+  poll_rounds_.emplace(seq, std::move(round));
+}
+
+void ClientNode::finish_poll_round(std::uint64_t seq, PollRound& round) {
+  const SimTime now = net::monotonic_now();
+  if (should_record(round.access)) {
+    stats_.poll_time_ms.add(to_ms(now - round.access.started_at));
+  }
+  std::size_t target = 0;
+  if (round.replies.empty()) {
+    target = round.targets[rng_.uniform_int(round.targets.size())];
+  } else {
+    // ServerLoad.server holds endpoint *indices* here (see
+    // drain_poll_socket), so the selection result is directly usable.
+    target = static_cast<std::size_t>(pick_least_loaded(round.replies, rng_));
+    stats_.poll_replies_used +=
+        static_cast<std::int64_t>(round.replies.size());
+  }
+  const Access access = round.access;
+  poll_rounds_.erase(seq);
+  dispatch(access, target);
+}
+
+void ClientNode::dispatch(const Access& access, std::size_t server_index,
+                          bool manager_acquired) {
+  const std::uint64_t request_id =
+      (static_cast<std::uint64_t>(options_.id) << 40) |
+      static_cast<std::uint64_t>(access.index);
+  net::ServiceRequest request;
+  request.request_id = request_id;
+  request.service_us = access.service_us;
+  request.partition = 0;
+  if (!service_socket_.send_to(request.encode(),
+                               options_.servers[server_index].service_addr)) {
+    ++stats_.send_failures;
+    ++stats_.response_timeouts;  // counts as a failed access
+    ++resolved_;
+    if (manager_acquired) release_manager_slot(server_index);
+    return;
+  }
+  Outstanding out;
+  out.access = access;
+  out.server_index = server_index;
+  out.deadline = net::monotonic_now() + options_.response_timeout;
+  out.manager_acquired = manager_acquired;
+  outstanding_.emplace(request_id, out);
+}
+
+void ClientNode::drain_service_socket() {
+  std::array<std::uint8_t, 256> buf{};
+  while (auto size = service_socket_.recv_from(buf)) {
+    net::ServiceResponse response;
+    try {
+      response =
+          net::ServiceResponse::decode(std::span(buf.data(), size->size));
+    } catch (const InvariantError&) {
+      continue;
+    }
+    const auto it = outstanding_.find(response.request_id);
+    if (it == outstanding_.end()) continue;  // answered after timeout
+    const Outstanding& out = it->second;
+    if (should_record(out.access)) {
+      const double rt_ms = to_ms(net::monotonic_now() - out.access.started_at);
+      stats_.response_ms.add(rt_ms);
+      stats_.response_hist_ms.add(rt_ms);
+      stats_.queue_at_arrival.add(response.queue_at_arrival);
+      ++stats_.recorded;
+    }
+    ++stats_.completed;
+    ++resolved_;
+    if (out.manager_acquired) release_manager_slot(out.server_index);
+    outstanding_.erase(it);
+  }
+}
+
+void ClientNode::drain_manager_socket() {
+  std::array<std::uint8_t, 64> buf{};
+  while (auto size = manager_socket_->recv(buf)) {
+    net::AcquireReply reply;
+    try {
+      reply = net::AcquireReply::decode(std::span(buf.data(), *size));
+    } catch (const InvariantError&) {
+      continue;
+    }
+    const auto it = manager_rounds_.find(reply.seq);
+    if (it == manager_rounds_.end()) continue;  // fallback already taken
+    const Access access = it->second.access;
+    manager_rounds_.erase(it);
+    // Map the manager's server id back to an endpoint index.
+    std::size_t index = options_.servers.size();
+    for (std::size_t i = 0; i < options_.servers.size(); ++i) {
+      if (options_.servers[i].id == reply.server) {
+        index = i;
+        break;
+      }
+    }
+    if (index == options_.servers.size()) {
+      FINELB_LOG(kWarn, "client") << "manager chose unknown server "
+                                  << reply.server;
+      index = rng_.uniform_int(options_.servers.size());
+    }
+    if (should_record(access)) {
+      stats_.poll_time_ms.add(to_ms(net::monotonic_now() - access.started_at));
+    }
+    dispatch(access, index, /*manager_acquired=*/true);
+  }
+}
+
+void ClientNode::drain_broadcast_socket() {
+  std::array<std::uint8_t, 64> buf{};
+  while (auto size = broadcast_socket_->recv(buf)) {
+    net::LoadAnnounce announcement;
+    try {
+      announcement =
+          net::LoadAnnounce::decode(std::span(buf.data(), *size));
+    } catch (const InvariantError&) {
+      continue;
+    }
+    for (std::size_t i = 0; i < options_.servers.size(); ++i) {
+      if (options_.servers[i].id == announcement.server) {
+        broadcast_table_[i] = {static_cast<ServerId>(i),
+                               announcement.queue_length,
+                               net::monotonic_now()};
+        ++stats_.broadcasts_received;
+        break;
+      }
+    }
+  }
+}
+
+void ClientNode::drain_poll_socket(std::size_t server_index) {
+  std::array<std::uint8_t, 64> buf{};
+  while (auto size = poll_sockets_[server_index].recv(buf)) {
+    net::LoadReply reply;
+    try {
+      reply = net::LoadReply::decode(std::span(buf.data(), *size));
+    } catch (const InvariantError&) {
+      continue;
+    }
+    const auto it = poll_rounds_.find(reply.seq);
+    if (it == poll_rounds_.end()) {
+      ++stats_.polls_discarded;  // reply arrived after the round was decided
+      continue;
+    }
+    PollRound& round = it->second;
+    if (should_record(round.access)) {
+      stats_.poll_rtt_ms.add(to_ms(net::monotonic_now() - round.sent_at));
+    }
+    // Store the endpoint *index* in the server field so the least-loaded
+    // pick can be used directly (ids and indices coincide in experiments,
+    // but examples may use sparse ids).
+    round.replies.push_back({static_cast<ServerId>(server_index),
+                             reply.queue_length, net::monotonic_now()});
+    if (round.replies.size() == round.targets.size()) {
+      finish_poll_round(it->first, round);
+    }
+  }
+}
+
+void ClientNode::fire_deadlines(SimTime now) {
+  // Poll rounds past their deadline: decide with whatever arrived.
+  for (auto it = poll_rounds_.begin(); it != poll_rounds_.end();) {
+    if (it->second.deadline <= now) {
+      const std::uint64_t seq = it->first;
+      ++it;  // finish_poll_round erases; advance first
+      ++stats_.polls_timed_out;
+      finish_poll_round(seq, poll_rounds_.at(seq));
+    } else {
+      ++it;
+    }
+  }
+  // Manager rounds past their deadline: fall back to a random server.
+  for (auto it = manager_rounds_.begin(); it != manager_rounds_.end();) {
+    if (it->second.deadline <= now) {
+      const Access access = it->second.access;
+      it = manager_rounds_.erase(it);
+      ++stats_.manager_timeouts;
+      dispatch(access, rng_.uniform_int(options_.servers.size()));
+    } else {
+      ++it;
+    }
+  }
+  // Accesses the servers never answered. A manager-granted slot must be
+  // handed back even though the access failed, or the IDEAL manager's
+  // queue counts would drift upward forever.
+  for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+    if (it->second.deadline <= now) {
+      if (it->second.manager_acquired) {
+        release_manager_slot(it->second.server_index);
+      }
+      it = outstanding_.erase(it);
+      ++stats_.response_timeouts;
+      ++resolved_;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ClientNode::release_manager_slot(std::size_t server_index) {
+  net::Release release;
+  release.server = options_.servers[server_index].id;
+  if (!manager_socket_->send(release.encode())) ++stats_.send_failures;
+}
+
+std::optional<SimTime> ClientNode::next_deadline(SimTime next_arrival) const {
+  std::optional<SimTime> best;
+  const auto consider = [&best](SimTime t) {
+    if (!best || t < *best) best = t;
+  };
+  if (next_arrival >= 0) consider(next_arrival);
+  for (const auto& [seq, round] : poll_rounds_) {
+    (void)seq;
+    consider(round.deadline);
+  }
+  for (const auto& [seq, round] : manager_rounds_) {
+    (void)seq;
+    consider(round.deadline);
+  }
+  for (const auto& [id, out] : outstanding_) {
+    (void)id;
+    consider(out.deadline);
+  }
+  return best;
+}
+
+}  // namespace finelb::cluster

@@ -1,0 +1,182 @@
+// Prototype client node (paper §3.1, Figure 5 left half).
+//
+// A client node drives an open-loop request stream against the server set.
+// It is a single-threaded event loop multiplexed with ppoll(2), mirroring
+// the paper's polling agent, which "sends out load inquiry requests ...
+// through connected UDP sockets and asynchronously collects the responses
+// using select":
+//
+//   * one connected UDP socket per server for load inquiries;
+//   * one UDP socket for service requests/responses;
+//   * one connected UDP socket to the centralized load-index manager (used
+//     only when emulating IDEAL).
+//
+// Arrivals are paced by absolute deadlines accumulated from the workload's
+// inter-arrival intervals, so the stream is open: a slow access never
+// throttles subsequent arrivals (queueing happens at the servers, as in the
+// paper, not in the client).
+//
+// Policy execution per access:
+//   random / round-robin — dispatch immediately;
+//   polling(d)           — send d inquiries, dispatch on the last reply or
+//                          on the discard deadline (paper §3.2), whichever
+//                          comes first; with the optimization off, a
+//                          max_poll_wait backstop guards against UDP loss;
+//   ideal                — Acquire from the manager, dispatch to its answer,
+//                          Release on completion.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/policy.h"
+#include "core/selection.h"
+#include "net/poller.h"
+#include "net/socket.h"
+#include "stats/accumulator.h"
+#include "stats/histogram.h"
+#include "workload/workload.h"
+
+namespace finelb::cluster {
+
+struct ServerEndpoints {
+  ServerId id = 0;
+  net::Address service_addr;
+  net::Address load_addr;
+};
+
+struct ClientOptions {
+  int id = 0;
+  PolicyConfig policy;
+  std::vector<ServerEndpoints> servers;
+  std::optional<net::Address> ideal_manager;
+  /// Broadcast channel address; required by the broadcast policy
+  /// (prototype extension — see cluster/broadcast_channel.h).
+  std::optional<net::Address> broadcast_channel;
+  /// Accesses this client issues (its share of the experiment total).
+  std::int64_t total_requests = 1000;
+  /// Leading accesses excluded from statistics.
+  std::int64_t warmup_requests = 100;
+  /// Backstop wait for poll replies when the discard optimization is off
+  /// (UDP can drop; the basic policy would otherwise wait forever).
+  SimDuration max_poll_wait = 50 * kMillisecond;
+  /// Wait for the IDEAL manager before falling back to a random server.
+  SimDuration manager_timeout = 50 * kMillisecond;
+  /// An access not answered within this bound counts as failed — the same
+  /// 2-second criterion the paper's load calibration uses (§4).
+  SimDuration response_timeout = 2 * kSecond;
+  std::uint64_t seed = 1;
+};
+
+struct ClientStats {
+  Accumulator response_ms;
+  LatencyHistogram response_hist_ms;
+  /// Time from access start to dispatch (load-information acquisition).
+  Accumulator poll_time_ms;
+  /// Round-trip time of individual poll replies (drives the §3.2 profile).
+  LatencyHistogram poll_rtt_ms;
+  /// Server queue length seen by dispatched requests on arrival.
+  Accumulator queue_at_arrival;
+
+  std::int64_t issued = 0;
+  std::int64_t completed = 0;
+  std::int64_t recorded = 0;
+  std::int64_t polls_sent = 0;
+  std::int64_t poll_replies_used = 0;
+  std::int64_t polls_discarded = 0;  // replies after the round was decided
+  std::int64_t polls_timed_out = 0;  // rounds decided by deadline
+  std::int64_t manager_timeouts = 0;
+  std::int64_t response_timeouts = 0;
+  std::int64_t send_failures = 0;
+  std::int64_t broadcasts_received = 0;
+
+  void merge(const ClientStats& other);
+};
+
+class ClientNode {
+ public:
+  ClientNode(ClientOptions options, std::unique_ptr<RequestSource> source);
+
+  ClientNode(const ClientNode&) = delete;
+  ClientNode& operator=(const ClientNode&) = delete;
+
+  /// Runs the full request stream to completion; blocking (call from a
+  /// dedicated thread in multi-client experiments).
+  void run();
+
+  const ClientStats& stats() const { return stats_; }
+
+ private:
+  struct Access {
+    std::int64_t index = 0;
+    SimTime started_at = 0;
+    std::uint32_t service_us = 0;
+  };
+
+  struct PollRound {
+    Access access;
+    std::vector<std::size_t> targets;  // indices into options_.servers
+    std::vector<ServerLoad> replies;
+    SimTime sent_at = 0;
+    SimTime deadline = 0;
+  };
+
+  struct ManagerRound {
+    Access access;
+    SimTime deadline = 0;
+  };
+
+  struct Outstanding {
+    Access access;
+    std::size_t server_index = 0;
+    SimTime deadline = 0;
+    /// True when the IDEAL manager granted this slot; only such accesses
+    /// send a Release (fallback-dispatched ones never incremented).
+    bool manager_acquired = false;
+  };
+
+  void begin_access(const Access& access);
+  void start_poll_round(const Access& access);
+  void finish_poll_round(std::uint64_t seq, PollRound& round);
+  void dispatch(const Access& access, std::size_t server_index,
+                bool manager_acquired = false);
+  void release_manager_slot(std::size_t server_index);
+  void drain_service_socket();
+  void drain_manager_socket();
+  void drain_broadcast_socket();
+  void drain_poll_socket(std::size_t server_index);
+  void fire_deadlines(SimTime now);
+  std::optional<SimTime> next_deadline(SimTime next_arrival) const;
+  bool should_record(const Access& access) const {
+    return access.index >= options_.warmup_requests;
+  }
+
+  ClientOptions options_;
+  std::unique_ptr<RequestSource> source_;
+  Rng rng_;
+  RoundRobinCursor rr_;
+  std::vector<ServerId> server_ids_;
+
+  net::UdpSocket service_socket_;
+  std::vector<net::UdpSocket> poll_sockets_;  // one per server, connected
+  std::unique_ptr<net::UdpSocket> manager_socket_;
+  std::unique_ptr<net::UdpSocket> broadcast_socket_;
+  /// Broadcast policy's local load table, indexed like options_.servers.
+  std::vector<ServerLoad> broadcast_table_;
+  SimTime subscribe_refresh_at_ = 0;
+  net::Poller poller_;
+
+  std::map<std::uint64_t, PollRound> poll_rounds_;      // by inquiry seq
+  std::map<std::uint64_t, ManagerRound> manager_rounds_;  // by acquire seq
+  std::map<std::uint64_t, Outstanding> outstanding_;    // by request id
+  std::uint64_t next_seq_ = 1;
+  std::int64_t resolved_ = 0;
+
+  ClientStats stats_;
+};
+
+}  // namespace finelb::cluster

@@ -1,0 +1,150 @@
+#include "cluster/directory.h"
+
+#include <array>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "net/clock.h"
+#include "net/poller.h"
+
+namespace finelb::cluster {
+
+DirectoryServer::DirectoryServer() { socket_.set_buffer_sizes(1 << 20); }
+
+DirectoryServer::~DirectoryServer() { stop(); }
+
+void DirectoryServer::start() {
+  FINELB_CHECK(!running_.exchange(true), "directory already started");
+  thread_ = std::thread([this] { recv_loop(); });
+}
+
+void DirectoryServer::stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+net::Address DirectoryServer::address() const {
+  return socket_.local_address();
+}
+
+std::vector<net::Publish> DirectoryServer::live_entries(
+    const std::string& service) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return snapshot_locked(service, net::monotonic_now());
+}
+
+std::vector<net::Publish> DirectoryServer::snapshot_locked(
+    const std::string& service, SimTime now) const {
+  std::vector<net::Publish> out;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.expires_at <= now) continue;  // expired soft state
+    if (!service.empty() && entry.publish.service != service) continue;
+    out.push_back(entry.publish);
+  }
+  return out;
+}
+
+void DirectoryServer::recv_loop() {
+  net::Poller poller;
+  poller.add(socket_.fd(), 0);
+  std::array<std::uint8_t, 2048> buf{};
+  while (running_.load(std::memory_order_relaxed)) {
+    if (poller.wait(50 * kMillisecond).empty()) continue;
+    while (auto dgram = socket_.recv_from(buf)) {
+      const std::span<const std::uint8_t> data(buf.data(), dgram->size);
+      try {
+        switch (net::peek_type(data)) {
+          case net::MsgType::kPublish: {
+            const auto publish = net::Publish::decode(data);
+            const SimTime now = net::monotonic_now();
+            std::lock_guard<std::mutex> lock(mutex_);
+            Entry& entry = entries_[Key{publish.service, publish.server,
+                                        publish.partition}];
+            entry.publish = publish;
+            entry.expires_at =
+                now + static_cast<SimDuration>(publish.ttl_ms) * kMillisecond;
+            publishes_.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+          case net::MsgType::kSnapshotRequest: {
+            const auto request = net::SnapshotRequest::decode(data);
+            net::SnapshotReply reply;
+            reply.seq = request.seq;
+            {
+              std::lock_guard<std::mutex> lock(mutex_);
+              reply.entries =
+                  snapshot_locked(request.service, net::monotonic_now());
+            }
+            socket_.send_to(reply.encode(), dgram->from);
+            break;
+          }
+          default:
+            FINELB_LOG(kWarn, "directory") << "unexpected message type";
+        }
+      } catch (const InvariantError&) {
+        FINELB_LOG(kWarn, "directory") << "dropping malformed datagram";
+      }
+    }
+  }
+}
+
+DirectoryClient::DirectoryClient(const net::Address& directory)
+    : directory_(directory) {
+  socket_.connect(directory);
+}
+
+std::vector<ServiceEndpoint> DirectoryClient::fetch(const std::string& service,
+                                                    SimDuration timeout) {
+  const SimTime deadline = net::monotonic_now() + timeout;
+  net::Poller poller;
+  poller.add(socket_.fd(), 0);
+  std::array<std::uint8_t, 4096> buf{};
+  while (net::monotonic_now() < deadline) {
+    net::SnapshotRequest request;
+    request.seq = next_seq_++;
+    request.service = service;
+    socket_.send(request.encode());
+    // One retransmit round every 100 ms until the matching reply arrives.
+    const SimTime retry_at =
+        std::min<SimTime>(deadline, net::monotonic_now() + 100 * kMillisecond);
+    while (net::monotonic_now() < retry_at) {
+      poller.wait(retry_at - net::monotonic_now());
+      while (auto size = socket_.recv(buf)) {
+        try {
+          const auto reply =
+              net::SnapshotReply::decode(std::span(buf.data(), *size));
+          if (reply.seq != request.seq) continue;  // stale reply
+          std::vector<ServiceEndpoint> endpoints;
+          endpoints.reserve(reply.entries.size());
+          for (const auto& entry : reply.entries) {
+            endpoints.push_back(
+                {entry.server, entry.partition,
+                 net::Address::loopback(entry.service_port),
+                 net::Address::loopback(entry.load_port)});
+          }
+          return endpoints;
+        } catch (const InvariantError&) {
+          // malformed; keep waiting
+        }
+      }
+    }
+  }
+  FINELB_CHECK(false, "directory did not answer snapshot request");
+  return {};
+}
+
+std::vector<ServiceEndpoint> DirectoryClient::wait_for_servers(
+    const std::string& service, std::size_t min_servers,
+    SimDuration deadline_from_now) {
+  const SimTime deadline = net::monotonic_now() + deadline_from_now;
+  std::vector<ServiceEndpoint> endpoints;
+  for (;;) {
+    endpoints = fetch(service);
+    if (endpoints.size() >= min_servers || net::monotonic_now() >= deadline) {
+      return endpoints;
+    }
+    net::sleep_for(20 * kMillisecond);
+  }
+}
+
+}  // namespace finelb::cluster

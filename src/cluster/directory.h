@@ -1,0 +1,97 @@
+// Service availability subsystem (paper §3.1).
+//
+// The paper describes a "well-known publish/subscribe channel, which can be
+// implemented using IP multicast or a highly available well-known central
+// directory"; published entries are soft state that must be refreshed to
+// stay alive. This is the central-directory implementation: servers send
+// Publish datagrams on an interval, clients pull SnapshotReply tables. An
+// entry disappears `ttl_ms` after its last refresh, so a crashed server
+// falls out of the candidate set without any explicit deregistration — the
+// property that lets the infrastructure "operate smoothly in the presence
+// of transient failures and service evolution".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/time.h"
+#include "net/message.h"
+#include "net/socket.h"
+
+namespace finelb::cluster {
+
+/// A live service endpoint as seen through the availability channel.
+struct ServiceEndpoint {
+  std::int32_t server = 0;
+  std::uint32_t partition = 0;
+  net::Address service_addr;
+  net::Address load_addr;
+};
+
+class DirectoryServer {
+ public:
+  DirectoryServer();
+  ~DirectoryServer();
+
+  DirectoryServer(const DirectoryServer&) = delete;
+  DirectoryServer& operator=(const DirectoryServer&) = delete;
+
+  void start();
+  void stop();
+
+  net::Address address() const;
+
+  /// Current live (non-expired) entries for a service ("" = all), as the
+  /// snapshot protocol would return them. Exposed for tests and local use.
+  std::vector<net::Publish> live_entries(const std::string& service) const;
+
+  std::int64_t publishes_received() const { return publishes_.load(); }
+
+ private:
+  struct Entry {
+    net::Publish publish;
+    SimTime expires_at = 0;
+  };
+  using Key = std::tuple<std::string, std::int32_t, std::uint32_t>;
+
+  void recv_loop();
+  std::vector<net::Publish> snapshot_locked(const std::string& service,
+                                            SimTime now) const;
+
+  net::UdpSocket socket_;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+  mutable std::mutex mutex_;
+  std::map<Key, Entry> entries_;
+  std::atomic<std::int64_t> publishes_{0};
+};
+
+/// Client-side view of the channel: sends SnapshotRequest and waits for the
+/// reply, retrying on loss. This is the "service mapping table" refresh.
+class DirectoryClient {
+ public:
+  explicit DirectoryClient(const net::Address& directory);
+
+  /// Fetches the live endpoints for `service` (empty = all). Throws
+  /// InvariantError if the directory does not answer within `timeout`.
+  std::vector<ServiceEndpoint> fetch(const std::string& service,
+                                     SimDuration timeout = kSecond);
+
+  /// Polls fetch() until at least `min_servers` distinct servers are live
+  /// or `deadline_from_now` elapses; returns the last snapshot either way.
+  std::vector<ServiceEndpoint> wait_for_servers(
+      const std::string& service, std::size_t min_servers,
+      SimDuration deadline_from_now = 5 * kSecond);
+
+ private:
+  net::Address directory_;
+  net::UdpSocket socket_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace finelb::cluster

@@ -1,0 +1,192 @@
+#include "cluster/experiment.h"
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "cluster/broadcast_channel.h"
+#include "cluster/directory.h"
+#include "cluster/ideal_manager.h"
+#include "net/clock.h"
+
+namespace finelb::cluster {
+namespace {
+
+constexpr const char* kExperimentService = "experiment";
+
+std::vector<ServerEndpoints> endpoints_from_directory(
+    const net::Address& directory, std::size_t expected) {
+  DirectoryClient client(directory);
+  const auto snapshot =
+      client.wait_for_servers(kExperimentService, expected, 10 * kSecond);
+  FINELB_CHECK(snapshot.size() >= expected,
+               "directory never saw all experiment servers");
+  std::vector<ServerEndpoints> endpoints;
+  endpoints.reserve(snapshot.size());
+  for (const auto& e : snapshot) {
+    endpoints.push_back({e.server, e.service_addr, e.load_addr});
+  }
+  return endpoints;
+}
+
+}  // namespace
+
+PrototypeResult run_prototype(const PrototypeConfig& config,
+                              const Workload& workload) {
+  FINELB_CHECK(config.servers >= 1 && config.clients >= 1,
+               "need at least one server and one client");
+  FINELB_CHECK(config.load > 0.0 && config.load < 1.0,
+               "load must be in (0, 1)");
+  FINELB_CHECK(config.total_requests >= config.clients,
+               "need at least one request per client");
+
+  // --- servers ---------------------------------------------------------------
+  std::vector<std::unique_ptr<ServerNode>> servers;
+  servers.reserve(static_cast<std::size_t>(config.servers));
+  for (int s = 0; s < config.servers; ++s) {
+    ServerOptions opts;
+    opts.id = s;
+    opts.worker_threads = config.worker_threads_per_server;
+    opts.inject_busy_reply_delay = config.inject_busy_reply_delay;
+    opts.busy_reply_alpha = config.busy_reply_alpha;
+    opts.busy_reply_xm = config.busy_reply_xm;
+    opts.busy_slow_prob = config.busy_slow_prob;
+    opts.seed = config.seed + static_cast<std::uint64_t>(s) * 7919;
+    servers.push_back(std::make_unique<ServerNode>(opts));
+  }
+
+  // --- availability ----------------------------------------------------------
+  std::unique_ptr<DirectoryServer> directory;
+  if (config.use_directory) {
+    directory = std::make_unique<DirectoryServer>();
+    directory->start();
+    for (auto& server : servers) {
+      server->enable_publishing(directory->address(), kExperimentService,
+                                /*partition=*/0, /*interval=*/kSecond / 4,
+                                /*ttl=*/2 * kSecond);
+    }
+  }
+
+  // --- broadcast channel (broadcast policy only, prototype extension) --------
+  std::unique_ptr<BroadcastChannel> channel;
+  if (config.policy.kind == PolicyKind::kBroadcast) {
+    channel = std::make_unique<BroadcastChannel>();
+    channel->start();
+    for (auto& server : servers) {
+      server->enable_load_broadcast(channel->address(),
+                                    config.policy.broadcast_interval,
+                                    config.policy.broadcast_jitter);
+    }
+  }
+
+  for (auto& server : servers) server->start();
+
+  std::vector<ServerEndpoints> endpoints;
+  if (config.use_directory) {
+    endpoints = endpoints_from_directory(
+        directory->address(), static_cast<std::size_t>(config.servers));
+  } else {
+    for (auto& server : servers) {
+      endpoints.push_back(
+          {server->id(), server->service_address(), server->load_address()});
+    }
+  }
+
+  // --- IDEAL manager ---------------------------------------------------------
+  std::unique_ptr<IdealManager> manager;
+  if (config.policy.kind == PolicyKind::kIdeal) {
+    manager = std::make_unique<IdealManager>(config.servers, config.seed + 5);
+    manager->start();
+  }
+
+  // --- load calibration -------------------------------------------------------
+  const double effective_service =
+      workload.mean_service_sec() + config.per_request_overhead_sec;
+  const double offered_load =
+      config.load * workload.mean_service_sec() / effective_service;
+  // Arrival scale targeting the *nominal* service time, then stretched by
+  // the overhead ratio so the effective per-server utilization matches the
+  // requested load.
+  const double scale =
+      workload.arrival_scale_for_load(config.load, config.servers) *
+      (effective_service / workload.mean_service_sec()) *
+      static_cast<double>(config.clients);
+
+  // --- clients ---------------------------------------------------------------
+  const std::int64_t per_client = config.total_requests / config.clients;
+  const std::int64_t warmup =
+      per_client * config.warmup_fraction_percent / 100;
+  std::vector<std::unique_ptr<ClientNode>> clients;
+  clients.reserve(static_cast<std::size_t>(config.clients));
+  for (int c = 0; c < config.clients; ++c) {
+    ClientOptions opts;
+    opts.id = c;
+    opts.policy = config.policy;
+    opts.servers = endpoints;
+    if (manager) opts.ideal_manager = manager->address();
+    if (channel) opts.broadcast_channel = channel->address();
+    opts.total_requests = per_client;
+    opts.warmup_requests = warmup;
+    opts.response_timeout = config.response_timeout;
+    opts.seed = config.seed + 31 + static_cast<std::uint64_t>(c) * 9973;
+    clients.push_back(std::make_unique<ClientNode>(
+        std::move(opts),
+        workload.make_source(scale, config.seed + 211 +
+                                        static_cast<std::uint64_t>(c) * 53)));
+  }
+
+  const SimTime started = net::monotonic_now();
+  std::vector<std::thread> client_threads;
+  client_threads.reserve(clients.size());
+  for (auto& client : clients) {
+    client_threads.emplace_back([&client] { client->run(); });
+  }
+  for (auto& thread : client_threads) thread.join();
+  const SimTime finished = net::monotonic_now();
+
+  // --- collect ---------------------------------------------------------------
+  PrototypeResult result;
+  for (auto& client : clients) result.clients.merge(client->stats());
+  for (auto& server : servers) {
+    const ServerCounters counters = server->counters();
+    result.servers.requests_served += counters.requests_served;
+    result.servers.inquiries_answered += counters.inquiries_answered;
+    result.servers.max_queue_length =
+        std::max(result.servers.max_queue_length, counters.max_queue_length);
+    result.servers.send_failures += counters.send_failures;
+  }
+  result.offered_load = offered_load;
+  result.wall_sec = to_sec(finished - started);
+  result.throughput = result.wall_sec > 0.0
+                          ? static_cast<double>(result.clients.completed) /
+                                result.wall_sec
+                          : 0.0;
+
+  for (auto& server : servers) server->stop();
+  if (manager) manager->stop();
+  if (channel) channel->stop();
+  if (directory) directory->stop();
+  return result;
+}
+
+double calibrate_overhead(const Workload& workload, std::int64_t requests,
+                          std::uint64_t seed) {
+  PrototypeConfig config;
+  config.servers = 1;
+  config.clients = 1;
+  config.policy = PolicyConfig::random();
+  config.load = 0.05;  // essentially unloaded: responses measure pure cost
+  config.total_requests = requests;
+  config.use_directory = false;
+  config.inject_busy_reply_delay = false;
+  config.per_request_overhead_sec = 0.0;
+  config.seed = seed;
+  const PrototypeResult result = run_prototype(config, workload);
+  const double overhead_sec =
+      result.clients.response_ms.mean() / 1e3 - workload.mean_service_sec();
+  return std::max(overhead_sec, 0.0);
+}
+
+}  // namespace finelb::cluster

@@ -1,0 +1,78 @@
+// Prototype experiment orchestration (paper §4).
+//
+// Assembles the full Figure 5 system on one host: N server nodes, an
+// optional availability directory the servers publish into, an optional
+// centralized load-index manager (IDEAL only), and C client nodes each
+// running on its own thread. Returns merged client statistics plus server
+// counters — the measurements behind Figure 6 and Table 2.
+//
+// Load calibration: the paper defines 100% load empirically (98% of
+// single-server requests completing within 2 s) because real overheads make
+// the analytic rho optimistic. We fold those overheads into an effective
+// per-request cost (mean service time + per_request_overhead) and size the
+// aggregate arrival rate as  servers * load / effective_service_time.
+// `calibrate_overhead()` measures the overhead with a short single-server
+// probe, mirroring the spirit of the paper's calibration without its
+// multi-minute search.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/client_node.h"
+#include "cluster/server_node.h"
+#include "core/policy.h"
+#include "workload/workload.h"
+
+namespace finelb::cluster {
+
+struct PrototypeConfig {
+  int servers = 16;
+  int clients = 6;
+  PolicyConfig policy;
+  /// Target per-server load in (0, 1).
+  double load = 0.9;
+  /// Total accesses across all clients.
+  std::int64_t total_requests = 20'000;
+  /// Leading accesses per client excluded from statistics.
+  std::int64_t warmup_fraction_percent = 10;
+  int worker_threads_per_server = 1;
+  /// Run service availability through a directory (publish/subscribe) as in
+  /// the paper, instead of wiring endpoints statically.
+  bool use_directory = true;
+  /// Busy-reply delay injection at the load-index servers (DESIGN.md §3,
+  /// server_node.h for the model). Values here override ServerOptions
+  /// defaults; busy_slow_prob = 0 keeps only the short stack tail.
+  bool inject_busy_reply_delay = true;
+  double busy_reply_alpha = 1.3;
+  SimDuration busy_reply_xm = from_us(80);
+  double busy_slow_prob = 0.05;
+  /// Per-request overhead (seconds) folded into load calibration; covers
+  /// messaging, context switches, and client bookkeeping.
+  double per_request_overhead_sec = 400e-6;
+  SimDuration response_timeout = 2 * kSecond;
+  std::uint64_t seed = 1;
+};
+
+struct PrototypeResult {
+  ClientStats clients;
+  ServerCounters servers;
+  /// Effective offered per-server load after overhead adjustment.
+  double offered_load = 0.0;
+  /// Wall-clock duration of the measurement (seconds).
+  double wall_sec = 0.0;
+  /// Aggregate completed-request throughput (1/s).
+  double throughput = 0.0;
+};
+
+/// Runs one full prototype experiment; blocking.
+PrototypeResult run_prototype(const PrototypeConfig& config,
+                              const Workload& workload);
+
+/// Measures the per-request overhead on this host with a single-server,
+/// single-client random-policy probe at low load: overhead = mean measured
+/// response - mean service demand. Used to refine
+/// PrototypeConfig::per_request_overhead_sec.
+double calibrate_overhead(const Workload& workload, std::int64_t requests = 500,
+                          std::uint64_t seed = 1);
+
+}  // namespace finelb::cluster

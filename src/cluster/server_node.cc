@@ -1,0 +1,277 @@
+#include "cluster/server_node.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "cluster/blocking_queue.h"
+#include "net/clock.h"
+#include "net/poller.h"
+
+namespace finelb::cluster {
+
+class ServerNode::Queue : public BlockingQueue<WorkItem> {};
+
+ServerNode::ServerNode(ServerOptions options)
+    : options_(options), queue_(std::make_unique<Queue>()) {
+  FINELB_CHECK(options_.worker_threads >= 1, "need at least one worker");
+  service_socket_.set_buffer_sizes(1 << 21);
+  load_socket_.set_buffer_sizes(1 << 21);
+}
+
+ServerNode::~ServerNode() { stop(); }
+
+net::Address ServerNode::service_address() const {
+  return service_socket_.local_address();
+}
+
+net::Address ServerNode::load_address() const {
+  return load_socket_.local_address();
+}
+
+void ServerNode::enable_publishing(const net::Address& directory,
+                                   std::string service,
+                                   std::uint32_t partition,
+                                   SimDuration interval, SimDuration ttl) {
+  FINELB_CHECK(!running_.load(), "enable_publishing must precede start()");
+  FINELB_CHECK(interval > 0 && ttl > 0, "publish interval and ttl required");
+  publish_enabled_ = true;
+  directory_ = directory;
+  publish_service_ = std::move(service);
+  publish_partition_ = partition;
+  publish_interval_ = interval;
+  publish_ttl_ = ttl;
+}
+
+void ServerNode::enable_load_broadcast(const net::Address& channel,
+                                       SimDuration mean_interval,
+                                       bool jitter) {
+  FINELB_CHECK(!started_, "enable_load_broadcast must precede start()");
+  FINELB_CHECK(mean_interval > 0, "broadcast interval must be positive");
+  broadcast_enabled_ = true;
+  broadcast_channel_ = channel;
+  broadcast_interval_ = mean_interval;
+  broadcast_jitter_ = jitter;
+}
+
+void ServerNode::start() {
+  FINELB_CHECK(!started_, "server nodes are single-shot: already started");
+  started_ = true;
+  running_.store(true);
+  threads_.emplace_back([this] { service_recv_loop(); });
+  threads_.emplace_back([this] { load_recv_loop(); });
+  for (int i = 0; i < options_.worker_threads; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+  if (publish_enabled_) {
+    threads_.emplace_back([this] { publish_loop(); });
+  }
+  if (broadcast_enabled_) {
+    threads_.emplace_back([this] { broadcast_loop(); });
+  }
+}
+
+void ServerNode::stop() {
+  if (!running_.exchange(false)) return;
+  queue_->close();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+void ServerNode::service_recv_loop() {
+  net::Poller poller;
+  poller.add(service_socket_.fd(), 0);
+  std::array<std::uint8_t, 256> buf{};
+  while (running_.load(std::memory_order_relaxed)) {
+    if (poller.wait(50 * kMillisecond).empty()) continue;
+    while (auto dgram = service_socket_.recv_from(buf)) {
+      WorkItem item;
+      try {
+        item.request = net::ServiceRequest::decode(
+            std::span(buf.data(), dgram->size));
+      } catch (const InvariantError&) {
+        FINELB_LOG(kWarn, "server") << "dropping malformed service request";
+        continue;
+      }
+      item.reply_to = dgram->from;
+      // Load index covers queued + in-service accesses: increment on
+      // acceptance, decrement after the response is sent (worker_loop).
+      item.queue_at_arrival = qlen_.fetch_add(1, std::memory_order_relaxed);
+      std::int32_t expected = max_qlen_.load(std::memory_order_relaxed);
+      const std::int32_t now_len = item.queue_at_arrival + 1;
+      while (now_len > expected &&
+             !max_qlen_.compare_exchange_weak(expected, now_len)) {
+      }
+      queue_->push(std::move(item));
+    }
+  }
+}
+
+void ServerNode::load_recv_loop() {
+  net::Poller poller;
+  poller.add(load_socket_.fd(), 0);
+  std::array<std::uint8_t, 64> buf{};
+  Rng rng(options_.seed * 2654435761u + 17);
+
+  // Replies whose injected busy delay has not elapsed yet. Delays must not
+  // be served by sleeping inline: concurrent inquiries would queue behind
+  // one another and the delays would compound far beyond the modelled
+  // distribution.
+  struct DelayedReply {
+    std::uint64_t seq;
+    net::Address to;
+    SimTime due;
+  };
+  std::vector<DelayedReply> delayed;
+
+  const auto send_reply = [this](std::uint64_t seq, const net::Address& to) {
+    net::LoadReply reply;
+    reply.seq = seq;
+    // Queue length at *reply* time: the paper's slow replies carry stale
+    // indexes precisely because the queue moved while they waited.
+    reply.queue_length = qlen_.load(std::memory_order_relaxed);
+    if (!load_socket_.send_to(reply.encode(), to)) {
+      send_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+    inquiries_.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  while (running_.load(std::memory_order_relaxed)) {
+    SimDuration wait = 50 * kMillisecond;
+    if (!delayed.empty()) {
+      SimTime earliest = delayed.front().due;
+      for (const DelayedReply& d : delayed) earliest = std::min(earliest, d.due);
+      wait = std::clamp<SimDuration>(earliest - net::monotonic_now(), 0, wait);
+    }
+    poller.wait(wait);
+    while (auto dgram = load_socket_.recv_from(buf)) {
+      net::LoadInquiry inquiry;
+      try {
+        inquiry = net::LoadInquiry::decode(std::span(buf.data(), dgram->size));
+      } catch (const InvariantError&) {
+        continue;
+      }
+      const std::int32_t qlen = qlen_.load(std::memory_order_relaxed);
+      if (options_.inject_busy_reply_delay && qlen > 0) {
+        // Scheduler-contention stand-in (see header comment): rare long
+        // stall or short heavy-tailed stack delay.
+        SimDuration delay = 0;
+        if (rng.bernoulli(options_.busy_slow_prob)) {
+          delay = std::min<SimDuration>(
+              options_.busy_slow_min +
+                  static_cast<SimDuration>(rng.exponential(
+                      static_cast<double>(options_.busy_slow_excess))),
+              options_.busy_slow_cap);
+        } else {
+          const double u = std::max(1.0 - rng.uniform01(), 1e-12);
+          const double delay_ns =
+              static_cast<double>(options_.busy_reply_xm) *
+              std::pow(u, -1.0 / options_.busy_reply_alpha);
+          delay = std::min(static_cast<SimDuration>(delay_ns),
+                           options_.busy_reply_cap);
+        }
+        delayed.push_back(
+            {inquiry.seq, dgram->from, net::monotonic_now() + delay});
+      } else {
+        send_reply(inquiry.seq, dgram->from);
+      }
+    }
+    if (!delayed.empty()) {
+      const SimTime now = net::monotonic_now();
+      for (std::size_t i = 0; i < delayed.size();) {
+        if (delayed[i].due <= now) {
+          send_reply(delayed[i].seq, delayed[i].to);
+          delayed[i] = delayed.back();
+          delayed.pop_back();
+        } else {
+          ++i;
+        }
+      }
+    }
+  }
+}
+
+void ServerNode::worker_loop() {
+  while (true) {
+    auto item = queue_->pop();
+    if (!item) return;  // queue closed and drained
+    const SimTime deadline =
+        net::monotonic_now() +
+        static_cast<SimDuration>(item->request.service_us) * kMicrosecond;
+    if (options_.spin_service) {
+      net::spin_until(deadline);
+    } else {
+      net::sleep_until(deadline);
+    }
+    net::ServiceResponse response;
+    response.request_id = item->request.request_id;
+    response.server = options_.id;
+    response.queue_at_arrival = item->queue_at_arrival;
+    if (!service_socket_.send_to(response.encode(), item->reply_to)) {
+      send_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+    qlen_.fetch_sub(1, std::memory_order_relaxed);
+    served_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ServerNode::publish_loop() {
+  net::UdpSocket publish_socket;
+  net::Publish announcement;
+  announcement.service = publish_service_;
+  announcement.partition = publish_partition_;
+  announcement.server = options_.id;
+  announcement.service_port = service_address().port;
+  announcement.load_port = load_address().port;
+  announcement.ttl_ms = static_cast<std::uint32_t>(to_ms(publish_ttl_));
+  const auto payload = announcement.encode();
+  while (running_.load(std::memory_order_relaxed)) {
+    publish_socket.send_to(payload, directory_);
+    // Wake periodically so stop() is honoured promptly even with long
+    // publish intervals.
+    const SimTime until = net::monotonic_now() + publish_interval_;
+    while (running_.load(std::memory_order_relaxed) &&
+           net::monotonic_now() < until) {
+      net::sleep_for(std::min<SimDuration>(publish_interval_,
+                                           20 * kMillisecond));
+    }
+  }
+}
+
+void ServerNode::broadcast_loop() {
+  net::UdpSocket broadcast_socket;
+  Rng rng(options_.seed * 40503u + 271);
+  const auto mean = static_cast<double>(broadcast_interval_);
+  while (running_.load(std::memory_order_relaxed)) {
+    net::LoadAnnounce announcement;
+    announcement.server = options_.id;
+    announcement.queue_length = qlen_.load(std::memory_order_relaxed);
+    broadcast_socket.send_to(announcement.encode(), broadcast_channel_);
+    const SimDuration interval =
+        broadcast_jitter_
+            ? static_cast<SimDuration>(rng.uniform(0.5 * mean, 1.5 * mean))
+            : broadcast_interval_;
+    // Sleep in slices so stop() is honoured promptly at long intervals.
+    const SimTime until = net::monotonic_now() + interval;
+    while (running_.load(std::memory_order_relaxed) &&
+           net::monotonic_now() < until) {
+      net::sleep_for(std::min<SimDuration>(until - net::monotonic_now(),
+                                           20 * kMillisecond));
+    }
+  }
+}
+
+ServerCounters ServerNode::counters() const {
+  ServerCounters c;
+  c.requests_served = served_.load();
+  c.inquiries_answered = inquiries_.load();
+  c.max_queue_length = max_qlen_.load();
+  c.send_failures = send_failures_.load();
+  return c;
+}
+
+}  // namespace finelb::cluster

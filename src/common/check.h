@@ -1,0 +1,53 @@
+// Invariant checking and error reporting.
+//
+// FINELB_CHECK is for programmer errors and violated invariants: it throws
+// `finelb::InvariantError` (rather than aborting) so tests can assert on
+// misuse and long-running experiment harnesses can fail one experiment
+// without killing the process. System-call failures in the networking layer
+// use `finelb::SysError`, which captures errno.
+#pragma once
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace finelb {
+
+/// Thrown when an internal invariant or precondition is violated.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a system call fails; carries the errno value.
+class SysError : public std::runtime_error {
+ public:
+  SysError(const std::string& what, int err)
+      : std::runtime_error(what + ": " + std::strerror(err)), errno_(err) {}
+
+  int sys_errno() const { return errno_; }
+
+ private:
+  int errno_;
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  throw InvariantError(std::string(file) + ":" + std::to_string(line) +
+                       ": check failed: " + expr +
+                       (msg.empty() ? "" : " (" + msg + ")"));
+}
+
+}  // namespace finelb
+
+#define FINELB_CHECK(expr, ...)                                       \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::finelb::check_failed(#expr, __FILE__, __LINE__,               \
+                             ::std::string{__VA_ARGS__});             \
+    }                                                                 \
+  } while (false)
+
+/// Throws SysError for a failed system call, capturing the current errno.
+#define FINELB_THROW_ERRNO(what) throw ::finelb::SysError((what), errno)

@@ -1,0 +1,132 @@
+#include "common/flags.h"
+
+#include <charconv>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace finelb {
+namespace {
+
+std::vector<std::string_view> split_commas(std::string_view s) {
+  std::vector<std::string_view> out;
+  while (!s.empty()) {
+    const auto comma = s.find(',');
+    out.push_back(s.substr(0, comma));
+    if (comma == std::string_view::npos) break;
+    s.remove_prefix(comma + 1);
+  }
+  return out;
+}
+
+double parse_double(std::string_view s) {
+  // std::from_chars<double> is available in libstdc++ 11+; use strtod via a
+  // bounded copy to keep behaviour identical across toolchains.
+  const std::string copy(s);
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  FINELB_CHECK(end == copy.c_str() + copy.size() && !copy.empty(),
+               "malformed number: " + copy);
+  return value;
+}
+
+std::int64_t parse_int(std::string_view s) {
+  std::int64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  FINELB_CHECK(ec == std::errc{} && ptr == s.data() + s.size(),
+               "malformed integer: " + std::string(s));
+  return value;
+}
+
+}  // namespace
+
+Flags Flags::parse(int argc, const char* const* argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const std::string_view body = arg.substr(2);
+      const auto eq = body.find('=');
+      const std::string_view key =
+          eq == std::string_view::npos ? body : body.substr(0, eq);
+      FINELB_CHECK(!key.empty(), "empty flag name in " + std::string(arg));
+      const std::string_view value =
+          eq == std::string_view::npos ? "true" : body.substr(eq + 1);
+      flags.values_[std::string(key)] = std::string(value);
+    } else {
+      flags.positional_.emplace_back(arg);
+    }
+  }
+  return flags;
+}
+
+bool Flags::has(std::string_view key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return false;
+  used_[it->first] = true;
+  return true;
+}
+
+std::string Flags::get_string(std::string_view key,
+                              std::string_view def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::string(def);
+  used_[it->first] = true;
+  return it->second;
+}
+
+double Flags::get_double(std::string_view key, double def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  used_[it->first] = true;
+  return parse_double(it->second);
+}
+
+std::int64_t Flags::get_int(std::string_view key, std::int64_t def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  used_[it->first] = true;
+  return parse_int(it->second);
+}
+
+bool Flags::get_bool(std::string_view key, bool def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  used_[it->first] = true;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<double> Flags::get_double_list(std::string_view key,
+                                           std::vector<double> def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  used_[it->first] = true;
+  std::vector<double> out;
+  for (const auto piece : split_commas(it->second)) {
+    out.push_back(parse_double(piece));
+  }
+  return out;
+}
+
+std::vector<std::int64_t> Flags::get_int_list(
+    std::string_view key, std::vector<std::int64_t> def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  used_[it->first] = true;
+  std::vector<std::int64_t> out;
+  for (const auto piece : split_commas(it->second)) {
+    out.push_back(parse_int(piece));
+  }
+  return out;
+}
+
+std::vector<std::string> Flags::unused_keys() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : values_) {
+    (void)value;
+    if (!used_.count(key)) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace finelb

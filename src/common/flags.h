@@ -1,0 +1,48 @@
+// Tiny --key=value command-line parser used by the benchmark harnesses and
+// examples. Not a general-purpose flags library: no registration, just typed
+// lookup with defaults, which keeps each harness's parameter handling local
+// and obvious.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace finelb {
+
+class Flags {
+ public:
+  /// Parses argv of the form: prog --a=1 --b=two --flag positional ...
+  /// "--flag" without '=' is stored with value "true". Positional arguments
+  /// are collected in order. Throws InvariantError on malformed input
+  /// (e.g. "--=x").
+  static Flags parse(int argc, const char* const* argv);
+
+  bool has(std::string_view key) const;
+
+  std::string get_string(std::string_view key, std::string_view def) const;
+  double get_double(std::string_view key, double def) const;
+  std::int64_t get_int(std::string_view key, std::int64_t def) const;
+  bool get_bool(std::string_view key, bool def) const;
+
+  /// Comma-separated list of doubles, e.g. --loads=0.5,0.6,0.7.
+  std::vector<double> get_double_list(std::string_view key,
+                                      std::vector<double> def) const;
+  /// Comma-separated list of integers, e.g. --poll-sizes=2,3,4,8.
+  std::vector<std::int64_t> get_int_list(std::string_view key,
+                                         std::vector<std::int64_t> def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Keys that were provided but never read; harnesses call this after
+  /// parsing their parameters to reject typos like --pol-size.
+  std::vector<std::string> unused_keys() const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+  mutable std::map<std::string, bool, std::less<>> used_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace finelb

@@ -1,0 +1,58 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace finelb {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_write_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+LogLevel parse_log_level(std::string_view name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "error") return LogLevel::kError;
+  return LogLevel::kWarn;
+}
+
+namespace detail {
+
+void log_line(LogLevel level, std::string_view component,
+              std::string_view message) {
+  std::string line;
+  line.reserve(component.size() + message.size() + 16);
+  line += "[";
+  line += level_name(level);
+  line += "] ";
+  line += component;
+  line += ": ";
+  line += message;
+  line += "\n";
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::fputs(line.c_str(), stderr);
+}
+
+}  // namespace detail
+}  // namespace finelb

@@ -1,0 +1,56 @@
+// Minimal leveled logger.
+//
+// The experiment harnesses print their results on stdout; diagnostic logging
+// goes to stderr through this logger so result streams stay machine-parsable.
+// Thread-safe: each log call formats into a local buffer and issues a single
+// write under a mutex, so concurrent cluster-node logs do not interleave.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace finelb {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped. Default is
+/// kWarn so library users are not spammed unless they opt in.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Parses "debug"/"info"/"warn"/"error"; returns kWarn for unknown names.
+LogLevel parse_log_level(std::string_view name);
+
+namespace detail {
+void log_line(LogLevel level, std::string_view component,
+              std::string_view message);
+
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogStream() { log_line(level_, component_, stream_.str()); }
+
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <class T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace finelb
+
+// Usage: FINELB_LOG(kInfo, "cluster") << "node " << id << " up";
+#define FINELB_LOG(level, component)                                   \
+  if (::finelb::LogLevel::level < ::finelb::log_level()) {             \
+  } else                                                               \
+    ::finelb::detail::LogStream(::finelb::LogLevel::level, (component))

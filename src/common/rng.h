@@ -1,0 +1,73 @@
+// Deterministic pseudo-random number generation.
+//
+// finelb implements its own engine (xoshiro256**, seeded through SplitMix64)
+// instead of relying on std:: engines so that every experiment is bit-exact
+// reproducible across standard-library implementations. The engine satisfies
+// the C++ UniformRandomBitGenerator concept, so it can also feed std::
+// distributions where convenient; the samplers the experiments depend on
+// (uniform, exponential, normal, lognormal) are implemented here with fixed
+// algorithms for the same reproducibility reason.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace finelb {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm),
+/// reimplemented here. Period 2^256-1; passes BigCrush; fast enough that RNG
+/// never shows up in simulation profiles.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single 64-bit seed via SplitMix64,
+  /// as recommended by the xoshiro authors (avoids correlated low-entropy
+  /// states when users pass small seeds like 0, 1, 2, ...).
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()();
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Uses Lemire's multiply-shift rejection method
+  /// to avoid modulo bias. Requires n > 0.
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Exponential with the given mean (mean = 1/rate). Requires mean > 0.
+  double exponential(double mean);
+
+  /// Standard normal via Box-Muller (deterministic two-at-a-time caching).
+  double normal(double mu, double sigma);
+
+  /// Lognormal parameterized by the *underlying* normal's mu/sigma.
+  double lognormal(double mu, double sigma);
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p);
+
+  /// Derives an independent child generator; used to give each simulation
+  /// entity its own stream so entity ordering does not perturb sampling.
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// SplitMix64 step; exposed for tests and for hashing-style uses (e.g. seed
+/// derivation for per-node generators in the cluster runtime).
+std::uint64_t splitmix64(std::uint64_t& state);
+
+}  // namespace finelb

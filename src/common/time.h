@@ -1,0 +1,64 @@
+// Simulation-time representation shared by every finelb component.
+//
+// Simulated time is an integer nanosecond count (`SimTime`): integer ticks
+// keep event ordering deterministic across platforms and make equality
+// comparisons exact, which floating-point seconds would not. Durations share
+// the same representation (`SimDuration`). Helpers convert to/from the
+// human-scale units the paper uses (milliseconds and microseconds).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace finelb {
+
+/// Absolute simulated time in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+/// Simulated duration in nanoseconds (may be negative for differences).
+using SimDuration = std::int64_t;
+
+constexpr SimDuration kNanosecond = 1;
+constexpr SimDuration kMicrosecond = 1'000;
+constexpr SimDuration kMillisecond = 1'000'000;
+constexpr SimDuration kSecond = 1'000'000'000;
+
+/// Converts a duration expressed in (possibly fractional) milliseconds.
+constexpr SimDuration from_ms(double ms) {
+  return static_cast<SimDuration>(ms * static_cast<double>(kMillisecond));
+}
+
+/// Converts a duration expressed in (possibly fractional) microseconds.
+constexpr SimDuration from_us(double us) {
+  return static_cast<SimDuration>(us * static_cast<double>(kMicrosecond));
+}
+
+/// Converts a duration expressed in (possibly fractional) seconds.
+constexpr SimDuration from_sec(double sec) {
+  return static_cast<SimDuration>(sec * static_cast<double>(kSecond));
+}
+
+constexpr double to_ms(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+constexpr double to_us(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+
+constexpr double to_sec(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Converts a simulated duration to a wall-clock chrono duration. Used by the
+/// prototype runtime, which executes service times in real time.
+constexpr std::chrono::nanoseconds to_chrono(SimDuration d) {
+  return std::chrono::nanoseconds(d);
+}
+
+/// Converts a wall-clock chrono duration into the simulated representation.
+template <class Rep, class Period>
+constexpr SimDuration from_chrono(std::chrono::duration<Rep, Period> d) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(d).count();
+}
+
+}  // namespace finelb

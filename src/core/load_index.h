@@ -1,0 +1,28 @@
+// Load index definitions.
+//
+// Following the paper (§2.1, citing Ferrari and Zhou), the server load index
+// is the total number of active service accesses on the server — queued plus
+// in service. An index travels with the time it was measured so consumers
+// can reason about staleness (the Figure 2 study quantifies exactly this).
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+
+namespace finelb {
+
+/// Dense server identifier; experiments index servers 0..N-1.
+using ServerId = std::int32_t;
+constexpr ServerId kInvalidServer = -1;
+
+/// A server's load index as observed by some client.
+struct ServerLoad {
+  ServerId server = kInvalidServer;
+  /// Queue length (active accesses: waiting + in service).
+  std::int32_t queue_length = 0;
+  /// When the index was measured (simulated or wall time, ns).
+  SimTime measured_at = 0;
+};
+
+}  // namespace finelb

@@ -1,0 +1,104 @@
+#include "core/policy.h"
+
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+
+namespace finelb {
+
+PolicyConfig PolicyConfig::random() {
+  PolicyConfig c;
+  c.kind = PolicyKind::kRandom;
+  return c;
+}
+
+PolicyConfig PolicyConfig::round_robin() {
+  PolicyConfig c;
+  c.kind = PolicyKind::kRoundRobin;
+  return c;
+}
+
+PolicyConfig PolicyConfig::ideal() {
+  PolicyConfig c;
+  c.kind = PolicyKind::kIdeal;
+  return c;
+}
+
+PolicyConfig PolicyConfig::polling(int poll_size, SimDuration discard_timeout) {
+  FINELB_CHECK(poll_size >= 1, "poll size must be at least 1");
+  FINELB_CHECK(discard_timeout >= 0, "discard timeout must be non-negative");
+  PolicyConfig c;
+  c.kind = PolicyKind::kPolling;
+  c.poll_size = poll_size;
+  c.discard_timeout = discard_timeout;
+  return c;
+}
+
+PolicyConfig PolicyConfig::broadcast(SimDuration mean_interval, bool jitter) {
+  FINELB_CHECK(mean_interval > 0, "broadcast interval must be positive");
+  PolicyConfig c;
+  c.kind = PolicyKind::kBroadcast;
+  c.broadcast_interval = mean_interval;
+  c.broadcast_jitter = jitter;
+  return c;
+}
+
+std::string PolicyConfig::describe() const {
+  std::ostringstream os;
+  switch (kind) {
+    case PolicyKind::kRandom:
+      os << "random";
+      break;
+    case PolicyKind::kRoundRobin:
+      os << "round-robin";
+      break;
+    case PolicyKind::kIdeal:
+      os << "ideal";
+      break;
+    case PolicyKind::kPolling:
+      os << "polling(" << poll_size;
+      if (discard_timeout > 0) {
+        os << ",discard=" << to_ms(discard_timeout) << "ms";
+      }
+      if (poll_memory) os << ",memory";
+      os << ")";
+      break;
+    case PolicyKind::kBroadcast:
+      os << "broadcast(" << to_ms(broadcast_interval) << "ms";
+      if (!broadcast_jitter) os << ",fixed";
+      if (optimistic_increment) os << ",optimistic";
+      os << ")";
+      break;
+  }
+  return os.str();
+}
+
+PolicyConfig parse_policy(const std::string& spec) {
+  std::vector<std::string> parts;
+  std::istringstream is(spec);
+  std::string piece;
+  while (std::getline(is, piece, ':')) parts.push_back(piece);
+  FINELB_CHECK(!parts.empty(), "empty policy spec");
+
+  const std::string& name = parts[0];
+  if (name == "random") return PolicyConfig::random();
+  if (name == "rr" || name == "round_robin") return PolicyConfig::round_robin();
+  if (name == "ideal") return PolicyConfig::ideal();
+  if (name == "polling") {
+    FINELB_CHECK(parts.size() >= 2 && parts.size() <= 3,
+                 "polling spec: polling:<d>[:<discard_ms>]");
+    const int d = std::stoi(parts[1]);
+    const SimDuration timeout =
+        parts.size() == 3 ? from_ms(std::stod(parts[2])) : 0;
+    return PolicyConfig::polling(d, timeout);
+  }
+  if (name == "broadcast") {
+    FINELB_CHECK(parts.size() == 2, "broadcast spec: broadcast:<interval_ms>");
+    return PolicyConfig::broadcast(from_ms(std::stod(parts[1])));
+  }
+  FINELB_CHECK(false, "unknown policy: " + spec);
+  return {};
+}
+
+}  // namespace finelb

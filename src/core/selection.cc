@@ -1,0 +1,54 @@
+#include "core/selection.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace finelb {
+
+ServerId pick_random(std::span<const ServerId> candidates, Rng& rng) {
+  FINELB_CHECK(!candidates.empty(), "no candidate servers");
+  return candidates[rng.uniform_int(candidates.size())];
+}
+
+ServerId pick_least_loaded(std::span<const ServerLoad> loads, Rng& rng) {
+  FINELB_CHECK(!loads.empty(), "no load observations");
+  std::int32_t best = loads.front().queue_length;
+  // Reservoir-style single pass: among entries tied at the minimum, each is
+  // kept with probability 1/ties_seen, which yields a uniform tie-break.
+  ServerId chosen = loads.front().server;
+  std::uint64_t ties = 1;
+  for (std::size_t i = 1; i < loads.size(); ++i) {
+    const auto& entry = loads[i];
+    if (entry.queue_length < best) {
+      best = entry.queue_length;
+      chosen = entry.server;
+      ties = 1;
+    } else if (entry.queue_length == best) {
+      ++ties;
+      if (rng.uniform_int(ties) == 0) chosen = entry.server;
+    }
+  }
+  return chosen;
+}
+
+std::vector<ServerId> choose_poll_set(std::span<const ServerId> candidates,
+                                      std::size_t d, Rng& rng) {
+  FINELB_CHECK(!candidates.empty(), "no candidate servers");
+  const std::size_t n = candidates.size();
+  const std::size_t k = std::min(d, n);
+  std::vector<ServerId> scratch(candidates.begin(), candidates.end());
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + rng.uniform_int(n - i);
+    std::swap(scratch[i], scratch[j]);
+  }
+  scratch.resize(k);
+  return scratch;
+}
+
+ServerId RoundRobinCursor::next(std::span<const ServerId> candidates) {
+  FINELB_CHECK(!candidates.empty(), "no candidate servers");
+  return candidates[cursor_++ % candidates.size()];
+}
+
+}  // namespace finelb

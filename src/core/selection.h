@@ -1,0 +1,42 @@
+// Server-selection primitives shared by the simulator and the prototype.
+//
+// All load-balancing policies in the paper reduce to two mechanisms: pick a
+// uniformly random subset of servers to consider, and send the request to
+// the least-loaded server among those with known indexes. Tie-breaking is
+// uniformly random — deterministic tie-breaking (e.g. lowest id) recreates
+// the flocking pathology the paper describes for the broadcast policy even
+// in policies that should not have it.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/load_index.h"
+
+namespace finelb {
+
+/// Uniformly random element of `candidates`; requires non-empty.
+ServerId pick_random(std::span<const ServerId> candidates, Rng& rng);
+
+/// The server with the smallest queue length, random tie-break. Requires
+/// non-empty `loads`.
+ServerId pick_least_loaded(std::span<const ServerLoad> loads, Rng& rng);
+
+/// Chooses min(d, candidates.size()) *distinct* servers uniformly at random
+/// (the poll set of the random polling policy). Uses a partial
+/// Fisher-Yates shuffle over an index scratch vector: O(d) swaps.
+std::vector<ServerId> choose_poll_set(std::span<const ServerId> candidates,
+                                      std::size_t d, Rng& rng);
+
+/// Round-robin cursor with a stable candidate ordering; used as a baseline
+/// policy beyond the paper's set.
+class RoundRobinCursor {
+ public:
+  ServerId next(std::span<const ServerId> candidates);
+
+ private:
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace finelb

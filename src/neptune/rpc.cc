@@ -1,0 +1,61 @@
+#include "neptune/rpc.h"
+
+#include "common/check.h"
+
+namespace finelb::neptune {
+namespace {
+// Keep well under the 64 KiB UDP datagram ceiling, leaving header room.
+constexpr std::size_t kMaxPayload = 60 * 1024;
+}  // namespace
+
+std::vector<std::uint8_t> RpcRequest::encode() const {
+  FINELB_CHECK(args.size() <= kMaxPayload, "RPC args exceed datagram limit");
+  net::Writer w;
+  w.u8(kRpcRequestTag);
+  w.u64(request_id);
+  w.u16(method);
+  w.u32(partition);
+  w.blob(args);
+  return std::move(w).take();
+}
+
+RpcRequest RpcRequest::decode(std::span<const std::uint8_t> data) {
+  net::Reader r(data);
+  FINELB_CHECK(r.u8() == kRpcRequestTag, "not an RPC request");
+  RpcRequest m;
+  m.request_id = r.u64();
+  m.method = r.u16();
+  m.partition = r.u32();
+  m.args = r.blob();
+  return m;
+}
+
+std::vector<std::uint8_t> RpcResponse::encode() const {
+  FINELB_CHECK(result.size() <= kMaxPayload,
+               "RPC result exceeds datagram limit");
+  net::Writer w;
+  w.u8(kRpcResponseTag);
+  w.u64(request_id);
+  w.u8(static_cast<std::uint8_t>(status));
+  w.i32(server);
+  w.i32(queue_at_arrival);
+  w.blob(result);
+  return std::move(w).take();
+}
+
+RpcResponse RpcResponse::decode(std::span<const std::uint8_t> data) {
+  net::Reader r(data);
+  FINELB_CHECK(r.u8() == kRpcResponseTag, "not an RPC response");
+  RpcResponse m;
+  m.request_id = r.u64();
+  const std::uint8_t status = r.u8();
+  FINELB_CHECK(status <= static_cast<std::uint8_t>(RpcStatus::kAppError),
+               "unknown RPC status on the wire");
+  m.status = static_cast<RpcStatus>(status);
+  m.server = r.i32();
+  m.queue_at_arrival = r.i32();
+  m.result = r.blob();
+  return m;
+}
+
+}  // namespace finelb::neptune

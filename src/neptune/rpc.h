@@ -1,0 +1,57 @@
+// Neptune-style RPC messages (paper §3.1).
+//
+// "Neptune encapsulates an application-level network service through a
+// service access interface which contains several RPC-like access methods.
+// Each service access through one of these methods can be fulfilled
+// exclusively on one data partition."
+//
+// An RpcRequest names a method (small integer chosen by the service),
+// the data partition the access is bound to, and an opaque argument blob;
+// the RpcResponse carries a status, the result blob, and the queue length
+// observed on arrival (the same diagnostic the load-balancing experiments
+// use). Transport is a UDP datagram per message, like the rest of the
+// prototype; payloads must fit one datagram (~60 KiB ceiling, checked).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/wire.h"
+
+namespace finelb::neptune {
+
+enum class RpcStatus : std::uint8_t {
+  kOk = 0,
+  kNoSuchMethod = 1,
+  kNoSuchPartition = 2,
+  kAppError = 3,
+};
+
+/// Message type tags; disjoint from net::MsgType so a service socket can
+/// never confuse an experiment datagram with an RPC.
+constexpr std::uint8_t kRpcRequestTag = 21;
+constexpr std::uint8_t kRpcResponseTag = 22;
+
+struct RpcRequest {
+  std::uint64_t request_id = 0;
+  std::uint16_t method = 0;
+  std::uint32_t partition = 0;
+  std::vector<std::uint8_t> args;
+
+  std::vector<std::uint8_t> encode() const;
+  static RpcRequest decode(std::span<const std::uint8_t> data);
+};
+
+struct RpcResponse {
+  std::uint64_t request_id = 0;
+  RpcStatus status = RpcStatus::kOk;
+  std::int32_t server = 0;
+  std::int32_t queue_at_arrival = 0;
+  std::vector<std::uint8_t> result;
+
+  std::vector<std::uint8_t> encode() const;
+  static RpcResponse decode(std::span<const std::uint8_t> data);
+};
+
+}  // namespace finelb::neptune

@@ -1,0 +1,190 @@
+#include "neptune/service_client.h"
+
+#include <array>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "net/clock.h"
+
+namespace finelb::neptune {
+namespace {
+
+std::uint64_t address_key(const net::Address& addr) {
+  return (static_cast<std::uint64_t>(addr.host) << 16) | addr.port;
+}
+
+}  // namespace
+
+ServiceClient::ServiceClient(ServiceClientOptions options)
+    : options_(std::move(options)),
+      directory_(options_.directory),
+      rng_(options_.seed) {
+  FINELB_CHECK(!options_.service_name.empty(), "service name required");
+  FINELB_CHECK(options_.max_attempts >= 1, "need at least one attempt");
+  FINELB_CHECK(options_.policy.kind == PolicyKind::kRandom ||
+                   options_.policy.kind == PolicyKind::kRoundRobin ||
+                   options_.policy.kind == PolicyKind::kPolling,
+               "service client supports random, round-robin, and polling");
+  refresh_mapping(/*force=*/true);
+}
+
+void ServiceClient::refresh_mapping(bool force) {
+  const SimTime now = net::monotonic_now();
+  if (!force && now - mapping_fetched_at_ < options_.mapping_refresh) return;
+  mapping_.clear();
+  for (const auto& endpoint : directory_.fetch(options_.service_name)) {
+    mapping_[endpoint.partition].push_back(endpoint);
+  }
+  mapping_fetched_at_ = now;
+  ++stats_.mapping_refreshes;
+}
+
+std::size_t ServiceClient::replicas(std::uint32_t partition) {
+  refresh_mapping(/*force=*/false);
+  const auto it = mapping_.find(partition);
+  return it == mapping_.end() ? 0 : it->second.size();
+}
+
+net::UdpSocket& ServiceClient::poll_socket_for(const net::Address& addr) {
+  const std::uint64_t key = address_key(addr);
+  const auto it = poll_sockets_.find(key);
+  if (it != poll_sockets_.end()) return it->second;
+  net::UdpSocket socket;
+  socket.connect(addr);
+  return poll_sockets_.emplace(key, std::move(socket)).first->second;
+}
+
+std::size_t ServiceClient::choose(
+    const std::vector<cluster::ServiceEndpoint>& group) {
+  if (group.size() == 1) return 0;
+  switch (options_.policy.kind) {
+    case PolicyKind::kRandom:
+      return rng_.uniform_int(group.size());
+    case PolicyKind::kRoundRobin: {
+      // Cursor over indices; ids may be sparse so cycle positions instead.
+      std::vector<ServerId> positions(group.size());
+      for (std::size_t i = 0; i < group.size(); ++i) {
+        positions[i] = static_cast<ServerId>(i);
+      }
+      return static_cast<std::size_t>(rr_.next(positions));
+    }
+    case PolicyKind::kPolling:
+      break;
+    default:
+      FINELB_CHECK(false, "unreachable: policy validated in constructor");
+  }
+
+  // Random polling over the replica group.
+  std::vector<ServerId> positions(group.size());
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    positions[i] = static_cast<ServerId>(i);
+  }
+  const auto targets = choose_poll_set(
+      positions, static_cast<std::size_t>(options_.policy.poll_size), rng_);
+
+  net::Poller poller;
+  std::map<std::uint64_t, std::size_t> seq_to_index;
+  for (const ServerId position : targets) {
+    const auto index = static_cast<std::size_t>(position);
+    net::UdpSocket& socket = poll_socket_for(group[index].load_addr);
+    net::LoadInquiry inquiry;
+    inquiry.seq = next_id_++;
+    if (!socket.send(inquiry.encode())) continue;
+    ++stats_.polls_sent;
+    seq_to_index[inquiry.seq] = index;
+    poller.add(socket.fd(), inquiry.seq);
+  }
+  if (seq_to_index.empty()) return rng_.uniform_int(group.size());
+
+  const SimDuration wait = options_.policy.discard_timeout > 0
+                               ? options_.policy.discard_timeout
+                               : options_.max_poll_wait;
+  const SimTime deadline = net::monotonic_now() + wait;
+  std::vector<ServerLoad> replies;
+  std::array<std::uint8_t, 64> buf{};
+  while (replies.size() < seq_to_index.size()) {
+    const SimDuration left = deadline - net::monotonic_now();
+    if (left <= 0) break;  // discard outstanding slow polls
+    for (const net::Ready& ready : poller.wait(left)) {
+      if (!ready.readable) continue;
+      const auto entry = seq_to_index.find(ready.tag);
+      if (entry == seq_to_index.end()) continue;
+      net::UdpSocket& socket =
+          poll_socket_for(group[entry->second].load_addr);
+      while (auto size = socket.recv(buf)) {
+        try {
+          const auto reply =
+              net::LoadReply::decode(std::span(buf.data(), *size));
+          if (reply.seq != entry->first) continue;  // stale reply
+          replies.push_back({static_cast<ServerId>(entry->second),
+                             reply.queue_length, net::monotonic_now()});
+        } catch (const InvariantError&) {
+        }
+      }
+    }
+  }
+  if (replies.empty()) return rng_.uniform_int(group.size());
+  return static_cast<std::size_t>(pick_least_loaded(replies, rng_));
+}
+
+CallResult ServiceClient::call(std::uint16_t method, std::uint32_t partition,
+                               std::span<const std::uint8_t> args) {
+  ++stats_.calls;
+  const SimTime started = net::monotonic_now();
+  CallResult result;
+
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retries;
+      refresh_mapping(/*force=*/true);  // replica set may have changed
+    } else {
+      refresh_mapping(/*force=*/false);
+    }
+    const auto group_it = mapping_.find(partition);
+    if (group_it == mapping_.end() || group_it->second.empty()) {
+      refresh_mapping(/*force=*/true);
+      continue;
+    }
+    const auto& group = group_it->second;
+    const std::size_t target = choose(group);
+
+    RpcRequest request;
+    request.request_id = next_id_++;
+    request.method = method;
+    request.partition = partition;
+    request.args.assign(args.begin(), args.end());
+    if (!rpc_socket_.send_to(request.encode(), group[target].service_addr)) {
+      continue;
+    }
+
+    net::Poller poller;
+    poller.add(rpc_socket_.fd(), 0);
+    std::vector<std::uint8_t> buf(64 * 1024);
+    const SimTime deadline = net::monotonic_now() + options_.rpc_timeout;
+    while (net::monotonic_now() < deadline) {
+      poller.wait(deadline - net::monotonic_now());
+      while (auto dgram = rpc_socket_.recv_from(buf)) {
+        RpcResponse response;
+        try {
+          response = RpcResponse::decode(std::span(buf.data(), dgram->size));
+        } catch (const InvariantError&) {
+          continue;
+        }
+        if (response.request_id != request.request_id) continue;  // stale
+        result.status = response.status;
+        result.transport_ok = true;
+        result.data = std::move(response.result);
+        result.server = response.server;
+        result.latency = net::monotonic_now() - started;
+        return result;
+      }
+    }
+    // Timed out: fall through to the next attempt on a fresh replica.
+  }
+  ++stats_.transport_failures;
+  result.transport_ok = false;
+  result.latency = net::monotonic_now() - started;
+  return result;
+}
+
+}  // namespace finelb::neptune

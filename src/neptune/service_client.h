@@ -1,0 +1,107 @@
+// Neptune service client: the client-side stub for accessing a replicated,
+// partitioned service (paper §3.1).
+//
+// "Conceptually, for each service access, the client first acquires the set
+// of available server nodes through a service availability subsystem. Then
+// it chooses one node from the available set through a load balancing
+// subsystem before sending the service request."
+//
+// This class packages those two steps behind one synchronous call():
+//   * availability — a service mapping table (partition -> live replicas)
+//     refreshed from the directory on an interval and on demand when a
+//     partition looks empty or an access times out;
+//   * load balancing — a core::PolicyConfig: random, round-robin, or
+//     random polling over the partition's replicas (with optional discard
+//     of slow polls).
+// Failed accesses are retried against a fresh replica choice, which is how
+// the flat architecture "operates smoothly in the presence of transient
+// failures".
+//
+// Thread-compatibility: one ServiceClient per thread; instances share
+// nothing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/directory.h"
+#include "common/rng.h"
+#include "core/policy.h"
+#include "core/selection.h"
+#include "net/poller.h"
+#include "net/socket.h"
+#include "neptune/rpc.h"
+
+namespace finelb::neptune {
+
+struct ServiceClientOptions {
+  std::string service_name;
+  net::Address directory;
+  PolicyConfig policy = PolicyConfig::polling(2);
+  /// Wait per RPC attempt before retrying elsewhere.
+  SimDuration rpc_timeout = 500 * kMillisecond;
+  int max_attempts = 3;
+  /// Mapping table refresh interval (soft-state re-pull).
+  SimDuration mapping_refresh = kSecond;
+  /// Poll-reply wait when the discard optimization is off.
+  SimDuration max_poll_wait = 20 * kMillisecond;
+  std::uint64_t seed = 1;
+};
+
+struct CallResult {
+  RpcStatus status = RpcStatus::kAppError;
+  bool transport_ok = false;  // false: no replica answered in time
+  std::vector<std::uint8_t> data;
+  ServerId server = kInvalidServer;
+  /// Decision + transport + service latency of the successful attempt.
+  SimDuration latency = 0;
+};
+
+struct ServiceClientStats {
+  std::int64_t calls = 0;
+  std::int64_t retries = 0;
+  std::int64_t transport_failures = 0;
+  std::int64_t polls_sent = 0;
+  std::int64_t mapping_refreshes = 0;
+};
+
+class ServiceClient {
+ public:
+  explicit ServiceClient(ServiceClientOptions options);
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  /// Invokes `method` on `partition` with `args`; blocks until a response
+  /// arrives or every attempt times out (transport_ok = false).
+  CallResult call(std::uint16_t method, std::uint32_t partition,
+                  std::span<const std::uint8_t> args);
+
+  /// Live replica count for a partition (forces a table refresh if stale).
+  std::size_t replicas(std::uint32_t partition);
+
+  const ServiceClientStats& stats() const { return stats_; }
+
+ private:
+  void refresh_mapping(bool force);
+  /// Chooses a replica index within `group` per the configured policy.
+  std::size_t choose(const std::vector<cluster::ServiceEndpoint>& group);
+  net::UdpSocket& poll_socket_for(const net::Address& addr);
+
+  ServiceClientOptions options_;
+  cluster::DirectoryClient directory_;
+  Rng rng_;
+  RoundRobinCursor rr_;
+  net::UdpSocket rpc_socket_;
+  std::map<std::uint64_t, net::UdpSocket> poll_sockets_;  // keyed by host:port
+  std::map<std::uint32_t, std::vector<cluster::ServiceEndpoint>> mapping_;
+  SimTime mapping_fetched_at_ = 0;
+  std::uint64_t next_id_ = 1;
+  ServiceClientStats stats_;
+};
+
+}  // namespace finelb::neptune

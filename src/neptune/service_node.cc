@@ -1,0 +1,186 @@
+#include "neptune/service_node.h"
+
+#include <array>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "net/clock.h"
+#include "net/message.h"
+#include "net/poller.h"
+
+namespace finelb::neptune {
+
+ServiceNode::ServiceNode(ServiceNodeOptions options)
+    : options_(std::move(options)) {
+  FINELB_CHECK(!options_.service_name.empty(), "service needs a name");
+  FINELB_CHECK(!options_.partitions.empty(),
+               "service node must host at least one partition");
+  FINELB_CHECK(options_.worker_threads >= 1, "need at least one worker");
+  service_socket_.set_buffer_sizes(1 << 21);
+  load_socket_.set_buffer_sizes(1 << 20);
+}
+
+ServiceNode::~ServiceNode() { stop(); }
+
+void ServiceNode::register_method(std::uint16_t method,
+                                  MethodHandler handler) {
+  FINELB_CHECK(!started_, "register_method must precede start()");
+  FINELB_CHECK(handler != nullptr, "handler must be callable");
+  FINELB_CHECK(methods_.emplace(method, std::move(handler)).second,
+               "method already registered");
+}
+
+void ServiceNode::enable_publishing(const net::Address& directory,
+                                    SimDuration interval, SimDuration ttl) {
+  FINELB_CHECK(!started_, "enable_publishing must precede start()");
+  FINELB_CHECK(interval > 0 && ttl > 0, "publish interval and ttl required");
+  publish_enabled_ = true;
+  directory_ = directory;
+  publish_interval_ = interval;
+  publish_ttl_ = ttl;
+}
+
+void ServiceNode::start() {
+  FINELB_CHECK(!started_, "service nodes are single-shot: already started");
+  FINELB_CHECK(!methods_.empty(), "no methods registered");
+  started_ = true;
+  running_.store(true);
+  threads_.emplace_back([this] { service_recv_loop(); });
+  threads_.emplace_back([this] { load_recv_loop(); });
+  for (int i = 0; i < options_.worker_threads; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+  if (publish_enabled_) {
+    threads_.emplace_back([this] { publish_loop(); });
+  }
+}
+
+void ServiceNode::stop() {
+  if (!running_.exchange(false)) return;
+  queue_.close();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+net::Address ServiceNode::service_address() const {
+  return service_socket_.local_address();
+}
+
+net::Address ServiceNode::load_address() const {
+  return load_socket_.local_address();
+}
+
+void ServiceNode::service_recv_loop() {
+  net::Poller poller;
+  poller.add(service_socket_.fd(), 0);
+  std::vector<std::uint8_t> buf(64 * 1024);
+  while (running_.load(std::memory_order_relaxed)) {
+    if (poller.wait(50 * kMillisecond).empty()) continue;
+    while (auto dgram = service_socket_.recv_from(buf)) {
+      WorkItem item;
+      try {
+        item.request =
+            RpcRequest::decode(std::span(buf.data(), dgram->size));
+      } catch (const InvariantError&) {
+        FINELB_LOG(kWarn, "neptune") << "dropping malformed RPC datagram";
+        continue;
+      }
+      item.reply_to = dgram->from;
+      item.queue_at_arrival = qlen_.fetch_add(1, std::memory_order_relaxed);
+      queue_.push(std::move(item));
+    }
+  }
+}
+
+void ServiceNode::load_recv_loop() {
+  net::Poller poller;
+  poller.add(load_socket_.fd(), 0);
+  std::array<std::uint8_t, 64> buf{};
+  while (running_.load(std::memory_order_relaxed)) {
+    if (poller.wait(50 * kMillisecond).empty()) continue;
+    while (auto dgram = load_socket_.recv_from(buf)) {
+      try {
+        const auto inquiry =
+            net::LoadInquiry::decode(std::span(buf.data(), dgram->size));
+        net::LoadReply reply;
+        reply.seq = inquiry.seq;
+        reply.queue_length = qlen_.load(std::memory_order_relaxed);
+        load_socket_.send_to(reply.encode(), dgram->from);
+      } catch (const InvariantError&) {
+        // ignore malformed inquiries
+      }
+    }
+  }
+}
+
+RpcResponse ServiceNode::execute(const WorkItem& item) {
+  RpcResponse response;
+  response.request_id = item.request.request_id;
+  response.server = options_.id;
+  response.queue_at_arrival = item.queue_at_arrival;
+  if (!options_.partitions.count(item.request.partition)) {
+    response.status = RpcStatus::kNoSuchPartition;
+    return response;
+  }
+  const auto handler = methods_.find(item.request.method);
+  if (handler == methods_.end()) {
+    response.status = RpcStatus::kNoSuchMethod;
+    return response;
+  }
+  try {
+    response.result =
+        handler->second(item.request.partition, item.request.args);
+    response.status = RpcStatus::kOk;
+  } catch (const std::exception& e) {
+    FINELB_LOG(kWarn, "neptune")
+        << options_.service_name << " method " << item.request.method
+        << " failed: " << e.what();
+    response.status = RpcStatus::kAppError;
+    app_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return response;
+}
+
+void ServiceNode::worker_loop() {
+  while (true) {
+    auto item = queue_.pop();
+    if (!item) return;
+    const RpcResponse response = execute(*item);
+    service_socket_.send_to(response.encode(), item->reply_to);
+    qlen_.fetch_sub(1, std::memory_order_relaxed);
+    served_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ServiceNode::publish_loop() {
+  net::UdpSocket publish_socket;
+  // One announcement per hosted partition, as the paper's nodes publish
+  // "the service type, the data partitions it hosts, and the access
+  // interface".
+  std::vector<std::vector<std::uint8_t>> payloads;
+  for (const std::uint32_t partition : options_.partitions) {
+    net::Publish announcement;
+    announcement.service = options_.service_name;
+    announcement.partition = partition;
+    announcement.server = options_.id;
+    announcement.service_port = service_address().port;
+    announcement.load_port = load_address().port;
+    announcement.ttl_ms = static_cast<std::uint32_t>(to_ms(publish_ttl_));
+    payloads.push_back(announcement.encode());
+  }
+  while (running_.load(std::memory_order_relaxed)) {
+    for (const auto& payload : payloads) {
+      publish_socket.send_to(payload, directory_);
+    }
+    const SimTime until = net::monotonic_now() + publish_interval_;
+    while (running_.load(std::memory_order_relaxed) &&
+           net::monotonic_now() < until) {
+      net::sleep_for(std::min<SimDuration>(publish_interval_,
+                                           20 * kMillisecond));
+    }
+  }
+}
+
+}  // namespace finelb::neptune

@@ -1,0 +1,30 @@
+// Monotonic wall-clock helpers for the prototype runtime.
+//
+// All prototype timing uses CLOCK_MONOTONIC nanoseconds represented as
+// SimTime, so response times measured in the prototype and in the simulator
+// share units and statistics code. `sleep_until` does an absolute-deadline
+// clock_nanosleep — the substitution for the paper's CPU-spinning service
+// microbenchmark (DESIGN.md §3): a worker occupies its server for exactly
+// the intended service time without consuming the machine's single CPU.
+#pragma once
+
+#include "common/time.h"
+
+namespace finelb::net {
+
+/// Current CLOCK_MONOTONIC time in nanoseconds.
+SimTime monotonic_now();
+
+/// Sleeps until the absolute CLOCK_MONOTONIC deadline (TIMER_ABSTIME, so a
+/// preemption before the syscall cannot stretch the total duration). Returns
+/// immediately if the deadline already passed. Retries on EINTR.
+void sleep_until(SimTime deadline);
+
+/// Convenience: sleep_until(monotonic_now() + d) for d > 0.
+void sleep_for(SimDuration d);
+
+/// Burns CPU until the deadline (the paper's actual emulation mode).
+/// Only sensible on multi-core hosts; exposed for completeness and tests.
+void spin_until(SimTime deadline);
+
+}  // namespace finelb::net

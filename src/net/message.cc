@@ -1,0 +1,239 @@
+#include "net/message.h"
+
+namespace finelb::net {
+namespace {
+
+void expect_type(Reader& r, MsgType want) {
+  const auto got = static_cast<MsgType>(r.u8());
+  FINELB_CHECK(got == want, "unexpected message type on the wire");
+}
+
+void encode_publish_body(Writer& w, const Publish& p) {
+  w.str(p.service);
+  w.u32(p.partition);
+  w.i32(p.server);
+  w.u16(p.service_port);
+  w.u16(p.load_port);
+  w.u32(p.ttl_ms);
+}
+
+Publish decode_publish_body(Reader& r) {
+  Publish p;
+  p.service = r.str();
+  p.partition = r.u32();
+  p.server = r.i32();
+  p.service_port = r.u16();
+  p.load_port = r.u16();
+  p.ttl_ms = r.u32();
+  return p;
+}
+
+}  // namespace
+
+MsgType peek_type(std::span<const std::uint8_t> data) {
+  FINELB_CHECK(!data.empty(), "empty datagram");
+  return static_cast<MsgType>(data[0]);
+}
+
+std::vector<std::uint8_t> LoadInquiry::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kLoadInquiry));
+  w.u64(seq);
+  return std::move(w).take();
+}
+
+LoadInquiry LoadInquiry::decode(std::span<const std::uint8_t> data) {
+  Reader r(data);
+  expect_type(r, MsgType::kLoadInquiry);
+  LoadInquiry m;
+  m.seq = r.u64();
+  return m;
+}
+
+std::vector<std::uint8_t> LoadReply::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kLoadReply));
+  w.u64(seq);
+  w.i32(queue_length);
+  return std::move(w).take();
+}
+
+LoadReply LoadReply::decode(std::span<const std::uint8_t> data) {
+  Reader r(data);
+  expect_type(r, MsgType::kLoadReply);
+  LoadReply m;
+  m.seq = r.u64();
+  m.queue_length = r.i32();
+  return m;
+}
+
+std::vector<std::uint8_t> ServiceRequest::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kServiceRequest));
+  w.u64(request_id);
+  w.u32(service_us);
+  w.u32(partition);
+  return std::move(w).take();
+}
+
+ServiceRequest ServiceRequest::decode(std::span<const std::uint8_t> data) {
+  Reader r(data);
+  expect_type(r, MsgType::kServiceRequest);
+  ServiceRequest m;
+  m.request_id = r.u64();
+  m.service_us = r.u32();
+  m.partition = r.u32();
+  return m;
+}
+
+std::vector<std::uint8_t> ServiceResponse::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kServiceResponse));
+  w.u64(request_id);
+  w.i32(server);
+  w.i32(queue_at_arrival);
+  return std::move(w).take();
+}
+
+ServiceResponse ServiceResponse::decode(std::span<const std::uint8_t> data) {
+  Reader r(data);
+  expect_type(r, MsgType::kServiceResponse);
+  ServiceResponse m;
+  m.request_id = r.u64();
+  m.server = r.i32();
+  m.queue_at_arrival = r.i32();
+  return m;
+}
+
+std::vector<std::uint8_t> Acquire::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kAcquire));
+  w.u64(seq);
+  return std::move(w).take();
+}
+
+Acquire Acquire::decode(std::span<const std::uint8_t> data) {
+  Reader r(data);
+  expect_type(r, MsgType::kAcquire);
+  Acquire m;
+  m.seq = r.u64();
+  return m;
+}
+
+std::vector<std::uint8_t> AcquireReply::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kAcquireReply));
+  w.u64(seq);
+  w.i32(server);
+  return std::move(w).take();
+}
+
+AcquireReply AcquireReply::decode(std::span<const std::uint8_t> data) {
+  Reader r(data);
+  expect_type(r, MsgType::kAcquireReply);
+  AcquireReply m;
+  m.seq = r.u64();
+  m.server = r.i32();
+  return m;
+}
+
+std::vector<std::uint8_t> Release::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kRelease));
+  w.i32(server);
+  return std::move(w).take();
+}
+
+Release Release::decode(std::span<const std::uint8_t> data) {
+  Reader r(data);
+  expect_type(r, MsgType::kRelease);
+  Release m;
+  m.server = r.i32();
+  return m;
+}
+
+std::vector<std::uint8_t> Publish::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kPublish));
+  encode_publish_body(w, *this);
+  return std::move(w).take();
+}
+
+Publish Publish::decode(std::span<const std::uint8_t> data) {
+  Reader r(data);
+  expect_type(r, MsgType::kPublish);
+  return decode_publish_body(r);
+}
+
+std::vector<std::uint8_t> SnapshotRequest::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kSnapshotRequest));
+  w.u64(seq);
+  w.str(service);
+  return std::move(w).take();
+}
+
+SnapshotRequest SnapshotRequest::decode(std::span<const std::uint8_t> data) {
+  Reader r(data);
+  expect_type(r, MsgType::kSnapshotRequest);
+  SnapshotRequest m;
+  m.seq = r.u64();
+  m.service = r.str();
+  return m;
+}
+
+std::vector<std::uint8_t> SnapshotReply::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kSnapshotReply));
+  w.u64(seq);
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& entry : entries) encode_publish_body(w, entry);
+  return std::move(w).take();
+}
+
+SnapshotReply SnapshotReply::decode(std::span<const std::uint8_t> data) {
+  Reader r(data);
+  expect_type(r, MsgType::kSnapshotReply);
+  SnapshotReply m;
+  m.seq = r.u64();
+  const std::uint32_t count = r.u32();
+  m.entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    m.entries.push_back(decode_publish_body(r));
+  }
+  return m;
+}
+
+std::vector<std::uint8_t> LoadAnnounce::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kLoadAnnounce));
+  w.i32(server);
+  w.i32(queue_length);
+  return std::move(w).take();
+}
+
+LoadAnnounce LoadAnnounce::decode(std::span<const std::uint8_t> data) {
+  Reader r(data);
+  expect_type(r, MsgType::kLoadAnnounce);
+  LoadAnnounce m;
+  m.server = r.i32();
+  m.queue_length = r.i32();
+  return m;
+}
+
+std::vector<std::uint8_t> Subscribe::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kSubscribe));
+  w.u32(ttl_ms);
+  return std::move(w).take();
+}
+
+Subscribe Subscribe::decode(std::span<const std::uint8_t> data) {
+  Reader r(data);
+  expect_type(r, MsgType::kSubscribe);
+  Subscribe m;
+  m.ttl_ms = r.u32();
+  return m;
+}
+
+}  // namespace finelb::net

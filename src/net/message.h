@@ -1,0 +1,149 @@
+// Prototype wire protocol (paper §3, Figure 5).
+//
+// Message families:
+//   * load inquiry / reply     — the random polling policy's just-in-time
+//                                load information pull;
+//   * service request/response — the RPC-like service access;
+//   * acquire / release        — the centralized load-index manager protocol
+//                                used only to emulate IDEAL (paper §4);
+//   * publish / snapshot       — the service availability subsystem's
+//                                soft-state publish/subscribe channel.
+//
+// Every message starts with a one-byte type tag followed by little-endian
+// fields. decode() functions throw InvariantError on malformed input.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+
+namespace finelb::net {
+
+enum class MsgType : std::uint8_t {
+  kLoadInquiry = 1,
+  kLoadReply = 2,
+  kServiceRequest = 3,
+  kServiceResponse = 4,
+  kAcquire = 5,
+  kAcquireReply = 6,
+  kRelease = 7,
+  kPublish = 8,
+  kSnapshotRequest = 9,
+  kSnapshotReply = 10,
+  kLoadAnnounce = 11,
+  kSubscribe = 12,
+};
+
+/// Peeks at the type tag; throws on empty payloads.
+MsgType peek_type(std::span<const std::uint8_t> data);
+
+struct LoadInquiry {
+  std::uint64_t seq = 0;
+
+  std::vector<std::uint8_t> encode() const;
+  static LoadInquiry decode(std::span<const std::uint8_t> data);
+};
+
+struct LoadReply {
+  std::uint64_t seq = 0;
+  std::int32_t queue_length = 0;
+
+  std::vector<std::uint8_t> encode() const;
+  static LoadReply decode(std::span<const std::uint8_t> data);
+};
+
+struct ServiceRequest {
+  std::uint64_t request_id = 0;
+  /// Service demand in microseconds (the CPU-time the paper's microbenchmark
+  /// would spin for; our workers consume it with deadline sleeps).
+  std::uint32_t service_us = 0;
+  /// Data partition addressed by the access (Neptune semantics).
+  std::uint32_t partition = 0;
+
+  std::vector<std::uint8_t> encode() const;
+  static ServiceRequest decode(std::span<const std::uint8_t> data);
+};
+
+struct ServiceResponse {
+  std::uint64_t request_id = 0;
+  std::int32_t server = 0;
+  /// Queue length observed when the request entered the server (diagnostic).
+  std::int32_t queue_at_arrival = 0;
+
+  std::vector<std::uint8_t> encode() const;
+  static ServiceResponse decode(std::span<const std::uint8_t> data);
+};
+
+struct Acquire {
+  std::uint64_t seq = 0;
+
+  std::vector<std::uint8_t> encode() const;
+  static Acquire decode(std::span<const std::uint8_t> data);
+};
+
+struct AcquireReply {
+  std::uint64_t seq = 0;
+  std::int32_t server = 0;
+
+  std::vector<std::uint8_t> encode() const;
+  static AcquireReply decode(std::span<const std::uint8_t> data);
+};
+
+struct Release {
+  std::int32_t server = 0;
+
+  std::vector<std::uint8_t> encode() const;
+  static Release decode(std::span<const std::uint8_t> data);
+};
+
+/// A server's soft-state announcement to the availability channel.
+struct Publish {
+  std::string service;        // service type, e.g. "image-store"
+  std::uint32_t partition = 0;
+  std::int32_t server = 0;    // dense experiment-wide server id
+  std::uint16_t service_port = 0;
+  std::uint16_t load_port = 0;
+  std::uint32_t ttl_ms = 0;   // entry expires unless refreshed within ttl
+
+  std::vector<std::uint8_t> encode() const;
+  static Publish decode(std::span<const std::uint8_t> data);
+};
+
+struct SnapshotRequest {
+  std::uint64_t seq = 0;
+  std::string service;  // empty = all services
+
+  std::vector<std::uint8_t> encode() const;
+  static SnapshotRequest decode(std::span<const std::uint8_t> data);
+};
+
+struct SnapshotReply {
+  std::uint64_t seq = 0;
+  std::vector<Publish> entries;
+
+  std::vector<std::uint8_t> encode() const;
+  static SnapshotReply decode(std::span<const std::uint8_t> data);
+};
+
+/// A server's periodic load announcement on the broadcast channel
+/// (prototype extension of the paper's §2.2 broadcast policy).
+struct LoadAnnounce {
+  std::int32_t server = 0;
+  std::int32_t queue_length = 0;
+
+  std::vector<std::uint8_t> encode() const;
+  static LoadAnnounce decode(std::span<const std::uint8_t> data);
+};
+
+/// A client's (soft-state) subscription to the broadcast channel.
+struct Subscribe {
+  std::uint32_t ttl_ms = 0;
+
+  std::vector<std::uint8_t> encode() const;
+  static Subscribe decode(std::span<const std::uint8_t> data);
+};
+
+}  // namespace finelb::net

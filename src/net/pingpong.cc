@@ -1,0 +1,70 @@
+#include "net/pingpong.h"
+
+#include <algorithm>
+#include <array>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "net/clock.h"
+#include "net/poller.h"
+#include "net/socket.h"
+
+namespace finelb::net {
+
+PingPongResult measure_udp_rtt(int rounds, int warmup) {
+  FINELB_CHECK(rounds > 0 && warmup >= 0, "invalid ping-pong parameters");
+
+  UdpSocket echo_socket;
+  const Address echo_addr = echo_socket.local_address();
+  const int total = rounds + warmup;
+
+  std::thread echo([&echo_socket, total] {
+    Poller poller;
+    poller.add(echo_socket.fd(), 0);
+    std::array<std::uint8_t, 64> buf{};
+    int served = 0;
+    while (served < total) {
+      if (poller.wait(kSecond).empty()) continue;
+      while (auto dgram = echo_socket.recv_from(buf)) {
+        echo_socket.send_to(std::span(buf.data(), dgram->size), dgram->from);
+        ++served;
+      }
+    }
+  });
+
+  UdpSocket client;
+  client.connect(echo_addr);
+  Poller poller;
+  poller.add(client.fd(), 0);
+
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(rounds));
+  std::array<std::uint8_t, 64> payload{};
+  for (int i = 0; i < total; ++i) {
+    payload[0] = static_cast<std::uint8_t>(i);
+    const SimTime start = monotonic_now();
+    FINELB_CHECK(client.send(payload), "ping send failed");
+    for (;;) {
+      poller.wait(kSecond);
+      std::array<std::uint8_t, 64> reply{};
+      if (client.recv(reply)) break;
+    }
+    const double rtt_us = to_us(monotonic_now() - start);
+    if (i >= warmup) samples.push_back(rtt_us);
+  }
+  echo.join();
+
+  std::sort(samples.begin(), samples.end());
+  PingPongResult result;
+  result.rounds = rounds;
+  result.min_rtt_us = samples.front();
+  result.p99_rtt_us = samples[static_cast<std::size_t>(
+      0.99 * static_cast<double>(samples.size() - 1))];
+  double total_us = 0.0;
+  for (const double s : samples) total_us += s;
+  result.mean_rtt_us = total_us / static_cast<double>(samples.size());
+  return result;
+}
+
+}  // namespace finelb::net

@@ -1,0 +1,27 @@
+// UDP ping-pong round-trip measurement.
+//
+// The paper reports a 290 us UDP round trip between two idle nodes of its
+// 100 Mb/s cluster (§3.2). This utility measures the equivalent number for
+// this host's loopback path; the prototype benches print it so measured
+// response times can be read against the messaging cost, exactly as the
+// paper does.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+
+namespace finelb::net {
+
+struct PingPongResult {
+  double mean_rtt_us = 0.0;
+  double min_rtt_us = 0.0;
+  double p99_rtt_us = 0.0;
+  int rounds = 0;
+};
+
+/// Spawns an echo thread on a loopback UDP socket and measures `rounds`
+/// request/reply round trips (after `warmup` unmeasured rounds).
+PingPongResult measure_udp_rtt(int rounds = 1000, int warmup = 100);
+
+}  // namespace finelb::net

@@ -1,0 +1,150 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+
+namespace finelb::net {
+
+FdHandle::~FdHandle() { reset(); }
+
+FdHandle::FdHandle(FdHandle&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+FdHandle& FdHandle::operator=(FdHandle&& other) noexcept {
+  if (this != &other) {
+    reset();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void FdHandle::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Address Address::loopback(std::uint16_t port) {
+  Address a;
+  a.host = htonl(INADDR_LOOPBACK);
+  a.port = port;
+  return a;
+}
+
+sockaddr_in Address::to_sockaddr() const {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = host;
+  sa.sin_port = htons(port);
+  return sa;
+}
+
+Address Address::from_sockaddr(const sockaddr_in& sa) {
+  Address a;
+  a.host = sa.sin_addr.s_addr;
+  a.port = ntohs(sa.sin_port);
+  return a;
+}
+
+std::string Address::to_string() const {
+  char buf[INET_ADDRSTRLEN] = {};
+  in_addr addr{};
+  addr.s_addr = host;
+  ::inet_ntop(AF_INET, &addr, buf, sizeof(buf));
+  return std::string(buf) + ":" + std::to_string(port);
+}
+
+UdpSocket::UdpSocket(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) FINELB_THROW_ERRNO("socket(AF_INET, SOCK_DGRAM)");
+  fd_ = FdHandle(fd);
+
+  const sockaddr_in sa = Address::loopback(port).to_sockaddr();
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
+    FINELB_THROW_ERRNO("bind(udp, 127.0.0.1:" + std::to_string(port) + ")");
+  }
+}
+
+Address UdpSocket::local_address() const {
+  sockaddr_in sa{};
+  socklen_t len = sizeof(sa);
+  if (::getsockname(fd(), reinterpret_cast<sockaddr*>(&sa), &len) != 0) {
+    FINELB_THROW_ERRNO("getsockname");
+  }
+  return Address::from_sockaddr(sa);
+}
+
+void UdpSocket::connect(const Address& peer) {
+  const sockaddr_in sa = peer.to_sockaddr();
+  if (::connect(fd(), reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) !=
+      0) {
+    FINELB_THROW_ERRNO("connect(udp, " + peer.to_string() + ")");
+  }
+}
+
+bool UdpSocket::send(std::span<const std::uint8_t> payload) {
+  const ssize_t n = ::send(fd(), payload.data(), payload.size(), 0);
+  if (n >= 0) return true;
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS ||
+      errno == ECONNREFUSED) {
+    // ECONNREFUSED surfaces asynchronously on connected UDP sockets when a
+    // previous datagram hit a closed port; treat like a drop.
+    return false;
+  }
+  FINELB_THROW_ERRNO("send(udp)");
+}
+
+bool UdpSocket::send_to(std::span<const std::uint8_t> payload,
+                        const Address& dest) {
+  const sockaddr_in sa = dest.to_sockaddr();
+  const ssize_t n =
+      ::sendto(fd(), payload.data(), payload.size(), 0,
+               reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
+  if (n >= 0) return true;
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS) {
+    return false;
+  }
+  FINELB_THROW_ERRNO("sendto(udp, " + dest.to_string() + ")");
+}
+
+std::optional<std::size_t> UdpSocket::recv(std::span<std::uint8_t> buffer) {
+  const ssize_t n = ::recv(fd(), buffer.data(), buffer.size(), 0);
+  if (n >= 0) return static_cast<std::size_t>(n);
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNREFUSED) {
+    return std::nullopt;
+  }
+  FINELB_THROW_ERRNO("recv(udp)");
+}
+
+std::optional<Datagram> UdpSocket::recv_from(std::span<std::uint8_t> buffer) {
+  sockaddr_in sa{};
+  socklen_t len = sizeof(sa);
+  const ssize_t n = ::recvfrom(fd(), buffer.data(), buffer.size(), 0,
+                               reinterpret_cast<sockaddr*>(&sa), &len);
+  if (n >= 0) {
+    return Datagram{static_cast<std::size_t>(n), Address::from_sockaddr(sa)};
+  }
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNREFUSED) {
+    return std::nullopt;
+  }
+  FINELB_THROW_ERRNO("recvfrom(udp)");
+}
+
+void UdpSocket::set_buffer_sizes(int bytes) {
+  if (::setsockopt(fd(), SOL_SOCKET, SO_RCVBUF, &bytes, sizeof(bytes)) != 0) {
+    FINELB_THROW_ERRNO("setsockopt(SO_RCVBUF)");
+  }
+  if (::setsockopt(fd(), SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes)) != 0) {
+    FINELB_THROW_ERRNO("setsockopt(SO_SNDBUF)");
+  }
+}
+
+}  // namespace finelb::net

@@ -1,0 +1,104 @@
+// RAII socket wrappers for the prototype runtime.
+//
+// The prototype mirrors the paper's implementation choices: load inquiries
+// travel over *connected* UDP sockets and are collected asynchronously with
+// poll(2) (the modern equivalent of the select(3) call the paper used);
+// service requests/responses use unconnected UDP datagrams on a single
+// per-node socket. Everything binds to 127.0.0.1 — the single-host stand-in
+// for the paper's switched-Ethernet cluster (DESIGN.md §3).
+#pragma once
+
+#include <netinet/in.h>
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace finelb::net {
+
+/// Owns a file descriptor; closes on destruction. Move-only.
+class FdHandle {
+ public:
+  FdHandle() = default;
+  explicit FdHandle(int fd) : fd_(fd) {}
+  ~FdHandle();
+
+  FdHandle(FdHandle&& other) noexcept;
+  FdHandle& operator=(FdHandle&& other) noexcept;
+  FdHandle(const FdHandle&) = delete;
+  FdHandle& operator=(const FdHandle&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// IPv4 endpoint address.
+struct Address {
+  std::uint32_t host = 0;  // network byte order
+  std::uint16_t port = 0;  // host byte order
+
+  static Address loopback(std::uint16_t port);
+  sockaddr_in to_sockaddr() const;
+  static Address from_sockaddr(const sockaddr_in& sa);
+  std::string to_string() const;
+
+  bool operator==(const Address&) const = default;
+};
+
+/// Result of a recv_from: payload size and sender.
+struct Datagram {
+  std::size_t size = 0;
+  Address from;
+};
+
+/// A UDP socket bound to loopback. Non-blocking by default: all prototype
+/// I/O goes through poll()-driven event loops and blocking would deadlock a
+/// single-threaded client.
+class UdpSocket {
+ public:
+  /// Binds to 127.0.0.1 on `port` (0 picks an ephemeral port).
+  explicit UdpSocket(std::uint16_t port = 0);
+
+  UdpSocket(UdpSocket&&) = default;
+  UdpSocket& operator=(UdpSocket&&) = default;
+
+  int fd() const { return fd_.get(); }
+  /// The locally bound address (with the kernel-assigned port resolved).
+  Address local_address() const;
+
+  /// Connects the socket to a fixed peer; send()/recv() then apply to that
+  /// peer only. This is how the paper's polling agent holds one socket per
+  /// server.
+  void connect(const Address& peer);
+
+  /// Sends to the connected peer. Returns false if the kernel buffer is
+  /// full (EAGAIN/ENOBUFS — treated as a dropped datagram, like a switch
+  /// drop would be). Throws SysError on real failures.
+  bool send(std::span<const std::uint8_t> payload);
+
+  /// Sends to an explicit destination (unconnected use).
+  bool send_to(std::span<const std::uint8_t> payload, const Address& dest);
+
+  /// Non-blocking receive on a connected socket. Returns the payload size,
+  /// or nullopt when no datagram is pending.
+  std::optional<std::size_t> recv(std::span<std::uint8_t> buffer);
+
+  /// Non-blocking receive capturing the sender address.
+  std::optional<Datagram> recv_from(std::span<std::uint8_t> buffer);
+
+  /// Enlarges kernel buffers; the experiment harness drives thousands of
+  /// datagrams per second through loopback and the 212 kB default is easy
+  /// to overflow on a busy box.
+  void set_buffer_sizes(int bytes);
+
+ private:
+  FdHandle fd_;
+};
+
+}  // namespace finelb::net

@@ -1,0 +1,274 @@
+#include "net/tcp.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <thread>
+
+#include "common/check.h"
+#include "net/clock.h"
+#include "net/poller.h"
+
+namespace finelb::net {
+namespace {
+
+FdHandle make_tcp_socket() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) FINELB_THROW_ERRNO("socket(AF_INET, SOCK_STREAM)");
+  FdHandle handle(fd);
+  const int one = 1;
+  // Latency matters more than throughput for small framed messages.
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    FINELB_THROW_ERRNO("setsockopt(TCP_NODELAY)");
+  }
+  return handle;
+}
+
+Address socket_address(int fd, bool peer) {
+  sockaddr_in sa{};
+  socklen_t len = sizeof(sa);
+  const int rc = peer
+                     ? ::getpeername(fd, reinterpret_cast<sockaddr*>(&sa), &len)
+                     : ::getsockname(fd, reinterpret_cast<sockaddr*>(&sa),
+                                     &len);
+  if (rc != 0) FINELB_THROW_ERRNO(peer ? "getpeername" : "getsockname");
+  return Address::from_sockaddr(sa);
+}
+
+}  // namespace
+
+TcpStream::TcpStream(FdHandle fd) : fd_(std::move(fd)) {}
+
+Address TcpStream::local_address() const {
+  return socket_address(fd(), /*peer=*/false);
+}
+
+Address TcpStream::peer_address() const {
+  return socket_address(fd(), /*peer=*/true);
+}
+
+TcpStream TcpStream::connect(const Address& peer, SimDuration timeout) {
+  FdHandle handle = make_tcp_socket();
+  const sockaddr_in sa = peer.to_sockaddr();
+  const int rc =
+      ::connect(handle.get(), reinterpret_cast<const sockaddr*>(&sa),
+                sizeof(sa));
+  if (rc != 0 && errno != EINPROGRESS) {
+    FINELB_THROW_ERRNO("connect(tcp, " + peer.to_string() + ")");
+  }
+  if (rc != 0) {
+    // Await writability, then check SO_ERROR for the async result.
+    pollfd pfd{handle.get(), POLLOUT, 0};
+    timespec ts{timeout / kSecond, timeout % kSecond};
+    const int ready = ::ppoll(&pfd, 1, &ts, nullptr);
+    if (ready < 0) FINELB_THROW_ERRNO("ppoll(connect)");
+    FINELB_CHECK(ready > 0, "tcp connect timed out: " + peer.to_string());
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(handle.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      FINELB_THROW_ERRNO("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      errno = err;
+      FINELB_THROW_ERRNO("connect(tcp, " + peer.to_string() + ")");
+    }
+  }
+  return TcpStream(std::move(handle));
+}
+
+bool TcpStream::send_frame(std::span<const std::uint8_t> payload) {
+  FINELB_CHECK(payload.size() <= 0xffffffu, "frame too large");
+  std::vector<std::uint8_t> frame;
+  frame.reserve(payload.size() + 4);
+  const auto size = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<std::uint8_t>(size >> (8 * i)));
+  }
+  frame.insert(frame.end(), payload.begin(), payload.end());
+
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(fd(), frame.data() + sent, frame.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Frames are small; spin the poller until the buffer drains.
+      pollfd pfd{fd(), POLLOUT, 0};
+      timespec ts{1, 0};
+      if (::ppoll(&pfd, 1, &ts, nullptr) < 0 && errno != EINTR) {
+        FINELB_THROW_ERRNO("ppoll(send)");
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) return false;
+    FINELB_THROW_ERRNO("send(tcp)");
+  }
+  return true;
+}
+
+void TcpStream::fill_buffer() {
+  std::uint8_t chunk[16 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd(), chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.insert(buffer_.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n == 0) {
+      eof_ = true;
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == ECONNRESET) {
+      eof_ = true;
+      return;
+    }
+    FINELB_THROW_ERRNO("recv(tcp)");
+  }
+}
+
+std::optional<std::vector<std::uint8_t>> TcpStream::recv_frame() {
+  fill_buffer();
+  if (buffer_.size() < 4) return std::nullopt;
+  std::uint32_t size = 0;
+  for (int i = 0; i < 4; ++i) {
+    size |= static_cast<std::uint32_t>(buffer_[static_cast<std::size_t>(i)])
+            << (8 * i);
+  }
+  if (buffer_.size() < 4 + size) return std::nullopt;
+  std::vector<std::uint8_t> frame(buffer_.begin() + 4,
+                                  buffer_.begin() + 4 + size);
+  buffer_.erase(buffer_.begin(), buffer_.begin() + 4 + size);
+  return frame;
+}
+
+std::optional<std::vector<std::uint8_t>> TcpStream::recv_frame_wait(
+    SimDuration timeout) {
+  const SimTime deadline = monotonic_now() + timeout;
+  for (;;) {
+    if (auto frame = recv_frame()) return frame;
+    if (peer_closed()) return std::nullopt;
+    const SimDuration left = deadline - monotonic_now();
+    if (left <= 0) return std::nullopt;
+    pollfd pfd{fd(), POLLIN, 0};
+    timespec ts{left / kSecond, left % kSecond};
+    if (::ppoll(&pfd, 1, &ts, nullptr) < 0 && errno != EINTR) {
+      FINELB_THROW_ERRNO("ppoll(recv)");
+    }
+  }
+}
+
+TcpListener::TcpListener(std::uint16_t port, int backlog) {
+  fd_ = make_tcp_socket();
+  const int one = 1;
+  if (::setsockopt(fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
+    FINELB_THROW_ERRNO("setsockopt(SO_REUSEADDR)");
+  }
+  const sockaddr_in sa = Address::loopback(port).to_sockaddr();
+  if (::bind(fd(), reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
+    FINELB_THROW_ERRNO("bind(tcp)");
+  }
+  if (::listen(fd(), backlog) != 0) FINELB_THROW_ERRNO("listen");
+}
+
+Address TcpListener::local_address() const {
+  return socket_address(fd(), /*peer=*/false);
+}
+
+std::optional<TcpStream> TcpListener::accept() {
+  const int client = ::accept4(fd(), nullptr, nullptr, SOCK_NONBLOCK);
+  if (client >= 0) {
+    FdHandle handle(client);
+    const int one = 1;
+    if (::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) !=
+        0) {
+      FINELB_THROW_ERRNO("setsockopt(TCP_NODELAY)");
+    }
+    return TcpStream(std::move(handle));
+  }
+  if (errno == EAGAIN || errno == EWOULDBLOCK) return std::nullopt;
+  FINELB_THROW_ERRNO("accept4");
+}
+
+std::optional<TcpStream> TcpListener::accept_wait(SimDuration timeout) {
+  const SimTime deadline = monotonic_now() + timeout;
+  for (;;) {
+    if (auto stream = accept()) return stream;
+    const SimDuration left = deadline - monotonic_now();
+    if (left <= 0) return std::nullopt;
+    pollfd pfd{fd(), POLLIN, 0};
+    timespec ts{left / kSecond, left % kSecond};
+    if (::ppoll(&pfd, 1, &ts, nullptr) < 0 && errno != EINTR) {
+      FINELB_THROW_ERRNO("ppoll(accept)");
+    }
+  }
+}
+
+TcpPingPongResult measure_tcp_rtt(int rounds, int warmup) {
+  FINELB_CHECK(rounds > 0 && warmup >= 0, "invalid ping-pong parameters");
+  TcpListener listener;
+  const Address addr = listener.local_address();
+  const int total = rounds + warmup;
+
+  std::thread echo([&listener, total] {
+    int served = 0;
+    // Phase 1: one persistent connection serving `total` echoes; phase 2:
+    // `total` one-shot connections serving one echo each.
+    auto persistent = listener.accept_wait(5 * kSecond);
+    FINELB_CHECK(persistent.has_value(), "echo: no persistent connection");
+    while (served < total) {
+      auto frame = persistent->recv_frame_wait(5 * kSecond);
+      FINELB_CHECK(frame.has_value(), "echo: persistent recv failed");
+      persistent->send_frame(*frame);
+      ++served;
+    }
+    for (int i = 0; i < total; ++i) {
+      auto stream = listener.accept_wait(5 * kSecond);
+      FINELB_CHECK(stream.has_value(), "echo: no one-shot connection");
+      auto frame = stream->recv_frame_wait(5 * kSecond);
+      if (frame) stream->send_frame(*frame);
+    }
+  });
+
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4};
+  TcpPingPongResult result;
+  result.rounds = rounds;
+
+  {
+    TcpStream stream = TcpStream::connect(addr);
+    double total_us = 0.0;
+    for (int i = 0; i < total; ++i) {
+      const SimTime start = monotonic_now();
+      FINELB_CHECK(stream.send_frame(payload), "persistent send failed");
+      const auto frame = stream.recv_frame_wait(5 * kSecond);
+      FINELB_CHECK(frame.has_value(), "persistent echo lost");
+      if (i >= warmup) total_us += to_us(monotonic_now() - start);
+    }
+    result.persistent_rtt_us = total_us / rounds;
+  }
+  {
+    double total_us = 0.0;
+    for (int i = 0; i < total; ++i) {
+      const SimTime start = monotonic_now();
+      {
+        TcpStream stream = TcpStream::connect(addr);
+        FINELB_CHECK(stream.send_frame(payload), "one-shot send failed");
+        const auto frame = stream.recv_frame_wait(5 * kSecond);
+        FINELB_CHECK(frame.has_value(), "one-shot echo lost");
+      }  // close inside the timed region: setup + teardown included
+      if (i >= warmup) total_us += to_us(monotonic_now() - start);
+    }
+    result.per_connection_rtt_us = total_us / rounds;
+  }
+  echo.join();
+  return result;
+}
+
+}  // namespace finelb::net

@@ -1,0 +1,97 @@
+// TCP transport with length-framed messages.
+//
+// The paper's Neptune used connection-oriented transport for service
+// accesses (its measured cost — half a 516 us TCP round trip with
+// connection setup and teardown — is the simulator's request latency
+// default), and its IDEAL emulation paid "one TCP roundtrip without
+// connection setup and teardown" (339 us) per access. This module provides
+// that substrate: a listener, blocking-ish connections driven through the
+// same ppoll loops as the UDP path, and 4-byte length framing so arbitrary
+// message payloads survive TCP's stream semantics.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/time.h"
+#include "net/socket.h"
+
+namespace finelb::net {
+
+/// A connected TCP stream carrying length-framed messages. Non-blocking
+/// socket; send() loops internally until the frame is fully written (frames
+/// are small), recv_frame() returns only complete frames.
+class TcpStream {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(FdHandle fd);
+
+  TcpStream(TcpStream&&) = default;
+  TcpStream& operator=(TcpStream&&) = default;
+
+  bool valid() const { return fd_.valid(); }
+  int fd() const { return fd_.get(); }
+  Address local_address() const;
+  Address peer_address() const;
+
+  /// Connects to a listener with a bounded wait; throws SysError on
+  /// failure, InvariantError on timeout.
+  static TcpStream connect(const Address& peer,
+                           SimDuration timeout = kSecond);
+
+  /// Writes one framed message (4-byte little-endian length + payload).
+  /// Returns false if the peer has closed; throws SysError on errors.
+  bool send_frame(std::span<const std::uint8_t> payload);
+
+  /// Non-blocking: consumes buffered bytes and returns the next complete
+  /// frame if available. Returns nullopt when more bytes are needed.
+  /// `peer_closed()` turns true once EOF is seen and the buffer drains.
+  std::optional<std::vector<std::uint8_t>> recv_frame();
+
+  /// Blocks (ppoll) until a frame arrives, the peer closes (nullopt), or
+  /// the timeout elapses (nullopt with peer_closed() == false).
+  std::optional<std::vector<std::uint8_t>> recv_frame_wait(
+      SimDuration timeout);
+
+  bool peer_closed() const { return eof_ && buffer_.empty(); }
+
+ private:
+  void fill_buffer();
+
+  FdHandle fd_;
+  std::vector<std::uint8_t> buffer_;
+  bool eof_ = false;
+};
+
+/// Listening socket on 127.0.0.1.
+class TcpListener {
+ public:
+  explicit TcpListener(std::uint16_t port = 0, int backlog = 64);
+
+  int fd() const { return fd_.get(); }
+  Address local_address() const;
+
+  /// Non-blocking accept; nullopt when no connection is pending.
+  std::optional<TcpStream> accept();
+
+  /// Blocks (ppoll) up to `timeout` for one connection.
+  std::optional<TcpStream> accept_wait(SimDuration timeout);
+
+ private:
+  FdHandle fd_;
+};
+
+struct TcpPingPongResult {
+  /// Round trip on a persistent connection (the paper's 339 us number).
+  double persistent_rtt_us = 0.0;
+  /// Round trip including connect() and close() (the paper's 516 us).
+  double per_connection_rtt_us = 0.0;
+  int rounds = 0;
+};
+
+/// Measures both TCP round-trip variants on loopback.
+TcpPingPongResult measure_tcp_rtt(int rounds = 300, int warmup = 30);
+
+}  // namespace finelb::net

@@ -1,0 +1,103 @@
+// Little-endian wire encoding helpers.
+//
+// All prototype messages use explicit little-endian fixed-width fields; the
+// Writer/Reader pair keeps encode/decode symmetric and bounds-checked.
+// Reader throws InvariantError on truncated input, so a short or corrupted
+// datagram can never read out of bounds.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/check.h"
+
+namespace finelb::net {
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { append_le(v); }
+  void u32(std::uint32_t v) { append_le(v); }
+  void u64(std::uint64_t v) { append_le(v); }
+  void i32(std::int32_t v) { append_le(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { append_le(static_cast<std::uint64_t>(v)); }
+
+  /// Length-prefixed (u16) byte string; capped at 64 KiB by construction.
+  void str(std::string_view s) {
+    FINELB_CHECK(s.size() <= 0xffff, "string too long for wire format");
+    u16(static_cast<std::uint16_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  /// Length-prefixed (u32) binary blob (RPC payloads).
+  void blob(std::span<const std::uint8_t> data) {
+    u32(static_cast<std::uint32_t>(data.size()));
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  std::span<const std::uint8_t> bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() && { return std::move(buf_); }
+
+ private:
+  template <class T>
+  void append_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() { return read_le<std::uint8_t>(); }
+  std::uint16_t u16() { return read_le<std::uint16_t>(); }
+  std::uint32_t u32() { return read_le<std::uint32_t>(); }
+  std::uint64_t u64() { return read_le<std::uint64_t>(); }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  std::string str() {
+    const std::size_t len = u16();
+    FINELB_CHECK(remaining() >= len, "truncated string on the wire");
+    std::string out(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return out;
+  }
+
+  std::vector<std::uint8_t> blob() {
+    const std::size_t len = u32();
+    FINELB_CHECK(remaining() >= len, "truncated blob on the wire");
+    std::vector<std::uint8_t> out(data_.begin() + static_cast<long>(pos_),
+                                  data_.begin() + static_cast<long>(pos_ + len));
+    pos_ += len;
+    return out;
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  template <class T>
+  T read_le() {
+    FINELB_CHECK(remaining() >= sizeof(T), "truncated field on the wire");
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(data_[pos_ + i]) << (8 * i)));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace finelb::net

@@ -1,0 +1,394 @@
+// Cluster simulation model (paper §2).
+//
+// Entities: N servers (non-preemptive processing unit + FIFO queue), C
+// client streams generating requests from the workload, and a policy layer
+// that decides the target server per request. All five policies of
+// core/policy.h are implemented in terms of simulated message events.
+//
+// Timing model per request (client-observed response time):
+//   generated -> [policy: 0 for random/rr/ideal/broadcast, poll RTT for
+//   polling] -> request transit -> FIFO queue -> service -> response
+//   transit -> recorded.
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "core/selection.h"
+#include "sim/config.h"
+#include "sim/engine.h"
+
+namespace finelb::sim {
+namespace {
+
+struct Job {
+  std::int64_t index = 0;
+  SimTime generated_at = 0;
+  SimDuration service_time = 0;
+  SimTime dispatched_at = 0;  // when the policy decision completed
+};
+
+class Simulation {
+ public:
+  Simulation(const SimConfig& config, const Workload& workload)
+      : config_(config), root_rng_(config.seed) {
+    FINELB_CHECK(config.servers >= 1, "need at least one server");
+    FINELB_CHECK(config.clients >= 1, "need at least one client stream");
+    FINELB_CHECK(config.load > 0.0 && config.load < 1.0,
+                 "load must be in (0, 1)");
+    FINELB_CHECK(config.total_requests > config.warmup_requests,
+                 "total_requests must exceed warmup_requests");
+
+    FINELB_CHECK(config.server_speeds.empty() ||
+                     config.server_speeds.size() ==
+                         static_cast<std::size_t>(config.servers),
+                 "server_speeds must be empty or one entry per server");
+    servers_.resize(static_cast<std::size_t>(config.servers));
+    all_server_ids_.reserve(servers_.size());
+    double total_speed = 0.0;
+    for (std::size_t s = 0; s < servers_.size(); ++s) {
+      all_server_ids_.push_back(static_cast<ServerId>(s));
+      servers_[s].rng = root_rng_.split();
+      if (!config.server_speeds.empty()) {
+        FINELB_CHECK(config.server_speeds[s] > 0.0,
+                     "server speeds must be positive");
+        servers_[s].speed = config.server_speeds[s];
+      }
+      total_speed += servers_[s].speed;
+    }
+    for (const ServerOutage& outage : config.outages) {
+      FINELB_CHECK(outage.server >= 0 && outage.server < config.servers,
+                   "outage names an unknown server");
+      FINELB_CHECK(outage.start >= 0 && outage.duration > 0,
+                   "outage window must be non-negative and non-empty");
+    }
+
+    // `load` is offered against the total cluster speed, so heterogeneous
+    // clusters are driven at the same aggregate utilization.
+    const double scale =
+        workload.arrival_scale_for_load(config.load, config.servers) *
+        (static_cast<double>(config.servers) / total_speed) *
+        static_cast<double>(config.clients);
+    clients_.resize(static_cast<std::size_t>(config.clients));
+    for (std::size_t c = 0; c < clients_.size(); ++c) {
+      clients_[c].source = workload.make_source(scale, config.seed + 101 * c);
+      clients_[c].rng = root_rng_.split();
+      clients_[c].table.resize(servers_.size());
+      for (std::size_t s = 0; s < servers_.size(); ++s) {
+        clients_[c].table[s] = {static_cast<ServerId>(s), 0, 0};
+      }
+    }
+  }
+
+  SimResult run() {
+    result_.per_server_served.assign(servers_.size(), 0);
+    for (std::size_t c = 0; c < clients_.size(); ++c) {
+      schedule_next_arrival(c);
+    }
+    if (config_.policy.kind == PolicyKind::kBroadcast) {
+      for (std::size_t s = 0; s < servers_.size(); ++s) {
+        schedule_broadcast(s);
+      }
+    }
+    for (const ServerOutage& outage : config_.outages) {
+      const auto target = static_cast<std::size_t>(outage.server);
+      engine_.schedule_at(outage.start,
+                          [this, target] { servers_[target].paused = true; });
+      engine_.schedule_at(outage.start + outage.duration, [this, target] {
+        servers_[target].paused = false;
+        maybe_start_next(static_cast<ServerId>(target));
+      });
+    }
+    engine_.run();
+    finalize();
+    return std::move(result_);
+  }
+
+ private:
+  struct Server {
+    std::deque<Job> waiting;
+    double speed = 1.0;
+    bool paused = false;
+    bool busy = false;
+    std::int32_t qlen = 0;       // waiting + in service
+    std::int32_t committed = 0;  // qlen + dispatched-but-not-completed
+    SimDuration busy_time = 0;
+    Rng rng;
+  };
+
+  struct Client {
+    std::unique_ptr<RequestSource> source;
+    Rng rng;
+    RoundRobinCursor rr;
+    std::vector<ServerLoad> table;  // broadcast policy's local view
+    /// Memory-augmented polling: last round's winner (kInvalidServer when
+    /// unset or invalidated by a blind dispatch).
+    ServerLoad memory{kInvalidServer, 0, 0};
+  };
+
+  /// In-flight poll round for one request (polling policy only).
+  struct PollRound {
+    Job job;
+    std::size_t client = 0;
+    std::vector<ServerId> targets;
+    std::vector<ServerLoad> replies;
+    bool dispatched = false;
+  };
+
+  // --- request generation --------------------------------------------------
+
+  void schedule_next_arrival(std::size_t c) {
+    if (generated_ >= config_.total_requests) return;
+    const TraceRecord rec = clients_[c].source->next();
+    ++generated_;
+    const std::int64_t index = generated_ - 1;
+    engine_.schedule_after(rec.arrival_interval, [this, c, index, rec] {
+      Job job;
+      job.index = index;
+      job.generated_at = engine_.now();
+      job.service_time = rec.service_time;
+      handle_new_request(c, job);
+      schedule_next_arrival(c);
+    });
+  }
+
+  void handle_new_request(std::size_t c, const Job& job) {
+    Client& client = clients_[c];
+    switch (config_.policy.kind) {
+      case PolicyKind::kRandom:
+        dispatch(job, pick_random(all_server_ids_, client.rng));
+        break;
+      case PolicyKind::kRoundRobin:
+        dispatch(job, client.rr.next(all_server_ids_));
+        break;
+      case PolicyKind::kIdeal: {
+        // The oracle sees assigned-but-uncompleted counts, matching the
+        // prototype's centralized manager which increments on assignment.
+        std::vector<ServerLoad> loads(servers_.size());
+        for (std::size_t s = 0; s < servers_.size(); ++s) {
+          loads[s] = {static_cast<ServerId>(s), servers_[s].committed,
+                      engine_.now()};
+        }
+        dispatch(job, pick_least_loaded(loads, client.rng));
+        break;
+      }
+      case PolicyKind::kBroadcast: {
+        const ServerId target = pick_least_loaded(client.table, client.rng);
+        if (config_.policy.optimistic_increment) {
+          ++client.table[static_cast<std::size_t>(target)].queue_length;
+        }
+        dispatch(job, target);
+        break;
+      }
+      case PolicyKind::kPolling:
+        start_poll_round(c, job);
+        break;
+    }
+  }
+
+  // --- random polling -------------------------------------------------------
+
+  void start_poll_round(std::size_t c, const Job& job) {
+    auto round = std::make_shared<PollRound>();
+    round->job = job;
+    round->client = c;
+    round->targets = choose_poll_set(
+        all_server_ids_, static_cast<std::size_t>(config_.policy.poll_size),
+        clients_[c].rng);
+    result_.polls_sent +=
+        static_cast<std::int64_t>(round->targets.size());
+
+    for (const ServerId target : round->targets) {
+      ++result_.messages;  // inquiry
+      engine_.schedule_after(config_.network.poll_oneway, [this, round,
+                                                           target] {
+        answer_poll(round, target);
+      });
+    }
+    if (config_.policy.discard_timeout > 0) {
+      engine_.schedule_after(config_.policy.discard_timeout, [this, round] {
+        if (!round->dispatched) finish_poll_round(*round);
+      });
+    }
+  }
+
+  void answer_poll(const std::shared_ptr<PollRound>& round, ServerId target) {
+    Server& server = servers_[static_cast<std::size_t>(target)];
+    // Reply cost: a fixed CPU charge plus an optional queue-proportional
+    // term modelling slow replies from busy servers (paper §3.2 profile).
+    SimDuration reply_delay = config_.network.poll_reply_cpu;
+    if (config_.network.poll_reply_scales_with_queue) {
+      reply_delay += config_.network.poll_reply_cpu * server.qlen;
+    }
+    const ServerLoad observation{target, server.qlen, engine_.now()};
+    ++result_.messages;  // reply
+    engine_.schedule_after(
+        reply_delay + config_.network.poll_oneway, [this, round, observation] {
+          if (round->dispatched) {
+            ++result_.polls_discarded;
+            return;
+          }
+          round->replies.push_back(observation);
+          if (round->replies.size() == round->targets.size()) {
+            finish_poll_round(*round);
+          }
+        });
+  }
+
+  void finish_poll_round(PollRound& round) {
+    round.dispatched = true;
+    Client& client = clients_[round.client];
+    ServerId target = kInvalidServer;
+    std::vector<ServerLoad> candidates = round.replies;
+    if (config_.policy.poll_memory &&
+        client.memory.server != kInvalidServer) {
+      candidates.push_back(client.memory);
+    }
+    if (candidates.empty()) {
+      target = pick_random(round.targets, client.rng);
+      client.memory = {kInvalidServer, 0, 0};  // blind dispatch: no info
+    } else {
+      target = pick_least_loaded(candidates, client.rng);
+      if (config_.policy.poll_memory) {
+        // Remember the winner, accounting for the access we now add to it.
+        for (const ServerLoad& entry : candidates) {
+          if (entry.server == target) {
+            client.memory = {target, entry.queue_length + 1, engine_.now()};
+            break;
+          }
+        }
+      }
+    }
+    if (should_record(round.job)) {
+      result_.poll_time_ms.add(to_ms(engine_.now() - round.job.generated_at));
+    }
+    dispatch(round.job, target);
+  }
+
+  // --- dispatch, queueing, service ------------------------------------------
+
+  void dispatch(Job job, ServerId target) {
+    job.dispatched_at = engine_.now();
+    Server& server = servers_[static_cast<std::size_t>(target)];
+    ++server.committed;
+    ++result_.messages;  // request
+    engine_.schedule_after(config_.network.request_oneway,
+                           [this, job, target] { arrive(job, target); });
+  }
+
+  void arrive(const Job& job, ServerId target) {
+    Server& server = servers_[static_cast<std::size_t>(target)];
+    if (should_record(job)) {
+      result_.queue_on_arrival.add(server.qlen);
+    }
+    ++server.qlen;
+    if (server.busy || server.paused) {
+      server.waiting.push_back(job);
+    } else {
+      begin_service(job, target);
+    }
+  }
+
+  /// Starts the next waiting job if the unit is free and not paused.
+  void maybe_start_next(ServerId target) {
+    Server& server = servers_[static_cast<std::size_t>(target)];
+    if (server.busy || server.paused || server.waiting.empty()) return;
+    const Job next = server.waiting.front();
+    server.waiting.pop_front();
+    begin_service(next, target);
+  }
+
+  void begin_service(const Job& job, ServerId target) {
+    Server& server = servers_[static_cast<std::size_t>(target)];
+    server.busy = true;
+    const auto effective = static_cast<SimDuration>(
+        static_cast<double>(job.service_time) / server.speed);
+    engine_.schedule_after(effective, [this, job, target, effective] {
+      complete_service(job, target, effective);
+    });
+  }
+
+  void complete_service(const Job& job, ServerId target,
+                        SimDuration effective) {
+    Server& server = servers_[static_cast<std::size_t>(target)];
+    server.busy_time += effective;
+    --server.qlen;
+    --server.committed;
+    server.busy = false;
+    ++result_.per_server_served[static_cast<std::size_t>(target)];
+    maybe_start_next(target);
+    ++result_.messages;  // response
+    engine_.schedule_after(config_.network.request_oneway,
+                           [this, job] { receive_response(job); });
+  }
+
+  void receive_response(const Job& job) {
+    if (should_record(job)) {
+      const double rt_ms = to_ms(engine_.now() - job.generated_at);
+      result_.response_ms.add(rt_ms);
+      result_.response_hist_ms.add(rt_ms);
+    }
+    ++result_.completed;
+    if (result_.completed == config_.total_requests) engine_.stop();
+  }
+
+  // --- broadcast policy ------------------------------------------------------
+
+  void schedule_broadcast(std::size_t s) {
+    const double mean = static_cast<double>(config_.policy.broadcast_interval);
+    const SimDuration interval =
+        config_.policy.broadcast_jitter
+            ? static_cast<SimDuration>(
+                  servers_[s].rng.uniform(0.5 * mean, 1.5 * mean))
+            : static_cast<SimDuration>(mean);
+    engine_.schedule_after(interval, [this, s] {
+      ++result_.broadcasts_sent;
+      const ServerLoad announcement{static_cast<ServerId>(s),
+                                    servers_[s].qlen, engine_.now()};
+      for (std::size_t c = 0; c < clients_.size(); ++c) {
+        ++result_.messages;  // one delivery per listening client
+        engine_.schedule_after(config_.network.broadcast_oneway,
+                               [this, c, announcement] {
+                                 clients_[c].table[static_cast<std::size_t>(
+                                     announcement.server)] = announcement;
+                               });
+      }
+      schedule_broadcast(s);
+    });
+  }
+
+  // --- bookkeeping -----------------------------------------------------------
+
+  bool should_record(const Job& job) const {
+    return job.index >= config_.warmup_requests;
+  }
+
+  void finalize() {
+    const double span = to_sec(engine_.now());
+    if (span > 0.0) {
+      double busy = 0.0;
+      for (const Server& server : servers_) {
+        busy += to_sec(server.busy_time);
+      }
+      result_.utilization = busy / (span * static_cast<double>(servers_.size()));
+    }
+  }
+
+  SimConfig config_;
+  Rng root_rng_;
+  Engine engine_;
+  std::vector<Server> servers_;
+  std::vector<ServerId> all_server_ids_;
+  std::vector<Client> clients_;
+  std::int64_t generated_ = 0;
+  SimResult result_;
+};
+
+}  // namespace
+
+SimResult run_cluster_sim(const SimConfig& config, const Workload& workload) {
+  Simulation simulation(config, workload);
+  return simulation.run();
+}
+
+}  // namespace finelb::sim

@@ -1,0 +1,97 @@
+// Configuration and result types for the cluster simulation (paper §2).
+#pragma once
+
+#include <cstdint>
+
+#include "core/policy.h"
+#include "stats/accumulator.h"
+#include "stats/histogram.h"
+#include "workload/workload.h"
+
+namespace finelb::sim {
+
+/// Network and overhead model. Defaults come straight from the paper's
+/// measurements on its 100 Mb/s switched Linux cluster:
+///   * request+response transit = half a TCP round trip with connection
+///     setup/teardown (516 us), i.e. 129 us per message leg;
+///   * a UDP poll round trip costs 290 us, i.e. 145 us per leg.
+struct NetworkModel {
+  /// One-way latency of a service request or response message.
+  SimDuration request_oneway = from_us(129);
+  /// One-way latency of a poll inquiry or poll reply.
+  SimDuration poll_oneway = from_us(145);
+  /// One-way latency of a broadcast announcement.
+  SimDuration broadcast_oneway = from_us(145);
+  /// CPU time a server spends answering one poll. The base simulation study
+  /// (Figure 4) uses 0 — the paper's simulator does not charge for polls,
+  /// which is exactly why its prototype (Figure 6) diverges at poll size 8.
+  /// The ablation benches raise this to study that divergence.
+  SimDuration poll_reply_cpu = 0;
+  /// Additional per-queued-access slowdown of a poll reply: the reply is
+  /// delayed by poll_reply_cpu * queue_length on a busy server, modelling
+  /// the paper's §3.2 profile (busy servers answer UDP slowly).
+  bool poll_reply_scales_with_queue = false;
+};
+
+/// Extension: a planned server outage. During [start, start + duration) the
+/// server's processing unit is paused — an in-flight access finishes, but
+/// no queued access starts until the outage ends. Arrivals keep queueing
+/// and load inquiries keep being answered (with the growing queue length),
+/// which is exactly what makes outages visible to load-aware policies.
+struct ServerOutage {
+  int server = 0;
+  SimTime start = 0;
+  SimDuration duration = 0;
+};
+
+struct SimConfig {
+  int servers = 16;
+  /// Independent client request streams (the prototype uses up to 6 client
+  /// nodes; the aggregate arrival rate is split evenly across streams).
+  int clients = 6;
+  PolicyConfig policy;
+  /// Per-server offered utilization in (0, 1).
+  double load = 0.9;
+  NetworkModel network;
+  /// Requests generated in total (across all clients).
+  std::int64_t total_requests = 200'000;
+  /// Leading completions excluded from statistics (transient removal).
+  std::int64_t warmup_requests = 20'000;
+  /// Extension: relative server speeds (empty = homogeneous 1.0). A speed
+  /// of 2.0 halves every service time executed on that server. `load` is
+  /// interpreted against the *total* cluster speed.
+  std::vector<double> server_speeds;
+  /// Extension: planned outages (see ServerOutage).
+  std::vector<ServerOutage> outages;
+  std::uint64_t seed = 1;
+};
+
+struct SimResult {
+  /// Client-observed response time in ms (poll time + transit + queueing +
+  /// service), post-warmup.
+  Accumulator response_ms;
+  LatencyHistogram response_hist_ms;
+  /// Time spent acquiring load information per request (polling only).
+  Accumulator poll_time_ms;
+  /// Mean measured per-server utilization (busy-time fraction).
+  double utilization = 0.0;
+  /// Mean queue length observed by dispatched requests on arrival.
+  Accumulator queue_on_arrival;
+  /// Completed accesses per server (load distribution diagnostic).
+  std::vector<std::int64_t> per_server_served;
+  std::int64_t polls_sent = 0;
+  std::int64_t polls_discarded = 0;
+  std::int64_t broadcasts_sent = 0;
+  /// Total network messages (requests + responses + polls + replies +
+  /// broadcast deliveries) — the scalability discussion in §2.4.
+  std::int64_t messages = 0;
+  std::int64_t completed = 0;
+
+  double mean_response_ms() const { return response_ms.mean(); }
+};
+
+/// Runs one policy/workload/load configuration to completion and returns
+/// aggregate statistics. Deterministic for a fixed config (including seed).
+SimResult run_cluster_sim(const SimConfig& config, const Workload& workload);
+
+}  // namespace finelb::sim

@@ -1,0 +1,45 @@
+#include "sim/engine.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace finelb::sim {
+
+void Engine::schedule_at(SimTime t, EventFn fn) {
+  FINELB_CHECK(t >= now_, "cannot schedule into the past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Engine::schedule_after(SimDuration delay, EventFn fn) {
+  FINELB_CHECK(delay >= 0, "negative event delay");
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void Engine::run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    // priority_queue::top() is const; move out via const_cast before pop,
+    // which is safe because the element is removed immediately after.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    ++processed_;
+    event.fn();
+  }
+}
+
+void Engine::run_until(SimTime t) {
+  FINELB_CHECK(t >= now_, "cannot run backwards");
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_ && queue_.top().time <= t) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    ++processed_;
+    event.fn();
+  }
+  if (!stopped_) now_ = t;
+}
+
+}  // namespace finelb::sim

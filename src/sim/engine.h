@@ -1,0 +1,64 @@
+// Discrete-event simulation engine.
+//
+// A single-threaded event loop over simulated time: events are (time, seq,
+// closure) triples in a binary heap; `seq` makes same-time events fire in
+// scheduling order, which keeps runs deterministic. The engine knows nothing
+// about servers or policies — the cluster model in cluster_sim.cc builds on
+// it, as do the tests that validate it against queueing theory.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/time.h"
+
+namespace finelb::sim {
+
+using EventFn = std::function<void()>;
+
+class Engine {
+ public:
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t`; `t` must not precede `now()`.
+  void schedule_at(SimTime t, EventFn fn);
+
+  /// Schedules `fn` after `delay` (>= 0) simulated time.
+  void schedule_after(SimDuration delay, EventFn fn);
+
+  /// Runs events until the queue empties or `stop()` is called.
+  void run();
+
+  /// Runs events with timestamp <= `t`, then advances the clock to `t`
+  /// (even if the queue still has later events).
+  void run_until(SimTime t);
+
+  /// Makes run()/run_until() return after the current event completes.
+  void stop() { stopped_ = true; }
+
+  bool empty() const { return queue_.empty(); }
+  std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace finelb::sim

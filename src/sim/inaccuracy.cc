@@ -1,0 +1,134 @@
+#include "sim/inaccuracy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "sim/engine.h"
+
+namespace finelb::sim {
+
+void QueueTrajectory::append(SimTime time, std::int32_t value) {
+  FINELB_CHECK(times_.empty() || time >= times_.back(),
+               "trajectory steps must be time-ordered");
+  FINELB_CHECK(value >= 0, "queue length cannot be negative");
+  times_.push_back(time);
+  values_.push_back(value);
+}
+
+std::int32_t QueueTrajectory::value_at(SimTime t) const {
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  if (it == times_.begin()) return 0;
+  return values_[static_cast<std::size_t>(it - times_.begin()) - 1];
+}
+
+SimTime QueueTrajectory::start() const {
+  FINELB_CHECK(!times_.empty(), "empty trajectory");
+  return times_.front();
+}
+
+SimTime QueueTrajectory::end() const {
+  FINELB_CHECK(!times_.empty(), "empty trajectory");
+  return times_.back();
+}
+
+QueueTrajectory record_single_server_trajectory(const Workload& workload,
+                                                double rho,
+                                                std::int64_t requests,
+                                                std::uint64_t seed) {
+  FINELB_CHECK(rho > 0.0 && rho < 1.0, "rho must be in (0, 1)");
+  FINELB_CHECK(requests > 0, "need at least one request");
+
+  Engine engine;
+  QueueTrajectory trajectory;
+  auto source =
+      workload.make_source(workload.arrival_scale_for_load(rho, 1), seed);
+
+  struct State {
+    std::int32_t qlen = 0;
+    bool busy = false;
+    std::deque<SimDuration> waiting;
+    std::int64_t generated = 0;
+  } state;
+
+  // Forward declarations via std::function so the two closures can chain.
+  std::function<void(SimDuration)> start_service;
+  std::function<void()> schedule_arrival;
+
+  start_service = [&](SimDuration service_time) {
+    state.busy = true;
+    engine.schedule_after(service_time, [&] {
+      --state.qlen;
+      trajectory.append(engine.now(), state.qlen);
+      state.busy = false;
+      if (!state.waiting.empty()) {
+        const SimDuration next = state.waiting.front();
+        state.waiting.pop_front();
+        start_service(next);
+      }
+    });
+  };
+
+  schedule_arrival = [&] {
+    if (state.generated >= requests) return;
+    ++state.generated;
+    const TraceRecord rec = source->next();
+    engine.schedule_after(rec.arrival_interval, [&, rec] {
+      ++state.qlen;
+      trajectory.append(engine.now(), state.qlen);
+      if (state.busy) {
+        state.waiting.push_back(rec.service_time);
+      } else {
+        start_service(rec.service_time);
+      }
+      schedule_arrival();
+    });
+  };
+
+  schedule_arrival();
+  engine.run();
+  return trajectory;
+}
+
+double measure_inaccuracy(const QueueTrajectory& trajectory, SimDuration delta,
+                          std::int64_t samples, std::uint64_t seed) {
+  FINELB_CHECK(delta >= 0, "delay must be non-negative");
+  FINELB_CHECK(samples > 0, "need at least one sample");
+  const SimTime start = trajectory.start();
+  const SimTime end = trajectory.end();
+  // Skip the initial transient and keep t + delta inside the record.
+  const SimTime lo = start + (end - start) / 10;
+  const SimTime hi = end - delta;
+  FINELB_CHECK(hi > lo, "trajectory too short for requested delay");
+
+  Rng rng(seed);
+  double total = 0.0;
+  for (std::int64_t i = 0; i < samples; ++i) {
+    const SimTime t =
+        lo + static_cast<SimTime>(rng.uniform_int(
+                 static_cast<std::uint64_t>(hi - lo)));
+    total += std::abs(trajectory.value_at(t + delta) - trajectory.value_at(t));
+  }
+  return total / static_cast<double>(samples);
+}
+
+std::vector<InaccuracyPoint> inaccuracy_sweep(
+    const Workload& workload, double rho,
+    const std::vector<double>& normalized_delays, std::int64_t requests,
+    std::int64_t samples, std::uint64_t seed) {
+  const QueueTrajectory trajectory =
+      record_single_server_trajectory(workload, rho, requests, seed);
+  const double mean_service = workload.mean_service_sec();
+  std::vector<InaccuracyPoint> points;
+  points.reserve(normalized_delays.size());
+  for (const double norm : normalized_delays) {
+    const SimDuration delta = from_sec(norm * mean_service);
+    points.push_back(
+        {norm, measure_inaccuracy(trajectory, delta, samples, seed + 7)});
+  }
+  return points;
+}
+
+}  // namespace finelb::sim

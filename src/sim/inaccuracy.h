@@ -1,0 +1,65 @@
+// Load-index inaccuracy study (paper §2.1, Figure 2).
+//
+// Simulates a single FIFO server fed by a workload at a target utilization,
+// records the full queue-length trajectory as a step function, and measures
+// the mean absolute queue-length difference between observations Delta time
+// apart:  inaccuracy(Delta) = E |Q(t + Delta) - Q(t)|.
+//
+// For the Poisson/Exp workload this saturates (as Delta grows) at the
+// paper's Equation (1) bound 2 rho / (1 - rho^2)
+// (stats/queueing.h::stale_index_inaccuracy_bound).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+#include "workload/workload.h"
+
+namespace finelb::sim {
+
+/// Queue length of a single server as a right-continuous step function.
+class QueueTrajectory {
+ public:
+  /// Appends a step: the queue length becomes `value` at `time`. Times must
+  /// be non-decreasing.
+  void append(SimTime time, std::int32_t value);
+
+  /// Queue length at time t (value of the most recent step at or before t;
+  /// 0 before the first step).
+  std::int32_t value_at(SimTime t) const;
+
+  SimTime start() const;
+  SimTime end() const;
+  std::size_t steps() const { return times_.size(); }
+
+ private:
+  std::vector<SimTime> times_;
+  std::vector<std::int32_t> values_;
+};
+
+/// Runs a single-server simulation of `workload` at utilization `rho` for
+/// `requests` arrivals and returns the queue-length trajectory.
+QueueTrajectory record_single_server_trajectory(const Workload& workload,
+                                                double rho,
+                                                std::int64_t requests,
+                                                std::uint64_t seed);
+
+/// Mean |Q(t+delta) - Q(t)| over `samples` uniformly random t drawn from the
+/// middle of the trajectory (both t and t+delta stay inside the recorded
+/// span, and the first 10% is skipped as warmup).
+double measure_inaccuracy(const QueueTrajectory& trajectory, SimDuration delta,
+                          std::int64_t samples, std::uint64_t seed);
+
+struct InaccuracyPoint {
+  double delay_over_service;  // delay normalized to mean service time
+  double inaccuracy;          // mean |Q(t+d) - Q(t)|
+};
+
+/// The full Figure 2 sweep for one workload/utilization.
+std::vector<InaccuracyPoint> inaccuracy_sweep(
+    const Workload& workload, double rho,
+    const std::vector<double>& normalized_delays, std::int64_t requests,
+    std::int64_t samples, std::uint64_t seed);
+
+}  // namespace finelb::sim

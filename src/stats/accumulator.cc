@@ -1,0 +1,68 @@
+#include "stats/accumulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace finelb {
+
+void Accumulator::add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Accumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double Accumulator::sample_variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(sample_variance()); }
+
+double Accumulator::cv() const {
+  const double m = mean();
+  return m == 0.0 ? 0.0 : stddev() / m;
+}
+
+void TimeWeighted::update(double time, double new_value) {
+  FINELB_CHECK(time >= last_time_, "TimeWeighted updates must be in order");
+  integral_ += value_ * (time - last_time_);
+  last_time_ = time;
+  value_ = new_value;
+}
+
+double TimeWeighted::time_average(double now) const {
+  FINELB_CHECK(now >= last_time_, "time_average query precedes last update");
+  const double span = now - start_;
+  if (span <= 0.0) return value_;
+  const double integral = integral_ + value_ * (now - last_time_);
+  return integral / span;
+}
+
+}  // namespace finelb

@@ -1,0 +1,68 @@
+// Streaming statistical accumulators.
+//
+// `Accumulator` keeps count/mean/variance/min/max in O(1) memory using
+// Welford's numerically stable recurrence; experiments push millions of
+// response-time samples through it. `TimeWeighted` integrates a piecewise-
+// constant signal (e.g. queue length) over time, which is how server
+// utilization and time-average queue length are measured.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace finelb {
+
+class Accumulator {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator (parallel composition); exact for
+  /// count/mean/variance via Chan's pairwise update.
+  void merge(const Accumulator& other);
+
+  std::int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Population variance (divides by n). Returns 0 for fewer than 2 samples.
+  double variance() const;
+  /// Sample variance (divides by n-1). Returns 0 for fewer than 2 samples.
+  double sample_variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  /// Coefficient of variation (stddev/mean); 0 when mean is 0.
+  double cv() const;
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Integrates a piecewise-constant signal over time. `update(t, v)` records
+/// that the signal held its previous value on [last_t, t) and is `v` from t
+/// onward. Query `time_average(t)` for the average over [start, t).
+class TimeWeighted {
+ public:
+  explicit TimeWeighted(double start_time = 0.0, double initial_value = 0.0)
+      : start_(start_time), last_time_(start_time), value_(initial_value) {}
+
+  void update(double time, double new_value);
+
+  /// Average of the signal over [start, now); `now` must be >= the last
+  /// update time. Returns the current value if no time has elapsed.
+  double time_average(double now) const;
+
+  double current() const { return value_; }
+
+ private:
+  double start_;
+  double last_time_;
+  double value_;
+  double integral_ = 0.0;
+};
+
+}  // namespace finelb

@@ -1,0 +1,56 @@
+// Latency histogram with logarithmic buckets.
+//
+// Response times in these experiments span ~100 µs to multiple seconds, so a
+// log-bucketed histogram (HdrHistogram-style, base-2 exponent with linear
+// sub-buckets) gives bounded relative quantile error in O(1) memory per
+// sample. Used to report median/p95/p99 alongside the paper's mean response
+// time, and to profile poll latencies for the Table 2 discard study.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace finelb {
+
+class LatencyHistogram {
+ public:
+  /// `sub_bucket_bits` linear sub-buckets per power of two; 5 bits (32
+  /// sub-buckets) bounds relative error at ~3%.
+  explicit LatencyHistogram(int sub_bucket_bits = 5);
+
+  /// Records a non-negative value (negative values clamp to zero).
+  void add(double value);
+
+  void merge(const LatencyHistogram& other);
+
+  std::int64_t count() const { return count_; }
+
+  /// Quantile in [0, 1]; returns the representative (geometric midpoint) of
+  /// the bucket containing that rank. Returns 0 for an empty histogram.
+  double quantile(double q) const;
+
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+  /// Fraction of recorded values strictly greater than `threshold`'s bucket
+  /// lower bound — used for "x% of polls slower than 1 ms" profiling.
+  double fraction_above(double threshold) const;
+
+  double recorded_min() const { return count_ > 0 ? min_ : 0.0; }
+  double recorded_max() const { return count_ > 0 ? max_ : 0.0; }
+
+ private:
+  std::size_t bucket_index(double value) const;
+  double bucket_lower(std::size_t index) const;
+  double bucket_upper(std::size_t index) const;
+
+  int sub_bucket_bits_;
+  std::int64_t sub_bucket_count_;
+  std::vector<std::int64_t> buckets_;
+  std::int64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace finelb

@@ -1,0 +1,86 @@
+#include "stats/queueing.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace finelb::queueing {
+
+double mm1_queue_length_pmf(double rho, int k) {
+  FINELB_CHECK(rho >= 0.0 && rho < 1.0, "rho must be in [0, 1)");
+  FINELB_CHECK(k >= 0, "queue length must be non-negative");
+  return (1.0 - rho) * std::pow(rho, k);
+}
+
+double mm1_mean_queue_length(double rho) {
+  FINELB_CHECK(rho >= 0.0 && rho < 1.0, "rho must be in [0, 1)");
+  return rho / (1.0 - rho);
+}
+
+double mm1_mean_response_time(double rho, double mean_service_time) {
+  FINELB_CHECK(rho >= 0.0 && rho < 1.0, "rho must be in [0, 1)");
+  FINELB_CHECK(mean_service_time > 0.0, "service time must be positive");
+  return mean_service_time / (1.0 - rho);
+}
+
+double stale_index_inaccuracy_bound(double rho) {
+  FINELB_CHECK(rho >= 0.0 && rho < 1.0, "rho must be in [0, 1)");
+  return 2.0 * rho / (1.0 - rho * rho);
+}
+
+double stale_index_inaccuracy_series(double rho) {
+  FINELB_CHECK(rho >= 0.0 && rho < 1.0, "rho must be in [0, 1)");
+  const double p0 = (1.0 - rho) * (1.0 - rho);
+  double total = 0.0;
+  // Terms decay geometrically; 4096 x 4096 is far beyond the 1e-15 cutoff
+  // for any rho of interest, but bound the loops defensively anyway.
+  for (int i = 0; i < 4096; ++i) {
+    const double pi = std::pow(rho, i);
+    if (p0 * pi * i < 1e-15 && i > 0) break;
+    for (int j = 0; j < 4096; ++j) {
+      const double term = p0 * pi * std::pow(rho, j) * std::abs(i - j);
+      total += term;
+      if (term < 1e-15 && j > i) break;
+    }
+  }
+  return total;
+}
+
+double mg1_mean_response_time(double rho, double mean_service_time,
+                              double service_cv) {
+  FINELB_CHECK(rho >= 0.0 && rho < 1.0, "rho must be in [0, 1)");
+  FINELB_CHECK(mean_service_time > 0.0, "service time must be positive");
+  FINELB_CHECK(service_cv >= 0.0, "cv must be non-negative");
+  const double cv2 = service_cv * service_cv;
+  return mean_service_time +
+         rho * mean_service_time * (1.0 + cv2) / (2.0 * (1.0 - rho));
+}
+
+double erlang_c(int servers, double offered_load) {
+  FINELB_CHECK(servers >= 1, "need at least one server");
+  FINELB_CHECK(offered_load >= 0.0 && offered_load < servers,
+               "offered load must be < server count for stability");
+  // Compute iteratively to avoid factorial overflow: inv_b is the inverse of
+  // the Erlang-B blocking probability built up one server at a time.
+  double inv_b = 1.0;
+  for (int k = 1; k <= servers; ++k) {
+    inv_b = 1.0 + inv_b * static_cast<double>(k) / offered_load;
+  }
+  const double erlang_b = 1.0 / inv_b;
+  const double rho = offered_load / servers;
+  return erlang_b / (1.0 - rho + rho * erlang_b);
+}
+
+double mmc_mean_response_time(int servers, double per_server_rho,
+                              double mean_service_time) {
+  FINELB_CHECK(per_server_rho >= 0.0 && per_server_rho < 1.0,
+               "per-server rho must be in [0, 1)");
+  const double offered = per_server_rho * servers;
+  const double wait_prob = erlang_c(servers, offered);
+  const double mean_wait =
+      wait_prob * mean_service_time /
+      (static_cast<double>(servers) * (1.0 - per_server_rho));
+  return mean_service_time + mean_wait;
+}
+
+}  // namespace finelb::queueing

@@ -1,0 +1,52 @@
+// Closed-form queueing analytics used by the experiments and tests.
+//
+// The paper's Figure 2 plots the measured load-index inaccuracy of a single
+// M/M/1 server against the closed-form upper bound of its Equation (1):
+//
+//   E|Q(t1) - Q(t2)| = sum_{i,j} (1-rho)^2 rho^{i+j} |i-j| = 2 rho / (1-rho^2)
+//
+// where Q has the limiting geometric distribution P(Q=k) = (1-rho) rho^k.
+// The M/M/1 and M/G/1 response-time formulas are used by property tests to
+// validate the simulator against theory.
+#pragma once
+
+namespace finelb::queueing {
+
+/// Limiting probability P(Q = k) for an M/M/1 queue at utilization rho.
+/// Q counts customers in the *system* (in service + waiting), matching the
+/// paper's load index ("total number of active service accesses").
+double mm1_queue_length_pmf(double rho, int k);
+
+/// Mean number in system for M/M/1: rho / (1 - rho).
+double mm1_mean_queue_length(double rho);
+
+/// Mean response (sojourn) time for M/M/1 with mean service time s:
+/// s / (1 - rho).
+double mm1_mean_response_time(double rho, double mean_service_time);
+
+/// Equation (1): the delay->infinity upper bound on load-index inaccuracy
+/// for a Poisson/Exp server at utilization rho: 2 rho / (1 - rho^2).
+double stale_index_inaccuracy_bound(double rho);
+
+/// Mean |X - Y| for X, Y i.i.d. geometric-on-{0,1,...} with success
+/// parameter (1-rho) — the brute-force series behind Equation (1), exposed
+/// so tests can confirm the closed form. Truncates the series once terms
+/// fall below 1e-15.
+double stale_index_inaccuracy_series(double rho);
+
+/// Pollaczek-Khinchine mean response time for M/G/1: service mean s,
+/// service-time coefficient of variation cv (stddev/mean), utilization rho.
+///   W = s + rho * s * (1 + cv^2) / (2 * (1 - rho))
+double mg1_mean_response_time(double rho, double mean_service_time,
+                              double service_cv);
+
+/// Mean response time for M/M/c (c identical servers sharing one queue) —
+/// the unreachable lower envelope for perfect least-loaded balancing with a
+/// central queue; used in tests as a sanity floor for IDEAL.
+double mmc_mean_response_time(int servers, double per_server_rho,
+                              double mean_service_time);
+
+/// Erlang-C probability that an arriving customer waits in an M/M/c queue.
+double erlang_c(int servers, double offered_load);
+
+}  // namespace finelb::queueing

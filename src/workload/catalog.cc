@@ -1,0 +1,69 @@
+#include "workload/catalog.h"
+
+#include "common/check.h"
+
+namespace finelb {
+
+TraceMoments fine_grain_moments() { return {331.0, 349.4, 22.2, 10.0}; }
+TraceMoments medium_grain_moments() { return {298.0, 321.1, 28.9, 62.9}; }
+
+Trace synth_trace(std::string name, const TraceMoments& moments,
+                  std::size_t count, std::uint64_t seed) {
+  FINELB_CHECK(count > 0, "trace must have at least one record");
+  const auto arrival = make_lognormal_from_moments(
+      moments.arrival_mean_ms / 1e3, moments.arrival_stddev_ms / 1e3);
+  const double service_cv =
+      moments.service_stddev_ms / moments.service_mean_ms;
+  // Gamma for low-variance services (the paper observes sub-exponential
+  // variance for the Fine-Grain service), lognormal for heavy-tailed ones.
+  const auto service =
+      service_cv < 1.0
+          ? make_gamma_from_moments(moments.service_mean_ms / 1e3,
+                                    moments.service_stddev_ms / 1e3)
+          : make_lognormal_from_moments(moments.service_mean_ms / 1e3,
+                                        moments.service_stddev_ms / 1e3);
+  Rng rng(seed);
+  std::vector<TraceRecord> records;
+  records.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    records.push_back(
+        {from_sec(arrival->sample(rng)), from_sec(service->sample(rng))});
+  }
+  return Trace(std::move(records), std::move(name));
+}
+
+Trace synth_fine_grain_trace(std::size_t count, std::uint64_t seed) {
+  return synth_trace("fine-grain", fine_grain_moments(), count, seed);
+}
+
+Trace synth_medium_grain_trace(std::size_t count, std::uint64_t seed) {
+  return synth_trace("medium-grain", medium_grain_moments(), count, seed);
+}
+
+Workload make_poisson_exp(double mean_service_sec) {
+  FINELB_CHECK(mean_service_sec > 0.0, "mean service time must be positive");
+  return Workload::from_distributions("poisson-exp",
+                                      make_exponential(mean_service_sec),
+                                      make_exponential(mean_service_sec));
+}
+
+Workload make_fine_grain(std::size_t trace_len, std::uint64_t seed) {
+  return Workload::from_trace(synth_fine_grain_trace(trace_len, seed));
+}
+
+Workload make_medium_grain(std::size_t trace_len, std::uint64_t seed) {
+  return Workload::from_trace(synth_medium_grain_trace(trace_len, seed));
+}
+
+Workload workload_by_name(const std::string& name,
+                          double poisson_mean_service_sec,
+                          std::size_t trace_len, std::uint64_t seed) {
+  if (name == "poisson") return make_poisson_exp(poisson_mean_service_sec);
+  if (name == "fine") return make_fine_grain(trace_len, seed);
+  if (name == "medium") return make_medium_grain(trace_len, seed);
+  FINELB_CHECK(false, "unknown workload: " + name +
+                          " (expected poisson|fine|medium)");
+  return make_poisson_exp(poisson_mean_service_sec);  // unreachable
+}
+
+}  // namespace finelb

@@ -1,0 +1,320 @@
+#include "workload/distribution.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+
+namespace finelb {
+namespace {
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+class Deterministic final : public Distribution {
+ public:
+  explicit Deterministic(double value) : value_(value) {
+    FINELB_CHECK(value >= 0.0, "deterministic value must be non-negative");
+  }
+  double sample(Rng&) const override { return value_; }
+  double mean() const override { return value_; }
+  double stddev() const override { return 0.0; }
+  std::string describe() const override { return "det:" + fmt(value_); }
+
+ private:
+  double value_;
+};
+
+class Exponential final : public Distribution {
+ public:
+  explicit Exponential(double mean) : mean_(mean) {
+    FINELB_CHECK(mean > 0.0, "exponential mean must be positive");
+  }
+  double sample(Rng& rng) const override { return rng.exponential(mean_); }
+  double mean() const override { return mean_; }
+  double stddev() const override { return mean_; }
+  std::string describe() const override { return "exp:" + fmt(mean_); }
+
+ private:
+  double mean_;
+};
+
+class Uniform final : public Distribution {
+ public:
+  Uniform(double lo, double hi) : lo_(lo), hi_(hi) {
+    FINELB_CHECK(0.0 <= lo && lo <= hi, "uniform requires 0 <= lo <= hi");
+  }
+  double sample(Rng& rng) const override { return rng.uniform(lo_, hi_); }
+  double mean() const override { return 0.5 * (lo_ + hi_); }
+  double stddev() const override {
+    return (hi_ - lo_) / std::sqrt(12.0);
+  }
+  std::string describe() const override {
+    return "uniform:" + fmt(lo_) + "," + fmt(hi_);
+  }
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+class Lognormal final : public Distribution {
+ public:
+  Lognormal(double mean, double stddev) : mean_(mean), stddev_(stddev) {
+    FINELB_CHECK(mean > 0.0, "lognormal mean must be positive");
+    FINELB_CHECK(stddev >= 0.0, "lognormal stddev must be non-negative");
+    const double cv2 = (stddev / mean) * (stddev / mean);
+    sigma2_ = std::log1p(cv2);
+    mu_ = std::log(mean) - 0.5 * sigma2_;
+  }
+  double sample(Rng& rng) const override {
+    return rng.lognormal(mu_, std::sqrt(sigma2_));
+  }
+  double mean() const override { return mean_; }
+  double stddev() const override { return stddev_; }
+  std::string describe() const override {
+    return "lognormal:" + fmt(mean_) + "," + fmt(stddev_);
+  }
+
+ private:
+  double mean_;
+  double stddev_;
+  double mu_;
+  double sigma2_;
+};
+
+class Gamma final : public Distribution {
+ public:
+  Gamma(double mean, double stddev) : mean_(mean), stddev_(stddev) {
+    FINELB_CHECK(mean > 0.0 && stddev > 0.0,
+                 "gamma requires positive mean and stddev");
+    const double cv2 = (stddev / mean) * (stddev / mean);
+    shape_ = 1.0 / cv2;
+    scale_ = mean / shape_;
+  }
+  double sample(Rng& rng) const override {
+    return sample_gamma(rng, shape_) * scale_;
+  }
+  double mean() const override { return mean_; }
+  double stddev() const override { return stddev_; }
+  std::string describe() const override {
+    return "gamma:" + fmt(mean_) + "," + fmt(stddev_);
+  }
+
+ private:
+  // Marsaglia-Tsang squeeze method; the k < 1 case boosts through k + 1.
+  static double sample_gamma(Rng& rng, double k) {
+    if (k < 1.0) {
+      const double u = std::max(rng.uniform01(), 1e-300);
+      return sample_gamma(rng, k + 1.0) * std::pow(u, 1.0 / k);
+    }
+    const double d = k - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    for (;;) {
+      double x = 0.0;
+      double v = 0.0;
+      do {
+        x = rng.normal(0.0, 1.0);
+        v = 1.0 + c * x;
+      } while (v <= 0.0);
+      v = v * v * v;
+      const double u = rng.uniform01();
+      if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+      if (u > 0.0 &&
+          std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+        return d * v;
+      }
+    }
+  }
+
+  double mean_;
+  double stddev_;
+  double shape_;
+  double scale_;
+};
+
+class Weibull final : public Distribution {
+ public:
+  Weibull(double mean, double stddev) : mean_(mean), stddev_(stddev) {
+    FINELB_CHECK(mean > 0.0 && stddev > 0.0,
+                 "weibull requires positive mean and stddev");
+    shape_ = solve_shape(stddev / mean);
+    scale_ = mean / std::tgamma(1.0 + 1.0 / shape_);
+  }
+  double sample(Rng& rng) const override {
+    const double u = std::max(1.0 - rng.uniform01(), 1e-300);
+    return scale_ * std::pow(-std::log(u), 1.0 / shape_);
+  }
+  double mean() const override { return mean_; }
+  double stddev() const override { return stddev_; }
+  std::string describe() const override {
+    return "weibull:" + fmt(mean_) + "," + fmt(stddev_);
+  }
+
+ private:
+  static double cv_of_shape(double k) {
+    const double g1 = std::lgamma(1.0 + 1.0 / k);
+    const double g2 = std::lgamma(1.0 + 2.0 / k);
+    return std::sqrt(std::max(std::exp(g2 - 2.0 * g1) - 1.0, 0.0));
+  }
+
+  // CV decreases monotonically in the shape parameter; bisect on it.
+  static double solve_shape(double cv) {
+    FINELB_CHECK(cv > 0.0, "weibull cv must be positive");
+    double lo = 0.05, hi = 50.0;
+    FINELB_CHECK(cv_of_shape(lo) > cv && cv_of_shape(hi) < cv,
+                 "weibull cv out of supported range");
+    for (int i = 0; i < 200; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      if (cv_of_shape(mid) > cv) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    return 0.5 * (lo + hi);
+  }
+
+  double mean_;
+  double stddev_;
+  double shape_;
+  double scale_;
+};
+
+class Pareto final : public Distribution {
+ public:
+  Pareto(double alpha, double x_m) : alpha_(alpha), x_m_(x_m) {
+    FINELB_CHECK(alpha > 1.0, "pareto needs alpha > 1 for a finite mean");
+    FINELB_CHECK(x_m > 0.0, "pareto minimum must be positive");
+  }
+  double sample(Rng& rng) const override {
+    const double u = std::max(1.0 - rng.uniform01(), 1e-300);
+    return x_m_ * std::pow(u, -1.0 / alpha_);
+  }
+  double mean() const override { return alpha_ * x_m_ / (alpha_ - 1.0); }
+  double stddev() const override {
+    if (alpha_ <= 2.0) return std::numeric_limits<double>::infinity();
+    return x_m_ * std::sqrt(alpha_) /
+           ((alpha_ - 1.0) * std::sqrt(alpha_ - 2.0));
+  }
+  std::string describe() const override {
+    return "pareto:" + fmt(alpha_) + "," + fmt(x_m_);
+  }
+
+ private:
+  double alpha_;
+  double x_m_;
+};
+
+class ShiftedExponential final : public Distribution {
+ public:
+  ShiftedExponential(double offset, double mean_excess)
+      : offset_(offset), mean_excess_(mean_excess) {
+    FINELB_CHECK(offset >= 0.0 && mean_excess > 0.0,
+                 "shifted exponential parameters out of range");
+  }
+  double sample(Rng& rng) const override {
+    return offset_ + rng.exponential(mean_excess_);
+  }
+  double mean() const override { return offset_ + mean_excess_; }
+  double stddev() const override { return mean_excess_; }
+  std::string describe() const override {
+    return "shiftedexp:" + fmt(offset_) + "," + fmt(mean_excess_);
+  }
+
+ private:
+  double offset_;
+  double mean_excess_;
+};
+
+std::vector<double> parse_params(const std::string& body) {
+  std::vector<double> params;
+  std::istringstream is(body);
+  std::string piece;
+  while (std::getline(is, piece, ',')) {
+    FINELB_CHECK(!piece.empty(), "empty parameter in distribution spec");
+    params.push_back(std::stod(piece));
+  }
+  return params;
+}
+
+}  // namespace
+
+DistributionPtr make_deterministic(double value) {
+  return std::make_shared<Deterministic>(value);
+}
+DistributionPtr make_exponential(double mean) {
+  return std::make_shared<Exponential>(mean);
+}
+DistributionPtr make_uniform(double lo, double hi) {
+  return std::make_shared<Uniform>(lo, hi);
+}
+DistributionPtr make_lognormal_from_moments(double mean, double stddev) {
+  return std::make_shared<Lognormal>(mean, stddev);
+}
+DistributionPtr make_gamma_from_moments(double mean, double stddev) {
+  return std::make_shared<Gamma>(mean, stddev);
+}
+DistributionPtr make_weibull_from_moments(double mean, double stddev) {
+  return std::make_shared<Weibull>(mean, stddev);
+}
+DistributionPtr make_pareto(double alpha, double x_m) {
+  return std::make_shared<Pareto>(alpha, x_m);
+}
+DistributionPtr make_shifted_exponential(double offset, double mean_excess) {
+  return std::make_shared<ShiftedExponential>(offset, mean_excess);
+}
+
+DistributionPtr parse_distribution(const std::string& spec) {
+  const auto colon = spec.find(':');
+  FINELB_CHECK(colon != std::string::npos,
+               "distribution spec needs a ':' separator: " + spec);
+  const std::string name = spec.substr(0, colon);
+  const auto params = parse_params(spec.substr(colon + 1));
+  const auto need = [&](std::size_t n) {
+    FINELB_CHECK(params.size() == n,
+                 "distribution " + name + " takes " + std::to_string(n) +
+                     " parameter(s)");
+  };
+  if (name == "det") {
+    need(1);
+    return make_deterministic(params[0]);
+  }
+  if (name == "exp") {
+    need(1);
+    return make_exponential(params[0]);
+  }
+  if (name == "uniform") {
+    need(2);
+    return make_uniform(params[0], params[1]);
+  }
+  if (name == "lognormal") {
+    need(2);
+    return make_lognormal_from_moments(params[0], params[1]);
+  }
+  if (name == "gamma") {
+    need(2);
+    return make_gamma_from_moments(params[0], params[1]);
+  }
+  if (name == "weibull") {
+    need(2);
+    return make_weibull_from_moments(params[0], params[1]);
+  }
+  if (name == "pareto") {
+    need(2);
+    return make_pareto(params[0], params[1]);
+  }
+  if (name == "shiftedexp") {
+    need(2);
+    return make_shifted_exponential(params[0], params[1]);
+  }
+  FINELB_CHECK(false, "unknown distribution: " + name);
+  return nullptr;
+}
+
+}  // namespace finelb

@@ -1,0 +1,65 @@
+// Random-variate distributions for inter-arrival and service times.
+//
+// The paper's Poisson/Exp workload needs exponential variates; the synthetic
+// Fine-Grain / Medium-Grain traces are generated from heavy-tailed
+// distributions matched to the published Table 1 moments (see §1.1 of the
+// paper and DESIGN.md §3). All samplers draw from finelb::Rng so experiments
+// stay bit-reproducible. Distributions are immutable and thread-compatible:
+// concurrent sampling is safe when each thread uses its own Rng.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+
+namespace finelb {
+
+/// A non-negative continuous distribution. Samples are in *seconds* (the
+/// workload layer converts to SimDuration at the edge).
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  virtual double sample(Rng& rng) const = 0;
+  virtual double mean() const = 0;
+  virtual double stddev() const = 0;
+  virtual std::string describe() const = 0;
+};
+
+using DistributionPtr = std::shared_ptr<const Distribution>;
+
+/// Always returns `value`.
+DistributionPtr make_deterministic(double value);
+
+/// Exponential with the given mean.
+DistributionPtr make_exponential(double mean);
+
+/// Uniform on [lo, hi].
+DistributionPtr make_uniform(double lo, double hi);
+
+/// Lognormal parameterized by its own mean and standard deviation (the
+/// moment-matching form used to synthesize the trace workloads).
+DistributionPtr make_lognormal_from_moments(double mean, double stddev);
+
+/// Gamma parameterized by mean and standard deviation (shape k = 1/cv^2).
+DistributionPtr make_gamma_from_moments(double mean, double stddev);
+
+/// Weibull parameterized by mean and standard deviation; the shape parameter
+/// is found by bisection on the CV relation cv^2 = G(1+2/k)/G(1+1/k)^2 - 1.
+DistributionPtr make_weibull_from_moments(double mean, double stddev);
+
+/// Pareto with shape alpha (> 1 for a finite mean) and minimum x_m.
+DistributionPtr make_pareto(double alpha, double x_m);
+
+/// Shifted exponential: offset + Exp(mean_excess). Handy for modelling a
+/// fixed per-request cost plus variable work.
+DistributionPtr make_shifted_exponential(double offset, double mean_excess);
+
+/// Parses a spec string such as "exp:0.05", "det:0.01",
+/// "lognormal:0.0289,0.0629", "gamma:0.0222,0.01", "uniform:0.01,0.02",
+/// "pareto:2.5,0.005", "weibull:0.05,0.1". Throws InvariantError on
+/// malformed specs.
+DistributionPtr parse_distribution(const std::string& spec);
+
+}  // namespace finelb

@@ -1,0 +1,106 @@
+#include "workload/trace.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+#include "stats/accumulator.h"
+
+namespace finelb {
+
+Trace::Trace(std::vector<TraceRecord> records, std::string name)
+    : records_(std::move(records)), name_(std::move(name)) {
+  for (const auto& r : records_) {
+    FINELB_CHECK(r.arrival_interval >= 0, "negative arrival interval");
+    FINELB_CHECK(r.service_time >= 0, "negative service time");
+  }
+}
+
+TraceStats Trace::stats() const {
+  Accumulator arrivals;
+  Accumulator services;
+  for (const auto& r : records_) {
+    arrivals.add(to_ms(r.arrival_interval));
+    services.add(to_ms(r.service_time));
+  }
+  TraceStats s;
+  s.count = static_cast<std::int64_t>(records_.size());
+  s.arrival_mean_ms = arrivals.mean();
+  s.arrival_stddev_ms = arrivals.stddev();
+  s.service_mean_ms = services.mean();
+  s.service_stddev_ms = services.stddev();
+  return s;
+}
+
+Trace Trace::slice(std::size_t first, std::size_t count,
+                   std::string name) const {
+  FINELB_CHECK(first <= records_.size(), "slice start past end of trace");
+  const std::size_t n = std::min(count, records_.size() - first);
+  std::vector<TraceRecord> out(records_.begin() + first,
+                               records_.begin() + first + n);
+  return Trace(std::move(out), name.empty() ? name_ + "/slice" : name);
+}
+
+Trace Trace::scale_arrivals(double factor) const {
+  FINELB_CHECK(factor > 0.0, "arrival scale factor must be positive");
+  std::vector<TraceRecord> out;
+  out.reserve(records_.size());
+  for (const auto& r : records_) {
+    out.push_back({static_cast<SimDuration>(
+                       std::llround(static_cast<double>(r.arrival_interval) *
+                                    factor)),
+                   r.service_time});
+  }
+  return Trace(std::move(out), name_);
+}
+
+void Trace::write(std::ostream& os) const {
+  os << "# finelb-trace v1\n";
+  if (!name_.empty()) os << "# name: " << name_ << "\n";
+  for (const auto& r : records_) {
+    os << r.arrival_interval / kMicrosecond << ' '
+       << r.service_time / kMicrosecond << '\n';
+  }
+}
+
+Trace Trace::read(std::istream& is, std::string name) {
+  std::vector<TraceRecord> records;
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      if (line.find("finelb-trace") != std::string::npos) saw_header = true;
+      const auto pos = line.find("name: ");
+      if (pos != std::string::npos && name.empty()) {
+        name = line.substr(pos + 6);
+      }
+      continue;
+    }
+    std::istringstream fields(line);
+    std::int64_t arrival_us = 0;
+    std::int64_t service_us = 0;
+    FINELB_CHECK(static_cast<bool>(fields >> arrival_us >> service_us),
+                 "malformed trace line: " + line);
+    records.push_back(
+        {arrival_us * kMicrosecond, service_us * kMicrosecond});
+  }
+  FINELB_CHECK(saw_header, "missing finelb-trace header");
+  return Trace(std::move(records), std::move(name));
+}
+
+void Trace::save(const std::string& path) const {
+  std::ofstream os(path);
+  FINELB_CHECK(os.good(), "cannot open trace file for writing: " + path);
+  write(os);
+  FINELB_CHECK(os.good(), "error writing trace file: " + path);
+}
+
+Trace Trace::load(const std::string& path) {
+  std::ifstream is(path);
+  FINELB_CHECK(is.good(), "cannot open trace file: " + path);
+  return read(is);
+}
+
+}  // namespace finelb

@@ -1,0 +1,75 @@
+// Service trace representation and file format.
+//
+// A trace is the paper's unit of workload: a sequence of (inter-arrival
+// interval, service time) pairs. The paper's traces came from the Teoma
+// search engine and are proprietary; this repo generates synthetic traces
+// with the published Table 1 moments (workload/catalog.h) but stores and
+// consumes them through the same on-disk format a real trace would use, so
+// a user with real traces can drop them in unchanged.
+//
+// File format (ASCII, one record per line):
+//   # finelb-trace v1
+//   # optional "# key: value" metadata lines
+//   <arrival_interval_us> <service_time_us>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace finelb {
+
+struct TraceRecord {
+  /// Interval since the previous request's arrival (the first record's
+  /// interval is measured from the trace start).
+  SimDuration arrival_interval = 0;
+  SimDuration service_time = 0;
+
+  bool operator==(const TraceRecord&) const = default;
+};
+
+struct TraceStats {
+  std::int64_t count = 0;
+  double arrival_mean_ms = 0.0;
+  double arrival_stddev_ms = 0.0;
+  double service_mean_ms = 0.0;
+  double service_stddev_ms = 0.0;
+};
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<TraceRecord> records, std::string name = "");
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  /// Moment statistics over the whole trace (the Table 1 columns).
+  TraceStats stats() const;
+
+  /// Returns a sub-trace covering records [first, first+count) — how the
+  /// paper extracts the "peak portion" of each trace.
+  Trace slice(std::size_t first, std::size_t count,
+              std::string name = "") const;
+
+  /// Returns a copy with every arrival interval multiplied by `factor`
+  /// (service times untouched). Scaling arrivals is how the paper drives
+  /// one trace at different server load levels.
+  Trace scale_arrivals(double factor) const;
+
+  void write(std::ostream& os) const;
+  static Trace read(std::istream& is, std::string name = "");
+
+  void save(const std::string& path) const;
+  static Trace load(const std::string& path);
+
+ private:
+  std::vector<TraceRecord> records_;
+  std::string name_;
+};
+
+}  // namespace finelb

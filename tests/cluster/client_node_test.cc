@@ -1,0 +1,206 @@
+#include "cluster/client_node.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "cluster/ideal_manager.h"
+#include "cluster/server_node.h"
+#include "net/clock.h"
+#include "workload/catalog.h"
+
+namespace finelb::cluster {
+namespace {
+
+struct TestCluster {
+  std::vector<std::unique_ptr<ServerNode>> servers;
+  std::vector<ServerEndpoints> endpoints;
+
+  explicit TestCluster(int n) {
+    for (int s = 0; s < n; ++s) {
+      ServerOptions opts;
+      opts.id = s;
+      opts.inject_busy_reply_delay = false;
+      opts.seed = 100 + static_cast<std::uint64_t>(s);
+      servers.push_back(std::make_unique<ServerNode>(opts));
+      servers.back()->start();
+      endpoints.push_back({servers.back()->id(),
+                           servers.back()->service_address(),
+                           servers.back()->load_address()});
+    }
+  }
+  ~TestCluster() {
+    for (auto& s : servers) s->stop();
+  }
+};
+
+ClientOptions base_options(const TestCluster& cluster, PolicyConfig policy,
+                           std::int64_t requests) {
+  ClientOptions opts;
+  opts.id = 1;
+  opts.policy = policy;
+  opts.servers = cluster.endpoints;
+  opts.total_requests = requests;
+  opts.warmup_requests = 0;
+  opts.seed = 7;
+  return opts;
+}
+
+// Fast workload: 2 ms mean service, arrivals scaled for light load so the
+// tests finish quickly.
+std::unique_ptr<RequestSource> fast_source(double interval_scale = 1.0) {
+  static const Workload w = make_poisson_exp(0.002);
+  static std::uint64_t seed = 900;
+  return w.make_source(interval_scale, ++seed);
+}
+
+TEST(ClientNodeTest, RandomPolicyCompletesAllRequests) {
+  TestCluster cluster(2);
+  ClientNode client(base_options(cluster, PolicyConfig::random(), 200),
+                    fast_source());
+  client.run();
+  const ClientStats& stats = client.stats();
+  EXPECT_EQ(stats.issued, 200);
+  EXPECT_EQ(stats.completed, 200);
+  EXPECT_EQ(stats.response_timeouts, 0);
+  EXPECT_GT(stats.response_ms.mean(), 2.0);  // at least the service time
+  EXPECT_EQ(stats.polls_sent, 0);
+}
+
+TEST(ClientNodeTest, PollingPolicySendsInquiries) {
+  TestCluster cluster(4);
+  ClientNode client(base_options(cluster, PolicyConfig::polling(2), 150),
+                    fast_source());
+  client.run();
+  const ClientStats& stats = client.stats();
+  EXPECT_EQ(stats.completed, 150);
+  EXPECT_EQ(stats.polls_sent, 2 * 150);
+  EXPECT_GT(stats.poll_replies_used, 0);
+  EXPECT_GT(stats.poll_time_ms.count(), 0);
+  // Loopback polls on idle servers finish way under the 50 ms backstop.
+  EXPECT_LT(stats.poll_time_ms.mean(), 25.0);
+}
+
+TEST(ClientNodeTest, PollSizeClampsToServerCount) {
+  TestCluster cluster(2);
+  ClientNode client(base_options(cluster, PolicyConfig::polling(8), 50),
+                    fast_source());
+  client.run();
+  EXPECT_EQ(client.stats().polls_sent, 2 * 50)
+      << "poll set must clamp to the two live servers";
+  EXPECT_EQ(client.stats().completed, 50);
+}
+
+TEST(ClientNodeTest, DiscardModeBoundsPollTime) {
+  TestCluster cluster(3);
+  ClientNode client(
+      base_options(cluster, PolicyConfig::polling(2, from_ms(1.0)), 150),
+      fast_source());
+  client.run();
+  const ClientStats& stats = client.stats();
+  EXPECT_EQ(stats.completed, 150);
+  // No decision may take longer than the discard deadline plus loop slack.
+  EXPECT_LT(stats.poll_time_ms.max(), 10.0);
+}
+
+TEST(ClientNodeTest, IdealPolicyUsesManagerAndReleases) {
+  TestCluster cluster(3);
+  IdealManager manager(3, 5);
+  manager.start();
+  ClientOptions opts = base_options(cluster, PolicyConfig::ideal(), 120);
+  opts.ideal_manager = manager.address();
+  ClientNode client(std::move(opts), fast_source());
+  client.run();
+  const ClientStats& stats = client.stats();
+  EXPECT_EQ(stats.completed, 120);
+  EXPECT_EQ(stats.manager_timeouts, 0);
+  EXPECT_EQ(manager.acquires(), 120);
+  // Allow the final releases to land.
+  net::sleep_for(100 * kMillisecond);
+  EXPECT_EQ(manager.releases(), 120);
+  for (const auto q : manager.tracked_queues()) EXPECT_EQ(q, 0);
+  manager.stop();
+}
+
+TEST(ClientNodeTest, IdealWithoutManagerAddressRejected) {
+  TestCluster cluster(1);
+  EXPECT_THROW(ClientNode(base_options(cluster, PolicyConfig::ideal(), 10),
+                          fast_source()),
+               InvariantError);
+}
+
+TEST(ClientNodeTest, BroadcastPolicyRejected) {
+  TestCluster cluster(1);
+  EXPECT_THROW(
+      ClientNode(base_options(cluster, PolicyConfig::broadcast(kSecond), 10),
+                 fast_source()),
+      InvariantError);
+}
+
+TEST(ClientNodeTest, WarmupExcludedFromRecordedStats) {
+  TestCluster cluster(2);
+  ClientOptions opts = base_options(cluster, PolicyConfig::random(), 100);
+  opts.warmup_requests = 40;
+  ClientNode client(std::move(opts), fast_source());
+  client.run();
+  EXPECT_EQ(client.stats().completed, 100);
+  EXPECT_EQ(client.stats().recorded, 60);
+  EXPECT_EQ(client.stats().response_ms.count(), 60);
+}
+
+TEST(ClientNodeTest, DeadServerProducesResponseTimeouts) {
+  TestCluster cluster(1);
+  // Add a second, dead endpoint: a bound socket nobody serves.
+  net::UdpSocket dead_service;
+  net::UdpSocket dead_load;
+  ClientOptions opts = base_options(cluster, PolicyConfig::random(), 60);
+  opts.servers.push_back(
+      {1, dead_service.local_address(), dead_load.local_address()});
+  opts.response_timeout = 300 * kMillisecond;
+  ClientNode client(std::move(opts), fast_source());
+  client.run();
+  const ClientStats& stats = client.stats();
+  EXPECT_EQ(stats.completed + stats.response_timeouts, 60);
+  EXPECT_GT(stats.response_timeouts, 10) << "~half the requests hit the dead "
+                                            "server and must time out";
+  EXPECT_GT(stats.completed, 10);
+}
+
+TEST(ClientNodeTest, PollingSurvivesDeadLoadServer) {
+  TestCluster cluster(2);
+  net::UdpSocket dead_service;
+  net::UdpSocket dead_load;
+  ClientOptions opts = base_options(cluster, PolicyConfig::polling(3), 60);
+  opts.servers.push_back(
+      {2, dead_service.local_address(), dead_load.local_address()});
+  opts.max_poll_wait = 100 * kMillisecond;
+  opts.response_timeout = 500 * kMillisecond;
+  ClientNode client(std::move(opts), fast_source(4.0));
+  client.run();
+  const ClientStats& stats = client.stats();
+  // Every access resolves: polls to the dead node time out and the round
+  // decides with the replies that did arrive.
+  EXPECT_EQ(stats.issued, 60);
+  EXPECT_GT(stats.polls_timed_out, 0);
+  EXPECT_GT(stats.completed, 0);
+}
+
+TEST(ClientNodeTest, ValidationErrors) {
+  TestCluster cluster(1);
+  ClientOptions no_servers = base_options(cluster, PolicyConfig::random(), 10);
+  no_servers.servers.clear();
+  EXPECT_THROW(ClientNode(std::move(no_servers), fast_source()),
+               InvariantError);
+
+  ClientOptions zero = base_options(cluster, PolicyConfig::random(), 0);
+  EXPECT_THROW(ClientNode(std::move(zero), fast_source()), InvariantError);
+
+  EXPECT_THROW(ClientNode(base_options(cluster, PolicyConfig::random(), 10),
+                          nullptr),
+               InvariantError);
+}
+
+}  // namespace
+}  // namespace finelb::cluster

@@ -1,0 +1,119 @@
+#include "cluster/directory.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "net/clock.h"
+
+namespace finelb::cluster {
+namespace {
+
+net::Publish make_publish(const std::string& service, std::int32_t server,
+                          std::uint32_t ttl_ms = 1000) {
+  net::Publish p;
+  p.service = service;
+  p.partition = 0;
+  p.server = server;
+  p.service_port = static_cast<std::uint16_t>(40000 + server);
+  p.load_port = static_cast<std::uint16_t>(41000 + server);
+  p.ttl_ms = ttl_ms;
+  return p;
+}
+
+TEST(DirectoryTest, PublishThenSnapshot) {
+  DirectoryServer directory;
+  directory.start();
+  net::UdpSocket publisher;
+  ASSERT_TRUE(
+      publisher.send_to(make_publish("search", 1).encode(),
+                        directory.address()));
+  ASSERT_TRUE(
+      publisher.send_to(make_publish("search", 2).encode(),
+                        directory.address()));
+
+  DirectoryClient client(directory.address());
+  const auto endpoints = client.wait_for_servers("search", 2);
+  ASSERT_EQ(endpoints.size(), 2u);
+  EXPECT_EQ(directory.publishes_received(), 2);
+  directory.stop();
+}
+
+TEST(DirectoryTest, ServiceFilterApplies) {
+  DirectoryServer directory;
+  directory.start();
+  net::UdpSocket publisher;
+  publisher.send_to(make_publish("search", 1).encode(), directory.address());
+  publisher.send_to(make_publish("album", 2).encode(), directory.address());
+
+  DirectoryClient client(directory.address());
+  const auto search = client.wait_for_servers("search", 1);
+  ASSERT_EQ(search.size(), 1u);
+  EXPECT_EQ(search[0].server, 1);
+  const auto all = client.wait_for_servers("", 2);
+  EXPECT_EQ(all.size(), 2u);
+  directory.stop();
+}
+
+TEST(DirectoryTest, RefreshReplacesNotDuplicates) {
+  DirectoryServer directory;
+  directory.start();
+  net::UdpSocket publisher;
+  for (int i = 0; i < 5; ++i) {
+    publisher.send_to(make_publish("search", 1).encode(),
+                      directory.address());
+    net::sleep_for(5 * kMillisecond);
+  }
+  net::sleep_for(30 * kMillisecond);
+  EXPECT_EQ(directory.live_entries("search").size(), 1u);
+  directory.stop();
+}
+
+TEST(DirectoryTest, SoftStateExpires) {
+  DirectoryServer directory;
+  directory.start();
+  net::UdpSocket publisher;
+  publisher.send_to(make_publish("search", 1, /*ttl_ms=*/60).encode(),
+                    directory.address());
+  net::sleep_for(20 * kMillisecond);
+  EXPECT_EQ(directory.live_entries("search").size(), 1u);
+  net::sleep_for(80 * kMillisecond);
+  EXPECT_EQ(directory.live_entries("search").size(), 0u)
+      << "entry must vanish after its ttl without refresh";
+  directory.stop();
+}
+
+TEST(DirectoryTest, PartitionedServiceKeepsDistinctEntries) {
+  DirectoryServer directory;
+  directory.start();
+  net::UdpSocket publisher;
+  net::Publish p0 = make_publish("image-store", 1);
+  p0.partition = 0;
+  net::Publish p1 = make_publish("image-store", 1);
+  p1.partition = 1;
+  publisher.send_to(p0.encode(), directory.address());
+  publisher.send_to(p1.encode(), directory.address());
+  net::sleep_for(30 * kMillisecond);
+  EXPECT_EQ(directory.live_entries("image-store").size(), 2u);
+  directory.stop();
+}
+
+TEST(DirectoryTest, FetchTimesOutAgainstDeadDirectory) {
+  net::UdpSocket placeholder;  // bound but nobody serving
+  DirectoryClient client(placeholder.local_address());
+  EXPECT_THROW(client.fetch("search", 300 * kMillisecond), InvariantError);
+}
+
+TEST(DirectoryTest, WaitForServersReturnsPartialAfterDeadline) {
+  DirectoryServer directory;
+  directory.start();
+  net::UdpSocket publisher;
+  publisher.send_to(make_publish("search", 1).encode(), directory.address());
+  DirectoryClient client(directory.address());
+  const auto endpoints =
+      client.wait_for_servers("search", 5, 300 * kMillisecond);
+  EXPECT_EQ(endpoints.size(), 1u);
+  directory.stop();
+}
+
+}  // namespace
+}  // namespace finelb::cluster

@@ -1,0 +1,82 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace finelb {
+namespace {
+
+Flags make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, ParsesTypedValues) {
+  const Flags flags = make({"--count=42", "--rate=0.5", "--name=fine",
+                            "--verbose"});
+  EXPECT_EQ(flags.get_int("count", 0), 42);
+  EXPECT_DOUBLE_EQ(flags.get_double("rate", 0.0), 0.5);
+  EXPECT_EQ(flags.get_string("name", ""), "fine");
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+}
+
+TEST(FlagsTest, DefaultsWhenMissing) {
+  const Flags flags = make({});
+  EXPECT_EQ(flags.get_int("count", 7), 7);
+  EXPECT_DOUBLE_EQ(flags.get_double("rate", 1.5), 1.5);
+  EXPECT_EQ(flags.get_string("name", "dflt"), "dflt");
+  EXPECT_FALSE(flags.get_bool("verbose", false));
+  EXPECT_FALSE(flags.has("anything"));
+}
+
+TEST(FlagsTest, ListsParse) {
+  const Flags flags = make({"--loads=0.5,0.7,0.9", "--sizes=2,3,8"});
+  EXPECT_EQ(flags.get_double_list("loads", {}),
+            (std::vector<double>{0.5, 0.7, 0.9}));
+  EXPECT_EQ(flags.get_int_list("sizes", {}),
+            (std::vector<std::int64_t>{2, 3, 8}));
+}
+
+TEST(FlagsTest, ListDefaults) {
+  const Flags flags = make({});
+  EXPECT_EQ(flags.get_double_list("loads", {0.9}),
+            std::vector<double>{0.9});
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  const Flags flags = make({"--a=1", "input.txt", "out.txt"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.txt");
+  EXPECT_EQ(flags.positional()[1], "out.txt");
+}
+
+TEST(FlagsTest, UnusedKeysDetected) {
+  const Flags flags = make({"--used=1", "--typo=2"});
+  EXPECT_EQ(flags.get_int("used", 0), 1);
+  const auto unused = flags.unused_keys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(FlagsTest, MalformedNumberThrows) {
+  const Flags flags = make({"--count=abc"});
+  EXPECT_THROW(flags.get_int("count", 0), InvariantError);
+  EXPECT_THROW(flags.get_double("count", 0.0), InvariantError);
+}
+
+TEST(FlagsTest, EmptyFlagNameThrows) {
+  EXPECT_THROW(make({"--=x"}), InvariantError);
+}
+
+TEST(FlagsTest, BoolSpellings) {
+  EXPECT_TRUE(make({"--x=true"}).get_bool("x", false));
+  EXPECT_TRUE(make({"--x=1"}).get_bool("x", false));
+  EXPECT_TRUE(make({"--x=yes"}).get_bool("x", false));
+  EXPECT_FALSE(make({"--x=false"}).get_bool("x", true));
+  EXPECT_FALSE(make({"--x=0"}).get_bool("x", true));
+}
+
+}  // namespace
+}  // namespace finelb

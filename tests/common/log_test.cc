@@ -1,0 +1,39 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+namespace finelb {
+namespace {
+
+TEST(LogTest, ParseLevels) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("garbage"), LogLevel::kWarn);
+}
+
+TEST(LogTest, SetAndGetLevel) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(original);
+}
+
+TEST(LogTest, SuppressedLevelsDoNotEvaluate) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  const auto count = [&evaluations] {
+    ++evaluations;
+    return "x";
+  };
+  FINELB_LOG(kDebug, "test") << count();
+  EXPECT_EQ(evaluations, 0);
+  FINELB_LOG(kError, "test") << count();
+  EXPECT_EQ(evaluations, 1);
+  set_log_level(original);
+}
+
+}  // namespace
+}  // namespace finelb

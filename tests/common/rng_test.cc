@@ -1,0 +1,179 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/check.h"
+
+namespace finelb {
+namespace {
+
+TEST(SplitMix64Test, MatchesReferenceVector) {
+  // Reference values for SplitMix64 seeded with 1234567 (from the public
+  // domain reference implementation).
+  std::uint64_t state = 1234567;
+  EXPECT_EQ(splitmix64(state), 6457827717110365317ull);
+  EXPECT_EQ(splitmix64(state), 3203168211198807973ull);
+  EXPECT_EQ(splitmix64(state), 9817491932198370423ull);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, Uniform01MeanAndVariance) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform01();
+    sum += u;
+    sum_sq += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(RngTest, UniformIntBoundsAndCoverage) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.uniform_int(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit in 1000 draws
+}
+
+TEST(RngTest, UniformIntIsUnbiased) {
+  Rng rng(5);
+  const std::uint64_t n = 3;
+  std::vector<int> counts(n, 0);
+  const int draws = 300000;
+  for (int i = 0; i < draws; ++i) {
+    ++counts[rng.uniform_int(n)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / draws, 1.0 / 3.0, 0.01);
+  }
+}
+
+TEST(RngTest, UniformIntRequiresPositiveBound) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(0), InvariantError);
+}
+
+TEST(RngTest, ExponentialMoments) {
+  Rng rng(13);
+  const double mean = 0.05;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(mean);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double m = sum / n;
+  const double sd = std::sqrt(sum_sq / n - m * m);
+  EXPECT_NEAR(m, mean, 0.002);
+  EXPECT_NEAR(sd, mean, 0.002);  // exponential: stddev == mean
+}
+
+TEST(RngTest, ExponentialRejectsNonPositiveMean) {
+  Rng rng(1);
+  EXPECT_THROW(rng.exponential(0.0), InvariantError);
+  EXPECT_THROW(rng.exponential(-1.0), InvariantError);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(17);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double m = sum / n;
+  const double sd = std::sqrt(sum_sq / n - m * m);
+  EXPECT_NEAR(m, 3.0, 0.02);
+  EXPECT_NEAR(sd, 2.0, 0.02);
+}
+
+TEST(RngTest, LognormalMedianIsExpMu) {
+  Rng rng(19);
+  std::vector<double> samples;
+  const int n = 100001;
+  samples.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    samples.push_back(rng.lognormal(1.0, 0.5));
+  }
+  std::nth_element(samples.begin(), samples.begin() + n / 2, samples.end());
+  EXPECT_NEAR(samples[n / 2], std::exp(1.0), 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(29);
+  Rng child = parent.split();
+  // Child's output should differ from the parent's next outputs.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformRangeRespected) {
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(2.0, 5.0);
+    ASSERT_GE(v, 2.0);
+    ASSERT_LT(v, 5.0);
+  }
+  EXPECT_THROW(rng.uniform(5.0, 2.0), InvariantError);
+}
+
+}  // namespace
+}  // namespace finelb

@@ -1,0 +1,37 @@
+#include "common/time.h"
+
+#include <gtest/gtest.h>
+
+namespace finelb {
+namespace {
+
+TEST(TimeTest, UnitConstants) {
+  EXPECT_EQ(kMicrosecond, 1000);
+  EXPECT_EQ(kMillisecond, 1000 * 1000);
+  EXPECT_EQ(kSecond, 1000 * 1000 * 1000);
+}
+
+TEST(TimeTest, ConversionRoundTrips) {
+  EXPECT_EQ(from_ms(1.5), 1'500'000);
+  EXPECT_EQ(from_us(2.5), 2'500);
+  EXPECT_EQ(from_sec(0.001), kMillisecond);
+  EXPECT_DOUBLE_EQ(to_ms(from_ms(22.2)), 22.2);
+  EXPECT_DOUBLE_EQ(to_us(from_us(516.0)), 516.0);
+  EXPECT_DOUBLE_EQ(to_sec(3 * kSecond), 3.0);
+}
+
+TEST(TimeTest, ChronoInterop) {
+  using namespace std::chrono_literals;
+  EXPECT_EQ(from_chrono(5ms), 5 * kMillisecond);
+  EXPECT_EQ(to_chrono(kSecond), std::chrono::nanoseconds(1'000'000'000));
+  EXPECT_EQ(from_chrono(2s), 2 * kSecond);
+}
+
+TEST(TimeTest, NegativeDurationsSupported) {
+  const SimDuration diff = from_ms(1.0) - from_ms(2.0);
+  EXPECT_LT(diff, 0);
+  EXPECT_DOUBLE_EQ(to_ms(diff), -1.0);
+}
+
+}  // namespace
+}  // namespace finelb

@@ -1,0 +1,93 @@
+#include "neptune/rpc.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace finelb::neptune {
+namespace {
+
+TEST(RpcCodecTest, RequestRoundTrip) {
+  RpcRequest request;
+  request.request_id = 0xabcdef0123456789ull;
+  request.method = 7;
+  request.partition = 3;
+  request.args = {1, 2, 3, 4, 5};
+  const auto decoded = RpcRequest::decode(request.encode());
+  EXPECT_EQ(decoded.request_id, request.request_id);
+  EXPECT_EQ(decoded.method, 7);
+  EXPECT_EQ(decoded.partition, 3u);
+  EXPECT_EQ(decoded.args, request.args);
+}
+
+TEST(RpcCodecTest, EmptyArgsAllowed) {
+  RpcRequest request;
+  request.request_id = 1;
+  const auto decoded = RpcRequest::decode(request.encode());
+  EXPECT_TRUE(decoded.args.empty());
+}
+
+TEST(RpcCodecTest, ResponseRoundTripAllStatuses) {
+  for (const RpcStatus status :
+       {RpcStatus::kOk, RpcStatus::kNoSuchMethod, RpcStatus::kNoSuchPartition,
+        RpcStatus::kAppError}) {
+    RpcResponse response;
+    response.request_id = 42;
+    response.status = status;
+    response.server = 11;
+    response.queue_at_arrival = 2;
+    response.result = {9, 9, 9};
+    const auto decoded = RpcResponse::decode(response.encode());
+    EXPECT_EQ(decoded.status, status);
+    EXPECT_EQ(decoded.server, 11);
+    EXPECT_EQ(decoded.result, response.result);
+  }
+}
+
+TEST(RpcCodecTest, LargePayloadWithinDatagramLimit) {
+  RpcRequest request;
+  request.request_id = 1;
+  request.args.assign(60 * 1024, 0x5a);
+  const auto decoded = RpcRequest::decode(request.encode());
+  EXPECT_EQ(decoded.args.size(), 60u * 1024);
+}
+
+TEST(RpcCodecTest, OversizedPayloadRejected) {
+  RpcRequest request;
+  request.args.assign(60 * 1024 + 1, 0);
+  EXPECT_THROW(request.encode(), InvariantError);
+  RpcResponse response;
+  response.result.assign(60 * 1024 + 1, 0);
+  EXPECT_THROW(response.encode(), InvariantError);
+}
+
+TEST(RpcCodecTest, CrossDecodeRejected) {
+  RpcRequest request;
+  request.request_id = 1;
+  EXPECT_THROW(RpcResponse::decode(request.encode()), InvariantError);
+  RpcResponse response;
+  response.request_id = 1;
+  EXPECT_THROW(RpcRequest::decode(response.encode()), InvariantError);
+}
+
+TEST(RpcCodecTest, TruncatedPrefixesRejected) {
+  RpcRequest request;
+  request.request_id = 1;
+  request.args = {1, 2, 3};
+  const auto bytes = request.encode();
+  const std::span<const std::uint8_t> all(bytes);
+  for (std::size_t len = 1; len < bytes.size(); ++len) {
+    EXPECT_THROW(RpcRequest::decode(all.subspan(0, len)), InvariantError);
+  }
+}
+
+TEST(RpcCodecTest, UnknownStatusByteRejected) {
+  RpcResponse response;
+  response.request_id = 1;
+  auto bytes = response.encode();
+  bytes[9] = 250;  // status byte follows tag(1) + request_id(8)
+  EXPECT_THROW(RpcResponse::decode(bytes), InvariantError);
+}
+
+}  // namespace
+}  // namespace finelb::neptune

@@ -1,0 +1,194 @@
+#include "net/message.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace finelb::net {
+namespace {
+
+TEST(MessageTest, LoadInquiryRoundTrip) {
+  LoadInquiry m;
+  m.seq = 0xfeedface12345678ull;
+  const auto decoded = LoadInquiry::decode(m.encode());
+  EXPECT_EQ(decoded.seq, m.seq);
+  EXPECT_EQ(peek_type(m.encode()), MsgType::kLoadInquiry);
+}
+
+TEST(MessageTest, LoadReplyRoundTrip) {
+  LoadReply m;
+  m.seq = 99;
+  m.queue_length = 17;
+  const auto decoded = LoadReply::decode(m.encode());
+  EXPECT_EQ(decoded.seq, 99u);
+  EXPECT_EQ(decoded.queue_length, 17);
+}
+
+TEST(MessageTest, ServiceRequestRoundTrip) {
+  ServiceRequest m;
+  m.request_id = (7ull << 40) | 12345;
+  m.service_us = 22200;
+  m.partition = 3;
+  const auto decoded = ServiceRequest::decode(m.encode());
+  EXPECT_EQ(decoded.request_id, m.request_id);
+  EXPECT_EQ(decoded.service_us, 22200u);
+  EXPECT_EQ(decoded.partition, 3u);
+}
+
+TEST(MessageTest, ServiceResponseRoundTrip) {
+  ServiceResponse m;
+  m.request_id = 42;
+  m.server = 11;
+  m.queue_at_arrival = 5;
+  const auto decoded = ServiceResponse::decode(m.encode());
+  EXPECT_EQ(decoded.request_id, 42u);
+  EXPECT_EQ(decoded.server, 11);
+  EXPECT_EQ(decoded.queue_at_arrival, 5);
+}
+
+TEST(MessageTest, ManagerProtocolRoundTrips) {
+  Acquire a;
+  a.seq = 1001;
+  EXPECT_EQ(Acquire::decode(a.encode()).seq, 1001u);
+
+  AcquireReply r;
+  r.seq = 1001;
+  r.server = 9;
+  const auto decoded = AcquireReply::decode(r.encode());
+  EXPECT_EQ(decoded.seq, 1001u);
+  EXPECT_EQ(decoded.server, 9);
+
+  Release rel;
+  rel.server = 9;
+  EXPECT_EQ(Release::decode(rel.encode()).server, 9);
+}
+
+TEST(MessageTest, PublishRoundTrip) {
+  Publish m;
+  m.service = "photo-album";
+  m.partition = 2;
+  m.server = 14;
+  m.service_port = 40001;
+  m.load_port = 40002;
+  m.ttl_ms = 2000;
+  const auto decoded = Publish::decode(m.encode());
+  EXPECT_EQ(decoded.service, "photo-album");
+  EXPECT_EQ(decoded.partition, 2u);
+  EXPECT_EQ(decoded.server, 14);
+  EXPECT_EQ(decoded.service_port, 40001);
+  EXPECT_EQ(decoded.load_port, 40002);
+  EXPECT_EQ(decoded.ttl_ms, 2000u);
+}
+
+TEST(MessageTest, SnapshotRoundTrip) {
+  SnapshotRequest req;
+  req.seq = 5;
+  req.service = "experiment";
+  const auto dreq = SnapshotRequest::decode(req.encode());
+  EXPECT_EQ(dreq.seq, 5u);
+  EXPECT_EQ(dreq.service, "experiment");
+
+  SnapshotReply reply;
+  reply.seq = 5;
+  for (int i = 0; i < 16; ++i) {
+    Publish p;
+    p.service = "experiment";
+    p.server = i;
+    p.service_port = static_cast<std::uint16_t>(40000 + 2 * i);
+    p.load_port = static_cast<std::uint16_t>(40001 + 2 * i);
+    p.ttl_ms = 1000;
+    reply.entries.push_back(p);
+  }
+  const auto dreply = SnapshotReply::decode(reply.encode());
+  EXPECT_EQ(dreply.seq, 5u);
+  ASSERT_EQ(dreply.entries.size(), 16u);
+  EXPECT_EQ(dreply.entries[7].server, 7);
+  EXPECT_EQ(dreply.entries[7].service_port, 40014);
+}
+
+TEST(MessageTest, EmptySnapshotReply) {
+  SnapshotReply reply;
+  reply.seq = 1;
+  const auto decoded = SnapshotReply::decode(reply.encode());
+  EXPECT_TRUE(decoded.entries.empty());
+}
+
+TEST(MessageTest, WrongTypeTagThrows) {
+  LoadInquiry inquiry;
+  inquiry.seq = 1;
+  const auto bytes = inquiry.encode();
+  EXPECT_THROW(LoadReply::decode(bytes), InvariantError);
+  EXPECT_THROW(ServiceRequest::decode(bytes), InvariantError);
+}
+
+TEST(MessageTest, EmptyDatagramThrows) {
+  EXPECT_THROW(peek_type({}), InvariantError);
+}
+
+// Truncation property sweep: every message type must reject every proper
+// prefix of its encoding rather than read garbage.
+class MessageTruncation : public ::testing::TestWithParam<int> {};
+
+TEST_P(MessageTruncation, AllPrefixesRejected) {
+  std::vector<std::uint8_t> bytes;
+  switch (GetParam()) {
+    case 0: {
+      LoadInquiry m;
+      m.seq = 7;
+      bytes = m.encode();
+      break;
+    }
+    case 1: {
+      LoadReply m;
+      m.seq = 7;
+      m.queue_length = 3;
+      bytes = m.encode();
+      break;
+    }
+    case 2: {
+      ServiceRequest m;
+      m.request_id = 7;
+      bytes = m.encode();
+      break;
+    }
+    case 3: {
+      ServiceResponse m;
+      m.request_id = 7;
+      bytes = m.encode();
+      break;
+    }
+    case 4: {
+      Publish m;
+      m.service = "svc";
+      bytes = m.encode();
+      break;
+    }
+  }
+  const std::span<const std::uint8_t> all(bytes);
+  for (std::size_t len = 1; len < bytes.size(); ++len) {
+    const auto prefix = all.subspan(0, len);
+    switch (GetParam()) {
+      case 0:
+        EXPECT_THROW(LoadInquiry::decode(prefix), InvariantError);
+        break;
+      case 1:
+        EXPECT_THROW(LoadReply::decode(prefix), InvariantError);
+        break;
+      case 2:
+        EXPECT_THROW(ServiceRequest::decode(prefix), InvariantError);
+        break;
+      case 3:
+        EXPECT_THROW(ServiceResponse::decode(prefix), InvariantError);
+        break;
+      case 4:
+        EXPECT_THROW(Publish::decode(prefix), InvariantError);
+        break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMessageTypes, MessageTruncation,
+                         ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace finelb::net

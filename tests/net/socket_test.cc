@@ -1,0 +1,155 @@
+#include "net/socket.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <thread>
+
+#include "common/check.h"
+#include "net/clock.h"
+#include "net/pingpong.h"
+#include "net/poller.h"
+
+namespace finelb::net {
+namespace {
+
+TEST(AddressTest, LoopbackFormatting) {
+  const Address a = Address::loopback(8080);
+  EXPECT_EQ(a.to_string(), "127.0.0.1:8080");
+  const sockaddr_in sa = a.to_sockaddr();
+  EXPECT_EQ(Address::from_sockaddr(sa), a);
+}
+
+TEST(UdpSocketTest, BindsEphemeralPort) {
+  UdpSocket s;
+  const Address addr = s.local_address();
+  EXPECT_GT(addr.port, 0);
+}
+
+TEST(UdpSocketTest, SendToAndRecvFrom) {
+  UdpSocket a;
+  UdpSocket b;
+  const std::array<std::uint8_t, 4> payload = {1, 2, 3, 4};
+  ASSERT_TRUE(a.send_to(payload, b.local_address()));
+
+  std::array<std::uint8_t, 16> buf{};
+  Poller poller;
+  poller.add(b.fd(), 0);
+  EXPECT_FALSE(poller.wait(kSecond).empty());
+  const auto dgram = b.recv_from(buf);
+  ASSERT_TRUE(dgram.has_value());
+  EXPECT_EQ(dgram->size, 4u);
+  EXPECT_EQ(buf[0], 1);
+  EXPECT_EQ(dgram->from.port, a.local_address().port);
+}
+
+TEST(UdpSocketTest, ConnectedSendRecv) {
+  UdpSocket server;
+  UdpSocket client;
+  client.connect(server.local_address());
+  const std::array<std::uint8_t, 3> payload = {9, 8, 7};
+  ASSERT_TRUE(client.send(payload));
+
+  Poller poller;
+  poller.add(server.fd(), 0);
+  ASSERT_FALSE(poller.wait(kSecond).empty());
+  std::array<std::uint8_t, 16> buf{};
+  const auto dgram = server.recv_from(buf);
+  ASSERT_TRUE(dgram.has_value());
+
+  // Reply to the connected client: it must receive via plain recv().
+  ASSERT_TRUE(server.send_to(payload, dgram->from));
+  Poller cpoller;
+  cpoller.add(client.fd(), 0);
+  ASSERT_FALSE(cpoller.wait(kSecond).empty());
+  std::array<std::uint8_t, 16> reply{};
+  EXPECT_TRUE(client.recv(reply).has_value());
+}
+
+TEST(UdpSocketTest, ConnectedSocketFiltersOtherPeers) {
+  UdpSocket peer_a;
+  UdpSocket peer_b;
+  UdpSocket client;
+  client.connect(peer_a.local_address());
+  // Datagram from an unrelated peer must not be delivered.
+  const std::array<std::uint8_t, 1> payload = {1};
+  ASSERT_TRUE(peer_b.send_to(payload, client.local_address()));
+  sleep_for(20 * kMillisecond);
+  std::array<std::uint8_t, 16> buf{};
+  EXPECT_FALSE(client.recv(buf).has_value());
+}
+
+TEST(UdpSocketTest, NonBlockingRecvReturnsNullopt) {
+  UdpSocket s;
+  std::array<std::uint8_t, 16> buf{};
+  EXPECT_FALSE(s.recv_from(buf).has_value());
+}
+
+TEST(PollerTest, TimeoutExpiresEmpty) {
+  UdpSocket s;
+  Poller poller;
+  poller.add(s.fd(), 42);
+  const SimTime start = monotonic_now();
+  EXPECT_TRUE(poller.wait(20 * kMillisecond).empty());
+  EXPECT_GE(monotonic_now() - start, 15 * kMillisecond);
+}
+
+TEST(PollerTest, TagsRouteReadiness) {
+  UdpSocket a;
+  UdpSocket b;
+  Poller poller;
+  poller.add(a.fd(), 100);
+  poller.add(b.fd(), 200);
+  UdpSocket sender;
+  const std::array<std::uint8_t, 1> payload = {1};
+  ASSERT_TRUE(sender.send_to(payload, b.local_address()));
+  const auto ready = poller.wait(kSecond);
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0].tag, 200u);
+  EXPECT_TRUE(ready[0].readable);
+}
+
+TEST(PollerTest, RemoveStopsWatching) {
+  UdpSocket a;
+  Poller poller;
+  poller.add(a.fd(), 1);
+  EXPECT_EQ(poller.size(), 1u);
+  poller.remove(a.fd());
+  EXPECT_EQ(poller.size(), 0u);
+  EXPECT_THROW(poller.remove(a.fd()), InvariantError);
+}
+
+TEST(ClockTest, MonotonicAdvances) {
+  const SimTime a = monotonic_now();
+  const SimTime b = monotonic_now();
+  EXPECT_GE(b, a);
+}
+
+TEST(ClockTest, SleepUntilHonoursDeadline) {
+  const SimTime start = monotonic_now();
+  sleep_until(start + 10 * kMillisecond);
+  EXPECT_GE(monotonic_now() - start, 10 * kMillisecond);
+  // A deadline in the past returns promptly.
+  const SimTime t2 = monotonic_now();
+  sleep_until(t2 - kSecond);
+  EXPECT_LT(monotonic_now() - t2, 50 * kMillisecond);
+}
+
+TEST(ClockTest, SleepForZeroOrNegativeIsNoop) {
+  const SimTime start = monotonic_now();
+  sleep_for(0);
+  sleep_for(-kSecond);
+  EXPECT_LT(monotonic_now() - start, 50 * kMillisecond);
+}
+
+TEST(PingPongTest, MeasuresPlausibleLoopbackRtt) {
+  const PingPongResult result = measure_udp_rtt(200, 20);
+  EXPECT_EQ(result.rounds, 200);
+  EXPECT_GT(result.mean_rtt_us, 1.0);      // not free
+  EXPECT_LT(result.mean_rtt_us, 20000.0);  // not pathological
+  EXPECT_LE(result.min_rtt_us, result.mean_rtt_us);
+  EXPECT_LE(result.mean_rtt_us, result.p99_rtt_us * 1.01);
+}
+
+}  // namespace
+}  // namespace finelb::net

@@ -1,0 +1,119 @@
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace finelb::net {
+namespace {
+
+TEST(WireTest, ScalarRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefull);
+  w.i32(-42);
+  w.i64(-9'000'000'000ll);
+
+  Reader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), -9'000'000'000ll);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(WireTest, LittleEndianLayout) {
+  Writer w;
+  w.u32(0x01020304);
+  const auto bytes = w.bytes();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(bytes[0], 0x04);
+  EXPECT_EQ(bytes[1], 0x03);
+  EXPECT_EQ(bytes[2], 0x02);
+  EXPECT_EQ(bytes[3], 0x01);
+}
+
+TEST(WireTest, StringRoundTrip) {
+  Writer w;
+  w.str("image-store");
+  w.str("");  // empty string is valid
+  Reader r(w.bytes());
+  EXPECT_EQ(r.str(), "image-store");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(WireTest, TruncatedFieldThrows) {
+  Writer w;
+  w.u32(7);
+  const auto bytes = w.bytes();
+  Reader r(bytes.subspan(0, 3));
+  EXPECT_THROW(r.u32(), InvariantError);
+}
+
+TEST(WireTest, TruncatedStringThrows) {
+  Writer w;
+  w.str("hello");
+  const auto bytes = w.bytes();
+  Reader r(bytes.subspan(0, 4));  // length says 5 but only 2 bytes follow
+  EXPECT_THROW(r.str(), InvariantError);
+}
+
+TEST(WireTest, RemainingTracksConsumption) {
+  Writer w;
+  w.u16(1);
+  w.u16(2);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.remaining(), 4u);
+  r.u16();
+  EXPECT_EQ(r.remaining(), 2u);
+  EXPECT_FALSE(r.done());
+  r.u16();
+  EXPECT_TRUE(r.done());
+}
+
+TEST(WireTest, EmptyReaderThrowsOnRead) {
+  Reader r({});
+  EXPECT_THROW(r.u8(), InvariantError);
+}
+
+TEST(WireTest, BlobRoundTrip) {
+  Writer w;
+  const std::vector<std::uint8_t> payload = {0, 255, 7, 0, 42};
+  w.blob(payload);
+  w.blob({});  // empty blob is valid
+  Reader r(w.bytes());
+  EXPECT_EQ(r.blob(), payload);
+  EXPECT_TRUE(r.blob().empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(WireTest, TruncatedBlobThrows) {
+  Writer w;
+  w.blob(std::vector<std::uint8_t>{1, 2, 3, 4});
+  const auto bytes = w.bytes();
+  // Cut inside the payload: length prefix says 4 but only 2 bytes follow.
+  Reader r(bytes.subspan(0, 6));
+  EXPECT_THROW(r.blob(), InvariantError);
+  // Cut inside the length prefix itself.
+  Reader r2(bytes.subspan(0, 2));
+  EXPECT_THROW(r2.blob(), InvariantError);
+}
+
+TEST(WireTest, LargeBlobPreserved) {
+  Writer w;
+  std::vector<std::uint8_t> big(60 * 1024);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 131);
+  }
+  w.blob(big);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.blob(), big);
+}
+
+}  // namespace
+}  // namespace finelb::net

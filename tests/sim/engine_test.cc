@@ -1,0 +1,117 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace finelb::sim {
+namespace {
+
+TEST(EngineTest, StartsAtTimeZero) {
+  Engine engine;
+  EXPECT_EQ(engine.now(), 0);
+  EXPECT_TRUE(engine.empty());
+}
+
+TEST(EngineTest, ProcessesEventsInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(30, [&] { order.push_back(3); });
+  engine.schedule_at(10, [&] { order.push_back(1); });
+  engine.schedule_at(20, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), 30);
+  EXPECT_EQ(engine.events_processed(), 3u);
+}
+
+TEST(EngineTest, SameTimeEventsFireInScheduleOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(EngineTest, EventsCanScheduleMoreEvents) {
+  Engine engine;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) engine.schedule_after(10, chain);
+  };
+  engine.schedule_at(0, chain);
+  engine.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(engine.now(), 40);
+}
+
+TEST(EngineTest, SchedulingIntoThePastThrows) {
+  Engine engine;
+  engine.schedule_at(100, [] {});
+  engine.run();
+  EXPECT_THROW(engine.schedule_at(50, [] {}), InvariantError);
+  EXPECT_THROW(engine.schedule_after(-1, [] {}), InvariantError);
+}
+
+TEST(EngineTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Engine engine;
+  std::vector<SimTime> fired;
+  engine.schedule_at(10, [&] { fired.push_back(10); });
+  engine.schedule_at(20, [&] { fired.push_back(20); });
+  engine.schedule_at(30, [&] { fired.push_back(30); });
+  engine.run_until(20);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+  EXPECT_EQ(engine.now(), 20);
+  engine.run();
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(EngineTest, RunUntilWithEmptyQueueAdvancesClock) {
+  Engine engine;
+  engine.run_until(500);
+  EXPECT_EQ(engine.now(), 500);
+  EXPECT_THROW(engine.run_until(400), InvariantError);
+}
+
+TEST(EngineTest, StopHaltsProcessing) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(10, [&] {
+    ++fired;
+    engine.stop();
+  });
+  engine.schedule_at(20, [&] { ++fired; });
+  engine.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(engine.empty());
+  engine.run();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EngineTest, NowVisibleInsideEvents) {
+  Engine engine;
+  SimTime seen = -1;
+  engine.schedule_at(123, [&] { seen = engine.now(); });
+  engine.run();
+  EXPECT_EQ(seen, 123);
+}
+
+TEST(EngineTest, LargeEventCount) {
+  Engine engine;
+  std::int64_t sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    engine.schedule_at(i % 997, [&sum] { ++sum; });
+  }
+  engine.run();
+  EXPECT_EQ(sum, 100000);
+}
+
+}  // namespace
+}  // namespace finelb::sim

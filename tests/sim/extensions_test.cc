@@ -1,0 +1,141 @@
+// Tests for the simulator extensions beyond the paper's configurations:
+// heterogeneous server speeds, planned outages, and memory-augmented
+// polling.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/check.h"
+#include "sim/config.h"
+#include "workload/catalog.h"
+
+namespace finelb::sim {
+namespace {
+
+const Workload& poisson50() {
+  static const Workload w = make_poisson_exp(0.050);
+  return w;
+}
+
+SimConfig base_config(PolicyConfig policy) {
+  SimConfig config;
+  config.servers = 8;
+  config.clients = 4;
+  config.policy = policy;
+  config.load = 0.8;
+  config.total_requests = 60'000;
+  config.warmup_requests = 6'000;
+  config.seed = 21;
+  return config;
+}
+
+TEST(HeterogeneousTest, FastServersServeMoreUnderIdeal) {
+  SimConfig config = base_config(PolicyConfig::ideal());
+  config.server_speeds = {2.0, 2.0, 2.0, 2.0, 1.0, 1.0, 1.0, 1.0};
+  const SimResult r = run_cluster_sim(config, poisson50());
+  EXPECT_EQ(r.completed, config.total_requests);
+  const std::int64_t fast = std::accumulate(
+      r.per_server_served.begin(), r.per_server_served.begin() + 4, 0ll);
+  const std::int64_t slow = std::accumulate(
+      r.per_server_served.begin() + 4, r.per_server_served.end(), 0ll);
+  // Queue-length balancing routes roughly in proportion to service rate.
+  EXPECT_GT(fast, slow * 3 / 2);
+}
+
+TEST(HeterogeneousTest, LoadAwarePoliciesAbsorbSpeedSkew) {
+  SimConfig config = base_config(PolicyConfig::random());
+  config.server_speeds = {3.0, 3.0, 3.0, 3.0, 0.5, 0.5, 0.5, 0.5};
+  const double random_ms =
+      run_cluster_sim(config, poisson50()).mean_response_ms();
+  config.policy = PolicyConfig::polling(2);
+  const double polling_ms =
+      run_cluster_sim(config, poisson50()).mean_response_ms();
+  // Random keeps sending half the traffic to servers with 1/6 the
+  // capacity; queue-length polling shifts it away. The gap should be much
+  // larger than in the homogeneous case.
+  EXPECT_LT(polling_ms, random_ms * 0.4);
+}
+
+TEST(HeterogeneousTest, HomogeneousSpeedsMatchDefault) {
+  SimConfig config = base_config(PolicyConfig::polling(2));
+  const double implicit = run_cluster_sim(config, poisson50()).mean_response_ms();
+  config.server_speeds.assign(8, 1.0);
+  const double explicit_speeds =
+      run_cluster_sim(config, poisson50()).mean_response_ms();
+  EXPECT_DOUBLE_EQ(implicit, explicit_speeds);
+}
+
+TEST(HeterogeneousTest, SpeedValidation) {
+  SimConfig config = base_config(PolicyConfig::random());
+  config.server_speeds = {1.0, 2.0};  // wrong size
+  EXPECT_THROW(run_cluster_sim(config, poisson50()), InvariantError);
+  config.server_speeds.assign(8, 1.0);
+  config.server_speeds[3] = 0.0;
+  EXPECT_THROW(run_cluster_sim(config, poisson50()), InvariantError);
+}
+
+TEST(OutageTest, AllRequestsStillComplete) {
+  SimConfig config = base_config(PolicyConfig::polling(2));
+  config.outages = {{0, 10 * kSecond, 20 * kSecond},
+                    {1, 30 * kSecond, 10 * kSecond}};
+  const SimResult r = run_cluster_sim(config, poisson50());
+  EXPECT_EQ(r.completed, config.total_requests);
+}
+
+TEST(OutageTest, OutageHurtsAndLoadAwarenessLimitsTheDamage) {
+  SimConfig config = base_config(PolicyConfig::random());
+  const double healthy = run_cluster_sim(config, poisson50()).mean_response_ms();
+  // One of eight servers is out for a long stretch mid-run.
+  config.outages = {{0, 20 * kSecond, 60 * kSecond}};
+  const double random_out =
+      run_cluster_sim(config, poisson50()).mean_response_ms();
+  EXPECT_GT(random_out, healthy * 1.3)
+      << "random keeps feeding the paused server";
+
+  config.policy = PolicyConfig::polling(3);
+  const double polling_out =
+      run_cluster_sim(config, poisson50()).mean_response_ms();
+  EXPECT_LT(polling_out, random_out * 0.6)
+      << "polling sees the paused server's growing queue and avoids it";
+}
+
+TEST(OutageTest, Validation) {
+  SimConfig config = base_config(PolicyConfig::random());
+  config.outages = {{99, 0, kSecond}};
+  EXPECT_THROW(run_cluster_sim(config, poisson50()), InvariantError);
+  config.outages = {{0, 0, 0}};
+  EXPECT_THROW(run_cluster_sim(config, poisson50()), InvariantError);
+}
+
+TEST(PollMemoryTest, MemoryImprovesSmallPollSizes) {
+  // Mitzenmacher: remembering the previous winner behaves like a free
+  // extra (slightly stale) choice.
+  SimConfig config = base_config(PolicyConfig::polling(1));
+  config.load = 0.9;
+  const double plain = run_cluster_sim(config, poisson50()).mean_response_ms();
+  config.policy.poll_memory = true;
+  const double with_memory =
+      run_cluster_sim(config, poisson50()).mean_response_ms();
+  EXPECT_LT(with_memory, plain * 0.85);
+}
+
+TEST(PollMemoryTest, NoExtraMessages) {
+  SimConfig config = base_config(PolicyConfig::polling(2));
+  config.total_requests = 10'000;
+  config.warmup_requests = 1'000;
+  const SimResult plain = run_cluster_sim(config, poisson50());
+  config.policy.poll_memory = true;
+  const SimResult with_memory = run_cluster_sim(config, poisson50());
+  EXPECT_EQ(plain.messages, with_memory.messages)
+      << "memory is a free candidate, not an extra poll";
+  EXPECT_EQ(plain.polls_sent, with_memory.polls_sent);
+}
+
+TEST(PollMemoryTest, DescribeMentionsMemory) {
+  PolicyConfig config = PolicyConfig::polling(2);
+  config.poll_memory = true;
+  EXPECT_EQ(config.describe(), "polling(2,memory)");
+}
+
+}  // namespace
+}  // namespace finelb::sim

@@ -1,0 +1,89 @@
+#include "sim/inaccuracy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "stats/queueing.h"
+#include "workload/catalog.h"
+
+namespace finelb::sim {
+namespace {
+
+TEST(QueueTrajectoryTest, ValueAtStepSemantics) {
+  QueueTrajectory t;
+  t.append(10, 1);
+  t.append(20, 2);
+  t.append(30, 1);
+  EXPECT_EQ(t.value_at(5), 0);   // before first step
+  EXPECT_EQ(t.value_at(10), 1);  // right-continuous at the step
+  EXPECT_EQ(t.value_at(15), 1);
+  EXPECT_EQ(t.value_at(20), 2);
+  EXPECT_EQ(t.value_at(25), 2);
+  EXPECT_EQ(t.value_at(100), 1);
+  EXPECT_EQ(t.start(), 10);
+  EXPECT_EQ(t.end(), 30);
+}
+
+TEST(QueueTrajectoryTest, RejectsDisorderAndNegatives) {
+  QueueTrajectory t;
+  t.append(10, 1);
+  EXPECT_THROW(t.append(5, 2), InvariantError);
+  EXPECT_THROW(t.append(20, -1), InvariantError);
+  QueueTrajectory empty;
+  EXPECT_THROW(empty.start(), InvariantError);
+}
+
+TEST(TrajectoryRecordingTest, StepsAlternateByOne) {
+  const Workload w = make_poisson_exp(0.050);
+  const QueueTrajectory t = record_single_server_trajectory(w, 0.5, 2000, 1);
+  // Every arrival/departure changes the queue by exactly +-1; with 2000
+  // requests there are 4000 steps.
+  EXPECT_EQ(t.steps(), 4000u);
+}
+
+TEST(InaccuracyTest, ZeroDelayMeansZeroInaccuracy) {
+  const Workload w = make_poisson_exp(0.050);
+  const QueueTrajectory t = record_single_server_trajectory(w, 0.9, 50'000, 2);
+  EXPECT_DOUBLE_EQ(measure_inaccuracy(t, 0, 10'000, 3), 0.0);
+}
+
+TEST(InaccuracyTest, GrowsWithDelayAndSaturatesAtEquationOne) {
+  // The Figure 2 property: inaccuracy increases with delay and approaches
+  // 2 rho / (1 - rho^2) for Poisson/Exp.
+  const Workload w = make_poisson_exp(0.050);
+  for (const double rho : {0.5, 0.9}) {
+    const auto points = inaccuracy_sweep(w, rho, {0.1, 1.0, 4.0, 20.0, 300.0},
+                                         400'000, 40'000, 4);
+    const double bound = queueing::stale_index_inaccuracy_bound(rho);
+    double prev = 0.0;
+    for (const auto& p : points) {
+      EXPECT_GE(p.inaccuracy, prev * 0.9)
+          << "roughly monotone, rho=" << rho << " delay=" << p.delay_over_service;
+      EXPECT_LT(p.inaccuracy, bound * 1.15)
+          << "must stay below Equation (1), rho=" << rho;
+      prev = p.inaccuracy;
+    }
+    // Large delays approach the bound.
+    EXPECT_GT(points.back().inaccuracy, bound * 0.7) << "rho=" << rho;
+    // Small delays are far below it.
+    EXPECT_LT(points.front().inaccuracy, bound * 0.5) << "rho=" << rho;
+  }
+}
+
+TEST(InaccuracyTest, BusierServerIsLessAccurate) {
+  const Workload w = make_poisson_exp(0.050);
+  const auto at50 = inaccuracy_sweep(w, 0.5, {10.0}, 200'000, 20'000, 5);
+  const auto at90 = inaccuracy_sweep(w, 0.9, {10.0}, 200'000, 20'000, 5);
+  EXPECT_GT(at90[0].inaccuracy, at50[0].inaccuracy * 1.5);
+}
+
+TEST(InaccuracyTest, DelayTooLargeForTrajectoryThrows) {
+  const Workload w = make_poisson_exp(0.050);
+  const QueueTrajectory t = record_single_server_trajectory(w, 0.5, 100, 6);
+  EXPECT_THROW(
+      measure_inaccuracy(t, t.end() - t.start() + kSecond, 100, 7),
+      InvariantError);
+}
+
+}  // namespace
+}  // namespace finelb::sim

@@ -1,0 +1,120 @@
+// Validates the simulator against closed-form queueing theory. A simulator
+// that reproduces M/M/1 and M/G/1 exactly is the foundation every figure in
+// the paper's §2 rests on.
+#include <gtest/gtest.h>
+
+#include "sim/config.h"
+#include "sim/inaccuracy.h"
+#include "stats/queueing.h"
+#include "workload/catalog.h"
+
+namespace finelb::sim {
+namespace {
+
+SimConfig single_server_config(double load) {
+  SimConfig config;
+  config.servers = 1;
+  config.clients = 1;
+  config.policy = PolicyConfig::random();  // one server: policy irrelevant
+  config.load = load;
+  // Zero out messaging latency so the measurement is pure queueing.
+  config.network.request_oneway = 0;
+  config.total_requests = 400'000;
+  config.warmup_requests = 40'000;
+  config.seed = 7;
+  return config;
+}
+
+class Mm1ResponseTime : public ::testing::TestWithParam<double> {};
+
+TEST_P(Mm1ResponseTime, MatchesTheoryWithinFivePercent) {
+  const double rho = GetParam();
+  const Workload workload = make_poisson_exp(0.050);
+  const SimResult result =
+      run_cluster_sim(single_server_config(rho), workload);
+  const double expected_ms =
+      queueing::mm1_mean_response_time(rho, 0.050) * 1e3;
+  EXPECT_NEAR(result.mean_response_ms(), expected_ms, expected_ms * 0.06)
+      << "rho=" << rho;
+  EXPECT_NEAR(result.utilization, rho, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(LoadSweep, Mm1ResponseTime,
+                         ::testing::Values(0.3, 0.5, 0.7, 0.9));
+
+TEST(Mg1ValidationTest, GammaServiceMatchesPollaczekKhinchine) {
+  // Fine-Grain-like service: gamma with cv 10/22.2 (= 0.45).
+  const double mean_s = 0.0222;
+  const double cv = 10.0 / 22.2;
+  const Workload workload = Workload::from_distributions(
+      "mg1", make_exponential(mean_s),
+      make_gamma_from_moments(mean_s, mean_s * cv));
+  const double rho = 0.8;
+  const SimResult result =
+      run_cluster_sim(single_server_config(rho), workload);
+  const double expected_ms =
+      queueing::mg1_mean_response_time(rho, mean_s, cv) * 1e3;
+  EXPECT_NEAR(result.mean_response_ms(), expected_ms, expected_ms * 0.06);
+}
+
+TEST(Mg1ValidationTest, DeterministicServiceMatchesMd1) {
+  const double mean_s = 0.020;
+  const Workload workload = Workload::from_distributions(
+      "md1", make_exponential(mean_s), make_deterministic(mean_s));
+  const double rho = 0.7;
+  const SimResult result =
+      run_cluster_sim(single_server_config(rho), workload);
+  const double expected_ms =
+      queueing::mg1_mean_response_time(rho, mean_s, 0.0) * 1e3;
+  EXPECT_NEAR(result.mean_response_ms(), expected_ms, expected_ms * 0.06);
+}
+
+TEST(Mm1ValidationTest, QueueLengthDistributionIsGeometric) {
+  const double rho = 0.6;
+  const Workload workload = make_poisson_exp(0.050);
+  const QueueTrajectory trajectory =
+      record_single_server_trajectory(workload, rho, 300'000, 11);
+  // Sample the stationary queue length at random times and compare the
+  // empirical pmf with (1 - rho) rho^k for small k.
+  Rng rng(13);
+  const SimTime lo = trajectory.start() +
+                     (trajectory.end() - trajectory.start()) / 10;
+  const SimTime hi = trajectory.end();
+  std::vector<int> counts(8, 0);
+  const int samples = 200'000;
+  int in_range = 0;
+  for (int i = 0; i < samples; ++i) {
+    const SimTime t =
+        lo + static_cast<SimTime>(rng.uniform_int(
+                 static_cast<std::uint64_t>(hi - lo)));
+    const std::int32_t q = trajectory.value_at(t);
+    if (q < static_cast<std::int32_t>(counts.size())) {
+      ++counts[static_cast<std::size_t>(q)];
+      ++in_range;
+    }
+  }
+  (void)in_range;
+  for (int k = 0; k < 4; ++k) {
+    const double expected = queueing::mm1_queue_length_pmf(rho, k);
+    const double observed =
+        static_cast<double>(counts[static_cast<std::size_t>(k)]) / samples;
+    EXPECT_NEAR(observed, expected, expected * 0.08 + 0.005) << "k=" << k;
+  }
+}
+
+TEST(Mm1ValidationTest, SimulatorIsDeterministicPerSeed) {
+  const Workload workload = make_poisson_exp(0.050);
+  SimConfig config = single_server_config(0.7);
+  config.total_requests = 20'000;
+  config.warmup_requests = 2'000;
+  const SimResult a = run_cluster_sim(config, workload);
+  const SimResult b = run_cluster_sim(config, workload);
+  EXPECT_DOUBLE_EQ(a.mean_response_ms(), b.mean_response_ms());
+  EXPECT_EQ(a.messages, b.messages);
+  config.seed = 8;
+  const SimResult c = run_cluster_sim(config, workload);
+  EXPECT_NE(a.mean_response_ms(), c.mean_response_ms());
+}
+
+}  // namespace
+}  // namespace finelb::sim

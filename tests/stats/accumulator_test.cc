@@ -1,0 +1,124 @@
+#include "stats/accumulator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace finelb {
+namespace {
+
+TEST(AccumulatorTest, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
+}
+
+TEST(AccumulatorTest, KnownSequence) {
+  Accumulator acc;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 4.0);  // population variance
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(AccumulatorTest, SampleVarianceUsesNMinusOne) {
+  Accumulator acc;
+  acc.add(1.0);
+  acc.add(3.0);
+  EXPECT_DOUBLE_EQ(acc.sample_variance(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 1.0);
+}
+
+TEST(AccumulatorTest, SingleSampleHasZeroVariance) {
+  Accumulator acc;
+  acc.add(42.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 42.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 42.0);
+}
+
+TEST(AccumulatorTest, MergeMatchesSequential) {
+  Rng rng(1);
+  Accumulator whole;
+  Accumulator left;
+  Accumulator right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(AccumulatorTest, MergeWithEmptySides) {
+  Accumulator a;
+  Accumulator b;
+  b.add(5.0);
+  a.merge(b);  // empty.merge(nonempty)
+  EXPECT_EQ(a.count(), 1);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  Accumulator c;
+  a.merge(c);  // nonempty.merge(empty)
+  EXPECT_EQ(a.count(), 1);
+}
+
+TEST(AccumulatorTest, CvIsStdOverMean) {
+  Accumulator acc;
+  acc.add(1.0);
+  acc.add(3.0);
+  EXPECT_DOUBLE_EQ(acc.cv(), std::sqrt(2.0) / 2.0);
+}
+
+TEST(AccumulatorTest, NumericalStabilityWithLargeOffset) {
+  Accumulator acc;
+  const double offset = 1e9;
+  for (int i = 0; i < 1000; ++i) {
+    acc.add(offset + (i % 2 == 0 ? 1.0 : -1.0));
+  }
+  EXPECT_NEAR(acc.mean(), offset, 1e-3);
+  EXPECT_NEAR(acc.variance(), 1.0, 1e-6);
+}
+
+TEST(TimeWeightedTest, ConstantSignal) {
+  TimeWeighted tw(0.0, 5.0);
+  EXPECT_DOUBLE_EQ(tw.time_average(10.0), 5.0);
+}
+
+TEST(TimeWeightedTest, StepFunction) {
+  TimeWeighted tw(0.0, 0.0);
+  tw.update(2.0, 4.0);  // 0 on [0,2), 4 from t=2
+  tw.update(6.0, 1.0);  // 4 on [2,6), 1 from t=6
+  // integral over [0,8): 0*2 + 4*4 + 1*2 = 18; average = 18/8
+  EXPECT_DOUBLE_EQ(tw.time_average(8.0), 18.0 / 8.0);
+  EXPECT_DOUBLE_EQ(tw.current(), 1.0);
+}
+
+TEST(TimeWeightedTest, OutOfOrderUpdateThrows) {
+  TimeWeighted tw(0.0, 0.0);
+  tw.update(5.0, 1.0);
+  EXPECT_THROW(tw.update(4.0, 2.0), InvariantError);
+  EXPECT_THROW(tw.time_average(4.0), InvariantError);
+}
+
+TEST(TimeWeightedTest, ZeroSpanReturnsCurrent) {
+  TimeWeighted tw(3.0, 7.0);
+  EXPECT_DOUBLE_EQ(tw.time_average(3.0), 7.0);
+}
+
+}  // namespace
+}  // namespace finelb

@@ -1,0 +1,128 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace finelb {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyQuantilesAreZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.fraction_above(1.0), 0.0);
+}
+
+TEST(LatencyHistogramTest, SingleValue) {
+  LatencyHistogram h;
+  h.add(10.0);
+  EXPECT_EQ(h.count(), 1);
+  // Log-bucketed: quantile is the bucket representative, within ~3%.
+  EXPECT_NEAR(h.quantile(0.5), 10.0, 0.35);
+  EXPECT_DOUBLE_EQ(h.recorded_min(), 10.0);
+  EXPECT_DOUBLE_EQ(h.recorded_max(), 10.0);
+}
+
+TEST(LatencyHistogramTest, QuantileAccuracyOnUniformData) {
+  LatencyHistogram h;
+  Rng rng(1);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) h.add(rng.uniform(1.0, 101.0));
+  // Relative error bound for 32 sub-buckets is ~3%; allow 5%.
+  EXPECT_NEAR(h.p50(), 51.0, 51.0 * 0.05);
+  EXPECT_NEAR(h.p95(), 96.0, 96.0 * 0.05);
+  EXPECT_NEAR(h.p99(), 100.0, 100.0 * 0.05);
+}
+
+TEST(LatencyHistogramTest, QuantileMonotoneInQ) {
+  LatencyHistogram h;
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) h.add(rng.exponential(5.0));
+  double prev = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(LatencyHistogramTest, FractionAboveThreshold) {
+  LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) h.add(0.5);
+  for (int i = 0; i < 10; ++i) h.add(8.0);
+  EXPECT_NEAR(h.fraction_above(1.0), 0.10, 1e-9);
+  EXPECT_NEAR(h.fraction_above(10.0), 0.0, 1e-9);
+}
+
+TEST(LatencyHistogramTest, ZeroAndNegativeValuesLandInZeroBucket) {
+  LatencyHistogram h;
+  h.add(0.0);
+  h.add(-3.0);
+  h.add(1.0);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.quantile(0.3), 0.0);
+  EXPECT_DOUBLE_EQ(h.recorded_min(), 0.0);
+}
+
+TEST(LatencyHistogramTest, MergeEquivalentToCombinedAdds) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram whole;
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.exponential(2.0);
+    whole.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.quantile(q), whole.quantile(q));
+  }
+  EXPECT_DOUBLE_EQ(a.recorded_min(), whole.recorded_min());
+  EXPECT_DOUBLE_EQ(a.recorded_max(), whole.recorded_max());
+}
+
+TEST(LatencyHistogramTest, MergeResolutionMismatchThrows) {
+  LatencyHistogram a(5);
+  LatencyHistogram b(6);
+  EXPECT_THROW(a.merge(b), InvariantError);
+}
+
+TEST(LatencyHistogramTest, InvalidQuantileThrows) {
+  LatencyHistogram h;
+  h.add(1.0);
+  EXPECT_THROW(h.quantile(-0.1), InvariantError);
+  EXPECT_THROW(h.quantile(1.1), InvariantError);
+}
+
+TEST(LatencyHistogramTest, WideDynamicRange) {
+  LatencyHistogram h;
+  h.add(1e-6);  // 1 us in seconds
+  h.add(1e3);   // ~17 minutes
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_NEAR(h.quantile(0.25), 1e-6, 1e-6 * 0.05);
+  EXPECT_NEAR(h.quantile(1.0), 1e3, 1e3 * 0.05);
+}
+
+class HistogramRelativeError : public ::testing::TestWithParam<double> {};
+
+TEST_P(HistogramRelativeError, SingleValueRepresentativeWithin4Percent) {
+  const double value = GetParam();
+  LatencyHistogram h;
+  h.add(value);
+  EXPECT_NEAR(h.quantile(0.5), value, value * 0.04)
+      << "value=" << value;
+}
+
+INSTANTIATE_TEST_SUITE_P(AcrossMagnitudes, HistogramRelativeError,
+                         ::testing::Values(1e-5, 3.7e-4, 0.002, 0.13, 1.0,
+                                           22.2, 517.0, 1e4));
+
+}  // namespace
+}  // namespace finelb

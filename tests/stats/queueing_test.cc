@@ -1,0 +1,116 @@
+#include "stats/queueing.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace finelb::queueing {
+namespace {
+
+TEST(Mm1Test, PmfIsGeometricAndSumsToOne) {
+  const double rho = 0.7;
+  double total = 0.0;
+  for (int k = 0; k < 200; ++k) {
+    const double p = mm1_queue_length_pmf(rho, k);
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(mm1_queue_length_pmf(rho, 0), 0.3);
+  EXPECT_DOUBLE_EQ(mm1_queue_length_pmf(rho, 1), 0.3 * 0.7);
+}
+
+TEST(Mm1Test, MeanQueueLength) {
+  EXPECT_DOUBLE_EQ(mm1_mean_queue_length(0.5), 1.0);
+  EXPECT_NEAR(mm1_mean_queue_length(0.9), 9.0, 1e-12);
+  EXPECT_DOUBLE_EQ(mm1_mean_queue_length(0.0), 0.0);
+}
+
+TEST(Mm1Test, MeanResponseTime) {
+  // s / (1 - rho): 50 ms service at 90% load -> 500 ms.
+  EXPECT_NEAR(mm1_mean_response_time(0.9, 0.05), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(mm1_mean_response_time(0.0, 0.05), 0.05);
+}
+
+TEST(Mm1Test, InvalidRhoThrows) {
+  EXPECT_THROW(mm1_mean_queue_length(1.0), finelb::InvariantError);
+  EXPECT_THROW(mm1_mean_queue_length(-0.1), finelb::InvariantError);
+  EXPECT_THROW(mm1_queue_length_pmf(0.5, -1), finelb::InvariantError);
+}
+
+TEST(Equation1Test, PaperValueAtHalfLoad) {
+  // The paper quotes 1.33 for rho = 0.5 (Figure 2 discussion).
+  EXPECT_NEAR(stale_index_inaccuracy_bound(0.5), 4.0 / 3.0, 1e-12);
+}
+
+TEST(Equation1Test, ClosedFormMatchesSeries) {
+  for (const double rho : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    EXPECT_NEAR(stale_index_inaccuracy_series(rho),
+                stale_index_inaccuracy_bound(rho), 1e-6)
+        << "rho=" << rho;
+  }
+}
+
+TEST(Equation1Test, GrowsWithLoad) {
+  double prev = 0.0;
+  for (double rho = 0.0; rho < 0.95; rho += 0.05) {
+    const double bound = stale_index_inaccuracy_bound(rho);
+    EXPECT_GE(bound, prev);
+    prev = bound;
+  }
+  // At 90% load the bound is large (~9.47) - the paper's "error of around
+  // 3 in the load index" at delay 10x is still below this asymptote.
+  EXPECT_NEAR(stale_index_inaccuracy_bound(0.9), 2 * 0.9 / (1 - 0.81), 1e-12);
+}
+
+TEST(Mg1Test, ReducesToMm1ForExponentialService) {
+  // cv = 1 makes Pollaczek-Khinchine collapse to s/(1-rho).
+  for (const double rho : {0.2, 0.5, 0.8}) {
+    EXPECT_NEAR(mg1_mean_response_time(rho, 0.05, 1.0),
+                mm1_mean_response_time(rho, 0.05), 1e-12);
+  }
+}
+
+TEST(Mg1Test, DeterministicServiceHalvesWaiting) {
+  const double rho = 0.8;
+  const double s = 0.02;
+  const double wait_mm1 = mm1_mean_response_time(rho, s) - s;
+  const double wait_md1 = mg1_mean_response_time(rho, s, 0.0) - s;
+  EXPECT_NEAR(wait_md1, wait_mm1 / 2.0, 1e-12);
+}
+
+TEST(Mg1Test, HighVarianceInflatesWaiting) {
+  const double low = mg1_mean_response_time(0.8, 0.0289, 0.5);
+  const double high = mg1_mean_response_time(0.8, 0.0289, 2.18);
+  EXPECT_GT(high, low);
+}
+
+TEST(ErlangCTest, SingleServerEqualsRho) {
+  // For c = 1 the waiting probability is exactly rho.
+  for (const double rho : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(erlang_c(1, rho), rho, 1e-12);
+  }
+}
+
+TEST(ErlangCTest, KnownTableValue) {
+  // Classic teletraffic table: c = 2, offered load a = 1.0 -> C(2,1) = 1/3.
+  EXPECT_NEAR(erlang_c(2, 1.0), 1.0 / 3.0, 1e-9);
+}
+
+TEST(MmcTest, ReducesToMm1ForOneServer) {
+  EXPECT_NEAR(mmc_mean_response_time(1, 0.9, 0.05),
+              mm1_mean_response_time(0.9, 0.05), 1e-9);
+}
+
+TEST(MmcTest, PoolingBeatsPartitioning) {
+  // An M/M/16 system always beats 16 separate M/M/1 queues at equal rho.
+  const double pooled = mmc_mean_response_time(16, 0.9, 0.05);
+  const double partitioned = mm1_mean_response_time(0.9, 0.05);
+  EXPECT_LT(pooled, partitioned);
+  EXPECT_GT(pooled, 0.05);  // cannot beat bare service time
+}
+
+}  // namespace
+}  // namespace finelb::queueing

@@ -1,0 +1,139 @@
+#include "workload/distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "stats/accumulator.h"
+
+namespace finelb {
+namespace {
+
+// Property sweep: every parseable distribution must deliver the mean and
+// stddev it declares (moment-matching is load calibration's foundation).
+class DistributionMoments : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DistributionMoments, SampleMomentsMatchDeclared) {
+  const auto dist = parse_distribution(GetParam());
+  Rng rng(99);
+  Accumulator acc;
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) {
+    const double x = dist->sample(rng);
+    ASSERT_GE(x, 0.0) << dist->describe();
+    acc.add(x);
+  }
+  const double mean = dist->mean();
+  EXPECT_NEAR(acc.mean(), mean, std::max(mean * 0.02, 1e-9))
+      << dist->describe();
+  const double stddev = dist->stddev();
+  // Pareto's fourth moment is infinite for alpha <= 4, so its sample stddev
+  // converges too slowly for a fixed-n check; its mean check above suffices.
+  const bool heavy_tail = dist->describe().rfind("pareto", 0) == 0;
+  if (std::isfinite(stddev) && !heavy_tail) {
+    EXPECT_NEAR(acc.stddev(), stddev, std::max(stddev * 0.08, 1e-9))
+        << dist->describe();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, DistributionMoments,
+    ::testing::Values("det:0.05", "exp:0.0222", "uniform:0.01,0.03",
+                      "lognormal:0.0289,0.0629",  // Medium-Grain service
+                      "lognormal:0.298,0.3211",   // Medium-Grain arrivals
+                      "gamma:0.0222,0.01",        // Fine-Grain service
+                      "gamma:0.05,0.1",           // cv > 1 (shape < 1)
+                      "weibull:0.05,0.025",       // cv < 1
+                      "weibull:0.05,0.1",         // cv > 1
+                      "pareto:3.5,0.01", "shiftedexp:0.01,0.02"));
+
+TEST(DistributionTest, DeterministicIsConstant) {
+  const auto dist = make_deterministic(0.042);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(dist->sample(rng), 0.042);
+  }
+  EXPECT_DOUBLE_EQ(dist->stddev(), 0.0);
+}
+
+TEST(DistributionTest, ParetoInfiniteVarianceReported) {
+  const auto dist = make_pareto(1.5, 0.01);
+  EXPECT_TRUE(std::isinf(dist->stddev()));
+  EXPECT_NEAR(dist->mean(), 1.5 * 0.01 / 0.5, 1e-12);
+}
+
+TEST(DistributionTest, ParetoSamplesRespectMinimum) {
+  const auto dist = make_pareto(2.0, 0.01);
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_GE(dist->sample(rng), 0.01);
+  }
+}
+
+TEST(DistributionTest, ParetoHeavyTailMeanStillConverges) {
+  // alpha = 2.5 has finite mean but barely-finite variance; check the mean
+  // only, with a looser tolerance than the main moment sweep.
+  const auto dist = make_pareto(2.5, 0.01);
+  Rng rng(55);
+  Accumulator acc;
+  for (int i = 0; i < 400000; ++i) acc.add(dist->sample(rng));
+  EXPECT_NEAR(acc.mean(), dist->mean(), dist->mean() * 0.05);
+}
+
+TEST(DistributionTest, ParseRejectsMalformedSpecs) {
+  EXPECT_THROW(parse_distribution("exp"), InvariantError);
+  EXPECT_THROW(parse_distribution("exp:"), InvariantError);
+  EXPECT_THROW(parse_distribution("exp:1,2"), InvariantError);
+  EXPECT_THROW(parse_distribution("unknown:1"), InvariantError);
+  EXPECT_THROW(parse_distribution("uniform:1"), InvariantError);
+  EXPECT_THROW(parse_distribution("lognormal:0.05"), InvariantError);
+}
+
+TEST(DistributionTest, ParseDescribeRoundTrip) {
+  for (const char* spec :
+       {"det:0.05", "exp:0.0222", "uniform:0.01,0.03", "pareto:2.5,0.01"}) {
+    const auto dist = parse_distribution(spec);
+    const auto reparsed = parse_distribution(dist->describe());
+    EXPECT_DOUBLE_EQ(dist->mean(), reparsed->mean()) << spec;
+  }
+}
+
+TEST(DistributionTest, InvalidParametersThrow) {
+  EXPECT_THROW(make_exponential(0.0), InvariantError);
+  EXPECT_THROW(make_exponential(-1.0), InvariantError);
+  EXPECT_THROW(make_uniform(3.0, 1.0), InvariantError);
+  EXPECT_THROW(make_lognormal_from_moments(-1.0, 0.5), InvariantError);
+  EXPECT_THROW(make_gamma_from_moments(0.05, 0.0), InvariantError);
+  EXPECT_THROW(make_pareto(0.9, 0.01), InvariantError);
+  EXPECT_THROW(make_pareto(2.0, 0.0), InvariantError);
+  EXPECT_THROW(make_shifted_exponential(-0.1, 0.02), InvariantError);
+}
+
+TEST(DistributionTest, LognormalHeavyTailOrdering) {
+  // With equal means, higher declared stddev should produce a fatter upper
+  // tail (larger p99).
+  Rng rng_a(7);
+  Rng rng_b(7);
+  const auto narrow = make_lognormal_from_moments(0.05, 0.01);
+  const auto wide = make_lognormal_from_moments(0.05, 0.15);
+  double max_narrow = 0.0;
+  double max_wide = 0.0;
+  for (int i = 0; i < 50000; ++i) {
+    max_narrow = std::max(max_narrow, narrow->sample(rng_a));
+    max_wide = std::max(max_wide, wide->sample(rng_b));
+  }
+  EXPECT_GT(max_wide, max_narrow);
+}
+
+TEST(DistributionTest, SamplingIsDeterministicPerSeed) {
+  const auto dist = parse_distribution("gamma:0.0222,0.01");
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(dist->sample(a), dist->sample(b));
+  }
+}
+
+}  // namespace
+}  // namespace finelb

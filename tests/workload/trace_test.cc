@@ -1,0 +1,100 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace finelb {
+namespace {
+
+Trace small_trace() {
+  return Trace({{10 * kMillisecond, 5 * kMillisecond},
+                {20 * kMillisecond, 15 * kMillisecond},
+                {30 * kMillisecond, 25 * kMillisecond}},
+               "unit");
+}
+
+TEST(TraceTest, StatsMatchHandComputation) {
+  const TraceStats s = small_trace().stats();
+  EXPECT_EQ(s.count, 3);
+  EXPECT_DOUBLE_EQ(s.arrival_mean_ms, 20.0);
+  EXPECT_DOUBLE_EQ(s.service_mean_ms, 15.0);
+  EXPECT_DOUBLE_EQ(s.arrival_stddev_ms, 10.0);  // sample stddev of 10,20,30
+  EXPECT_DOUBLE_EQ(s.service_stddev_ms, 10.0);
+}
+
+TEST(TraceTest, WriteReadRoundTrip) {
+  const Trace original = small_trace();
+  std::stringstream stream;
+  original.write(stream);
+  const Trace restored = Trace::read(stream);
+  EXPECT_EQ(restored.records(), original.records());
+  EXPECT_EQ(restored.name(), "unit");
+}
+
+TEST(TraceTest, ReadRejectsMissingHeader) {
+  std::stringstream stream("10 5\n20 15\n");
+  EXPECT_THROW(Trace::read(stream), InvariantError);
+}
+
+TEST(TraceTest, ReadRejectsMalformedLine) {
+  std::stringstream stream("# finelb-trace v1\n10 abc\n");
+  EXPECT_THROW(Trace::read(stream), InvariantError);
+}
+
+TEST(TraceTest, ReadSkipsBlankAndCommentLines) {
+  std::stringstream stream(
+      "# finelb-trace v1\n# name: from-file\n\n10 5\n\n20 15\n");
+  const Trace t = Trace::read(stream);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.name(), "from-file");
+}
+
+TEST(TraceTest, SliceExtractsRange) {
+  const Trace sliced = small_trace().slice(1, 2, "peak");
+  ASSERT_EQ(sliced.size(), 2u);
+  EXPECT_EQ(sliced.records()[0].arrival_interval, 20 * kMillisecond);
+  EXPECT_EQ(sliced.name(), "peak");
+}
+
+TEST(TraceTest, SliceClampsCountAndValidatesStart) {
+  EXPECT_EQ(small_trace().slice(2, 100).size(), 1u);
+  EXPECT_EQ(small_trace().slice(3, 1).size(), 0u);
+  EXPECT_THROW(small_trace().slice(4, 1), InvariantError);
+}
+
+TEST(TraceTest, ScaleArrivalsOnlyTouchesIntervals) {
+  const Trace scaled = small_trace().scale_arrivals(0.5);
+  ASSERT_EQ(scaled.size(), 3u);
+  EXPECT_EQ(scaled.records()[0].arrival_interval, 5 * kMillisecond);
+  EXPECT_EQ(scaled.records()[0].service_time, 5 * kMillisecond);
+  EXPECT_EQ(scaled.records()[2].arrival_interval, 15 * kMillisecond);
+  EXPECT_THROW(small_trace().scale_arrivals(0.0), InvariantError);
+}
+
+TEST(TraceTest, NegativeDurationsRejected) {
+  EXPECT_THROW(Trace({{-1, 5}}), InvariantError);
+  EXPECT_THROW(Trace({{1, -5}}), InvariantError);
+}
+
+TEST(TraceTest, SaveLoadThroughFilesystem) {
+  const std::string path = ::testing::TempDir() + "/finelb_trace_test.trace";
+  small_trace().save(path);
+  const Trace loaded = Trace::load(path);
+  EXPECT_EQ(loaded.records(), small_trace().records());
+  EXPECT_THROW(Trace::load(path + ".missing"), InvariantError);
+}
+
+TEST(TraceTest, MicrosecondPrecisionPreservedOnDisk) {
+  const Trace t({{1234 * kMicrosecond, 987 * kMicrosecond}}, "us");
+  std::stringstream stream;
+  t.write(stream);
+  const Trace restored = Trace::read(stream);
+  EXPECT_EQ(restored.records()[0].arrival_interval, 1234 * kMicrosecond);
+  EXPECT_EQ(restored.records()[0].service_time, 987 * kMicrosecond);
+}
+
+}  // namespace
+}  // namespace finelb
