@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_broadcast_jitter.dir/ablation_broadcast_jitter.cc.o"
+  "CMakeFiles/ablation_broadcast_jitter.dir/ablation_broadcast_jitter.cc.o.d"
+  "ablation_broadcast_jitter"
+  "ablation_broadcast_jitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_broadcast_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

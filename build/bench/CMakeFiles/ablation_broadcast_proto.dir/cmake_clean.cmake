@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_broadcast_proto.dir/ablation_broadcast_proto.cc.o"
+  "CMakeFiles/ablation_broadcast_proto.dir/ablation_broadcast_proto.cc.o.d"
+  "ablation_broadcast_proto"
+  "ablation_broadcast_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_broadcast_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

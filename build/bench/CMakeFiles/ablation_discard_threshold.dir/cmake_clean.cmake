@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_discard_threshold.dir/ablation_discard_threshold.cc.o"
+  "CMakeFiles/ablation_discard_threshold.dir/ablation_discard_threshold.cc.o.d"
+  "ablation_discard_threshold"
+  "ablation_discard_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_discard_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_poll_memory.dir/ablation_poll_memory.cc.o"
+  "CMakeFiles/ablation_poll_memory.dir/ablation_poll_memory.cc.o.d"
+  "ablation_poll_memory"
+  "ablation_poll_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_poll_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

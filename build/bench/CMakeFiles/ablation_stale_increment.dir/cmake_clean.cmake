@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stale_increment.dir/ablation_stale_increment.cc.o"
+  "CMakeFiles/ablation_stale_increment.dir/ablation_stale_increment.cc.o.d"
+  "ablation_stale_increment"
+  "ablation_stale_increment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stale_increment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_inaccuracy.dir/fig2_inaccuracy.cc.o"
+  "CMakeFiles/fig2_inaccuracy.dir/fig2_inaccuracy.cc.o.d"
+  "fig2_inaccuracy"
+  "fig2_inaccuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_inaccuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

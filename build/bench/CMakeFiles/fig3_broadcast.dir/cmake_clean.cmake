@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_broadcast.dir/fig3_broadcast.cc.o"
+  "CMakeFiles/fig3_broadcast.dir/fig3_broadcast.cc.o.d"
+  "fig3_broadcast"
+  "fig3_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_pollsize_proto.dir/fig6_pollsize_proto.cc.o"
+  "CMakeFiles/fig6_pollsize_proto.dir/fig6_pollsize_proto.cc.o.d"
+  "fig6_pollsize_proto"
+  "fig6_pollsize_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_pollsize_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

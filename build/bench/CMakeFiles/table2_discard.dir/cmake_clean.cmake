@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_discard.dir/table2_discard.cc.o"
+  "CMakeFiles/table2_discard.dir/table2_discard.cc.o.d"
+  "table2_discard"
+  "table2_discard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_discard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/word_translation.dir/word_translation.cpp.o"
+  "CMakeFiles/word_translation.dir/word_translation.cpp.o.d"
+  "word_translation"
+  "word_translation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/word_translation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/broadcast_channel.cc" "src/cluster/CMakeFiles/finelb_cluster.dir/broadcast_channel.cc.o" "gcc" "src/cluster/CMakeFiles/finelb_cluster.dir/broadcast_channel.cc.o.d"
+  "/root/repo/src/cluster/client_node.cc" "src/cluster/CMakeFiles/finelb_cluster.dir/client_node.cc.o" "gcc" "src/cluster/CMakeFiles/finelb_cluster.dir/client_node.cc.o.d"
+  "/root/repo/src/cluster/directory.cc" "src/cluster/CMakeFiles/finelb_cluster.dir/directory.cc.o" "gcc" "src/cluster/CMakeFiles/finelb_cluster.dir/directory.cc.o.d"
+  "/root/repo/src/cluster/experiment.cc" "src/cluster/CMakeFiles/finelb_cluster.dir/experiment.cc.o" "gcc" "src/cluster/CMakeFiles/finelb_cluster.dir/experiment.cc.o.d"
+  "/root/repo/src/cluster/ideal_manager.cc" "src/cluster/CMakeFiles/finelb_cluster.dir/ideal_manager.cc.o" "gcc" "src/cluster/CMakeFiles/finelb_cluster.dir/ideal_manager.cc.o.d"
+  "/root/repo/src/cluster/server_node.cc" "src/cluster/CMakeFiles/finelb_cluster.dir/server_node.cc.o" "gcc" "src/cluster/CMakeFiles/finelb_cluster.dir/server_node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/finelb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/finelb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/finelb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/finelb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/finelb_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

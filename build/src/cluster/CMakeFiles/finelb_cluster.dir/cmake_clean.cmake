@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finelb_cluster.dir/broadcast_channel.cc.o"
+  "CMakeFiles/finelb_cluster.dir/broadcast_channel.cc.o.d"
+  "CMakeFiles/finelb_cluster.dir/client_node.cc.o"
+  "CMakeFiles/finelb_cluster.dir/client_node.cc.o.d"
+  "CMakeFiles/finelb_cluster.dir/directory.cc.o"
+  "CMakeFiles/finelb_cluster.dir/directory.cc.o.d"
+  "CMakeFiles/finelb_cluster.dir/experiment.cc.o"
+  "CMakeFiles/finelb_cluster.dir/experiment.cc.o.d"
+  "CMakeFiles/finelb_cluster.dir/ideal_manager.cc.o"
+  "CMakeFiles/finelb_cluster.dir/ideal_manager.cc.o.d"
+  "CMakeFiles/finelb_cluster.dir/server_node.cc.o"
+  "CMakeFiles/finelb_cluster.dir/server_node.cc.o.d"
+  "libfinelb_cluster.a"
+  "libfinelb_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finelb_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

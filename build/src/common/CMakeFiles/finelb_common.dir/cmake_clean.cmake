@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finelb_common.dir/flags.cc.o"
+  "CMakeFiles/finelb_common.dir/flags.cc.o.d"
+  "CMakeFiles/finelb_common.dir/log.cc.o"
+  "CMakeFiles/finelb_common.dir/log.cc.o.d"
+  "CMakeFiles/finelb_common.dir/rng.cc.o"
+  "CMakeFiles/finelb_common.dir/rng.cc.o.d"
+  "libfinelb_common.a"
+  "libfinelb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finelb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finelb_core.dir/policy.cc.o"
+  "CMakeFiles/finelb_core.dir/policy.cc.o.d"
+  "CMakeFiles/finelb_core.dir/selection.cc.o"
+  "CMakeFiles/finelb_core.dir/selection.cc.o.d"
+  "libfinelb_core.a"
+  "libfinelb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finelb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finelb_neptune.dir/rpc.cc.o"
+  "CMakeFiles/finelb_neptune.dir/rpc.cc.o.d"
+  "CMakeFiles/finelb_neptune.dir/service_client.cc.o"
+  "CMakeFiles/finelb_neptune.dir/service_client.cc.o.d"
+  "CMakeFiles/finelb_neptune.dir/service_node.cc.o"
+  "CMakeFiles/finelb_neptune.dir/service_node.cc.o.d"
+  "libfinelb_neptune.a"
+  "libfinelb_neptune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finelb_neptune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for finelb_neptune.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/clock.cc" "src/net/CMakeFiles/finelb_net.dir/clock.cc.o" "gcc" "src/net/CMakeFiles/finelb_net.dir/clock.cc.o.d"
+  "/root/repo/src/net/message.cc" "src/net/CMakeFiles/finelb_net.dir/message.cc.o" "gcc" "src/net/CMakeFiles/finelb_net.dir/message.cc.o.d"
+  "/root/repo/src/net/pingpong.cc" "src/net/CMakeFiles/finelb_net.dir/pingpong.cc.o" "gcc" "src/net/CMakeFiles/finelb_net.dir/pingpong.cc.o.d"
+  "/root/repo/src/net/poller.cc" "src/net/CMakeFiles/finelb_net.dir/poller.cc.o" "gcc" "src/net/CMakeFiles/finelb_net.dir/poller.cc.o.d"
+  "/root/repo/src/net/socket.cc" "src/net/CMakeFiles/finelb_net.dir/socket.cc.o" "gcc" "src/net/CMakeFiles/finelb_net.dir/socket.cc.o.d"
+  "/root/repo/src/net/tcp.cc" "src/net/CMakeFiles/finelb_net.dir/tcp.cc.o" "gcc" "src/net/CMakeFiles/finelb_net.dir/tcp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/finelb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

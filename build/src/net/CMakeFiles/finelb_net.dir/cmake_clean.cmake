@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finelb_net.dir/clock.cc.o"
+  "CMakeFiles/finelb_net.dir/clock.cc.o.d"
+  "CMakeFiles/finelb_net.dir/message.cc.o"
+  "CMakeFiles/finelb_net.dir/message.cc.o.d"
+  "CMakeFiles/finelb_net.dir/pingpong.cc.o"
+  "CMakeFiles/finelb_net.dir/pingpong.cc.o.d"
+  "CMakeFiles/finelb_net.dir/poller.cc.o"
+  "CMakeFiles/finelb_net.dir/poller.cc.o.d"
+  "CMakeFiles/finelb_net.dir/socket.cc.o"
+  "CMakeFiles/finelb_net.dir/socket.cc.o.d"
+  "CMakeFiles/finelb_net.dir/tcp.cc.o"
+  "CMakeFiles/finelb_net.dir/tcp.cc.o.d"
+  "libfinelb_net.a"
+  "libfinelb_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finelb_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster_sim.cc" "src/sim/CMakeFiles/finelb_sim.dir/cluster_sim.cc.o" "gcc" "src/sim/CMakeFiles/finelb_sim.dir/cluster_sim.cc.o.d"
+  "/root/repo/src/sim/engine.cc" "src/sim/CMakeFiles/finelb_sim.dir/engine.cc.o" "gcc" "src/sim/CMakeFiles/finelb_sim.dir/engine.cc.o.d"
+  "/root/repo/src/sim/inaccuracy.cc" "src/sim/CMakeFiles/finelb_sim.dir/inaccuracy.cc.o" "gcc" "src/sim/CMakeFiles/finelb_sim.dir/inaccuracy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/finelb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/finelb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/finelb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/finelb_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

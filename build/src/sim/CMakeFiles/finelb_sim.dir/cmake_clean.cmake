@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finelb_sim.dir/cluster_sim.cc.o"
+  "CMakeFiles/finelb_sim.dir/cluster_sim.cc.o.d"
+  "CMakeFiles/finelb_sim.dir/engine.cc.o"
+  "CMakeFiles/finelb_sim.dir/engine.cc.o.d"
+  "CMakeFiles/finelb_sim.dir/inaccuracy.cc.o"
+  "CMakeFiles/finelb_sim.dir/inaccuracy.cc.o.d"
+  "libfinelb_sim.a"
+  "libfinelb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finelb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

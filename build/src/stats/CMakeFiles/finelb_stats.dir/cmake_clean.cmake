@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finelb_stats.dir/accumulator.cc.o"
+  "CMakeFiles/finelb_stats.dir/accumulator.cc.o.d"
+  "CMakeFiles/finelb_stats.dir/histogram.cc.o"
+  "CMakeFiles/finelb_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/finelb_stats.dir/queueing.cc.o"
+  "CMakeFiles/finelb_stats.dir/queueing.cc.o.d"
+  "libfinelb_stats.a"
+  "libfinelb_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finelb_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

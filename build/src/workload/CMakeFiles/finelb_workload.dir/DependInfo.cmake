@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/catalog.cc" "src/workload/CMakeFiles/finelb_workload.dir/catalog.cc.o" "gcc" "src/workload/CMakeFiles/finelb_workload.dir/catalog.cc.o.d"
+  "/root/repo/src/workload/distribution.cc" "src/workload/CMakeFiles/finelb_workload.dir/distribution.cc.o" "gcc" "src/workload/CMakeFiles/finelb_workload.dir/distribution.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/finelb_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/finelb_workload.dir/trace.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/workload/CMakeFiles/finelb_workload.dir/workload.cc.o" "gcc" "src/workload/CMakeFiles/finelb_workload.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/finelb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/finelb_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finelb_workload.dir/catalog.cc.o"
+  "CMakeFiles/finelb_workload.dir/catalog.cc.o.d"
+  "CMakeFiles/finelb_workload.dir/distribution.cc.o"
+  "CMakeFiles/finelb_workload.dir/distribution.cc.o.d"
+  "CMakeFiles/finelb_workload.dir/trace.cc.o"
+  "CMakeFiles/finelb_workload.dir/trace.cc.o.d"
+  "CMakeFiles/finelb_workload.dir/workload.cc.o"
+  "CMakeFiles/finelb_workload.dir/workload.cc.o.d"
+  "libfinelb_workload.a"
+  "libfinelb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finelb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

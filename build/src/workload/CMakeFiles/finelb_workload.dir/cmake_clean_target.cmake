@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfinelb_workload.a"
+)

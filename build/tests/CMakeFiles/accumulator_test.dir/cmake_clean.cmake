@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accumulator_test.dir/stats/accumulator_test.cc.o"
+  "CMakeFiles/accumulator_test.dir/stats/accumulator_test.cc.o.d"
+  "accumulator_test"
+  "accumulator_test.pdb"
+  "accumulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accumulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocking_queue_test.dir/cluster/blocking_queue_test.cc.o"
+  "CMakeFiles/blocking_queue_test.dir/cluster/blocking_queue_test.cc.o.d"
+  "blocking_queue_test"
+  "blocking_queue_test.pdb"
+  "blocking_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocking_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_node_test.dir/cluster/client_node_test.cc.o"
+  "CMakeFiles/client_node_test.dir/cluster/client_node_test.cc.o.d"
+  "client_node_test"
+  "client_node_test.pdb"
+  "client_node_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

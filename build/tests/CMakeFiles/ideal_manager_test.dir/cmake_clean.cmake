@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ideal_manager_test.dir/cluster/ideal_manager_test.cc.o"
+  "CMakeFiles/ideal_manager_test.dir/cluster/ideal_manager_test.cc.o.d"
+  "ideal_manager_test"
+  "ideal_manager_test.pdb"
+  "ideal_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ideal_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inaccuracy_test.dir/sim/inaccuracy_test.cc.o"
+  "CMakeFiles/inaccuracy_test.dir/sim/inaccuracy_test.cc.o.d"
+  "inaccuracy_test"
+  "inaccuracy_test.pdb"
+  "inaccuracy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inaccuracy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm1_validation_test.dir/sim/mm1_validation_test.cc.o"
+  "CMakeFiles/mm1_validation_test.dir/sim/mm1_validation_test.cc.o.d"
+  "mm1_validation_test"
+  "mm1_validation_test.pdb"
+  "mm1_validation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm1_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

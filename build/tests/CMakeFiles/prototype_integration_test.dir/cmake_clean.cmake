@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prototype_integration_test.dir/cluster/prototype_integration_test.cc.o"
+  "CMakeFiles/prototype_integration_test.dir/cluster/prototype_integration_test.cc.o.d"
+  "prototype_integration_test"
+  "prototype_integration_test.pdb"
+  "prototype_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prototype_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_node_test.dir/cluster/server_node_test.cc.o"
+  "CMakeFiles/server_node_test.dir/cluster/server_node_test.cc.o.d"
+  "server_node_test"
+  "server_node_test.pdb"
+  "server_node_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

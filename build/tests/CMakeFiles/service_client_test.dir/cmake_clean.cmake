@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_client_test.dir/neptune/service_client_test.cc.o"
+  "CMakeFiles/service_client_test.dir/neptune/service_client_test.cc.o.d"
+  "service_client_test"
+  "service_client_test.pdb"
+  "service_client_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

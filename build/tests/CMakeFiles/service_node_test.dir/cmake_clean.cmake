@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_node_test.dir/neptune/service_node_test.cc.o"
+  "CMakeFiles/service_node_test.dir/neptune/service_node_test.cc.o.d"
+  "service_node_test"
+  "service_node_test.pdb"
+  "service_node_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
