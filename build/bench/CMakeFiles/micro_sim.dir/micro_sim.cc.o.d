@@ -185,12 +185,12 @@ bench/CMakeFiles/micro_sim.dir/micro_sim.cc.o: \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /root/repo/src/common/rng.h /usr/include/c++/12/array \
  /root/repo/src/core/selection.h /usr/include/c++/12/span \
- /root/repo/src/core/load_index.h /root/repo/src/common/time.h \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/ios \
- /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
+ /root/repo/src/common/time.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
+ /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/atomic_word.h \
  /usr/include/x86_64-linux-gnu/sys/single_threaded.h \
  /usr/include/c++/12/bits/locale_classes.h \
@@ -206,10 +206,10 @@ bench/CMakeFiles/micro_sim.dir/micro_sim.cc.o: \
  /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/sim/config.h \
- /root/repo/src/core/policy.h /root/repo/src/stats/accumulator.h \
- /root/repo/src/stats/histogram.h /root/repo/src/workload/workload.h \
- /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/load_index.h \
+ /root/repo/src/sim/config.h /root/repo/src/core/policy.h \
+ /root/repo/src/stats/accumulator.h /root/repo/src/stats/histogram.h \
+ /root/repo/src/workload/workload.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h \

@@ -21,6 +21,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/workload/CMakeFiles/finelb_workload.dir/DependInfo.cmake"
   "/root/repo/build/src/stats/CMakeFiles/finelb_stats.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/finelb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/finelb_fault.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -204,7 +204,21 @@ examples/CMakeFiles/word_translation.dir/word_translation.cpp.o: \
  /root/repo/src/common/time.h /usr/include/c++/12/chrono \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/net/message.h \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/fault/fault.h \
+ /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/bits/stl_raw_storage_iter.h \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/shared_ptr.h \
+ /usr/include/c++/12/bits/shared_ptr_base.h \
+ /usr/include/c++/12/bits/allocated_ptr.h \
+ /usr/include/c++/12/ext/concurrence.h \
+ /usr/include/c++/12/bits/shared_ptr_atomic.h \
+ /usr/include/c++/12/backward/auto_ptr.h \
+ /usr/include/c++/12/bits/ranges_uninitialized.h \
+ /usr/include/c++/12/bits/ranges_algobase.h \
+ /usr/include/c++/12/bits/uses_allocator_args.h \
+ /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/net/message.h \
  /usr/include/c++/12/span /usr/include/c++/12/cstddef \
  /root/repo/src/net/wire.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
@@ -228,23 +242,9 @@ examples/CMakeFiles/word_translation.dir/word_translation.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/in.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/net/clock.h /root/repo/src/neptune/service_client.h \
- /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/stl_raw_storage_iter.h \
- /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/shared_ptr.h \
- /usr/include/c++/12/bits/shared_ptr_base.h \
- /usr/include/c++/12/bits/allocated_ptr.h \
- /usr/include/c++/12/ext/concurrence.h \
- /usr/include/c++/12/bits/shared_ptr_atomic.h \
- /usr/include/c++/12/backward/auto_ptr.h \
- /usr/include/c++/12/bits/ranges_uninitialized.h \
- /usr/include/c++/12/bits/ranges_algobase.h \
- /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/core/policy.h \
- /root/repo/src/core/selection.h /root/repo/src/core/load_index.h \
- /root/repo/src/net/poller.h /usr/include/poll.h \
- /usr/include/x86_64-linux-gnu/sys/poll.h \
+ /root/repo/src/core/policy.h /root/repo/src/core/selection.h \
+ /root/repo/src/core/load_index.h /root/repo/src/net/poller.h \
+ /usr/include/poll.h /usr/include/x86_64-linux-gnu/sys/poll.h \
  /usr/include/x86_64-linux-gnu/bits/poll.h /root/repo/src/neptune/rpc.h \
  /root/repo/src/neptune/service_node.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finelb_fault.dir/fault.cc.o"
+  "CMakeFiles/finelb_fault.dir/fault.cc.o.d"
+  "libfinelb_fault.a"
+  "libfinelb_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finelb_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfinelb_fault.a"
+)

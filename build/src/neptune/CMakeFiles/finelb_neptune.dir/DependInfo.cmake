@@ -19,6 +19,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/finelb_core.dir/DependInfo.cmake"
   "/root/repo/build/src/net/CMakeFiles/finelb_net.dir/DependInfo.cmake"
   "/root/repo/build/src/cluster/CMakeFiles/finelb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/finelb_fault.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/finelb_workload.dir/DependInfo.cmake"
   "/root/repo/build/src/stats/CMakeFiles/finelb_stats.dir/DependInfo.cmake"
   )

@@ -19,6 +19,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/common/CMakeFiles/finelb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/finelb_fault.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

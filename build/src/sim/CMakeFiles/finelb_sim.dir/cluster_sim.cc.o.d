@@ -202,14 +202,15 @@ src/sim/CMakeFiles/finelb_sim.dir/cluster_sim.cc.o: \
  /root/repo/src/core/selection.h /usr/include/c++/12/span \
  /usr/include/c++/12/array /usr/include/c++/12/cstddef \
  /root/repo/src/common/rng.h /usr/include/c++/12/limits \
- /root/repo/src/core/load_index.h /root/repo/src/common/time.h \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/sim/config.h \
- /root/repo/src/core/policy.h /root/repo/src/stats/accumulator.h \
- /root/repo/src/stats/histogram.h /root/repo/src/workload/workload.h \
+ /root/repo/src/common/time.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/load_index.h \
+ /root/repo/src/sim/config.h /root/repo/src/core/policy.h \
+ /root/repo/src/stats/accumulator.h /root/repo/src/stats/histogram.h \
+ /root/repo/src/workload/workload.h \
  /root/repo/src/workload/distribution.h /root/repo/src/workload/trace.h \
  /root/repo/src/sim/engine.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \

@@ -215,15 +215,8 @@ tests/CMakeFiles/broadcast_test.dir/cluster/broadcast_test.cc.o: \
  /usr/include/x86_64-linux-gnu/asm/sockios.h \
  /usr/include/asm-generic/sockios.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_osockaddr.h \
- /usr/include/x86_64-linux-gnu/bits/in.h /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /usr/include/c++/12/cstddef /usr/include/c++/12/vector \
+ /usr/include/x86_64-linux-gnu/bits/in.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_uninitialized.h \
- /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc \
- /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -237,7 +230,14 @@ tests/CMakeFiles/broadcast_test.dir/cluster/broadcast_test.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/span /usr/include/c++/12/array \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/fault/fault.h \
+ /root/repo/src/common/rng.h /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \
@@ -316,7 +316,9 @@ tests/CMakeFiles/broadcast_test.dir/cluster/broadcast_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/cluster/experiment.h /root/repo/src/cluster/client_node.h \
- /root/repo/src/common/rng.h /root/repo/src/core/policy.h \
+ /root/repo/src/cluster/directory.h /root/repo/src/net/message.h \
+ /root/repo/src/net/wire.h /usr/include/c++/12/cstring \
+ /root/repo/src/common/check.h /root/repo/src/core/policy.h \
  /root/repo/src/core/selection.h /root/repo/src/core/load_index.h \
  /root/repo/src/net/poller.h /usr/include/poll.h \
  /usr/include/x86_64-linux-gnu/sys/poll.h \
@@ -324,7 +326,5 @@ tests/CMakeFiles/broadcast_test.dir/cluster/broadcast_test.cc.o: \
  /root/repo/src/stats/accumulator.h /root/repo/src/stats/histogram.h \
  /root/repo/src/workload/workload.h \
  /root/repo/src/workload/distribution.h /root/repo/src/workload/trace.h \
- /root/repo/src/cluster/server_node.h /root/repo/src/net/message.h \
- /root/repo/src/net/wire.h /usr/include/c++/12/cstring \
- /root/repo/src/common/check.h /root/repo/src/net/clock.h \
+ /root/repo/src/cluster/server_node.h /root/repo/src/net/clock.h \
  /root/repo/src/workload/catalog.h

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fault/fault_test.cc" "tests/CMakeFiles/fault_test.dir/fault/fault_test.cc.o" "gcc" "tests/CMakeFiles/fault_test.dir/fault/fault_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/neptune/CMakeFiles/finelb_neptune.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/finelb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/finelb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/finelb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/finelb_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/finelb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/finelb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/finelb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/finelb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -295,13 +295,20 @@ tests/CMakeFiles/prototype_integration_test.dir/cluster/prototype_integration_te
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/cluster/experiment.h /root/repo/src/cluster/client_node.h \
- /root/repo/src/common/rng.h /root/repo/src/core/policy.h \
- /root/repo/src/common/time.h /usr/include/c++/12/chrono \
+ /root/repo/src/cluster/directory.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /root/repo/src/core/selection.h /usr/include/c++/12/span \
- /root/repo/src/core/load_index.h /root/repo/src/net/poller.h \
- /usr/include/poll.h /usr/include/x86_64-linux-gnu/sys/poll.h \
- /usr/include/x86_64-linux-gnu/bits/poll.h /root/repo/src/net/socket.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/common/rng.h /root/repo/src/common/time.h \
+ /usr/include/c++/12/chrono /root/repo/src/fault/fault.h \
+ /root/repo/src/net/message.h /usr/include/c++/12/span \
+ /root/repo/src/net/wire.h /usr/include/c++/12/cstring \
+ /root/repo/src/common/check.h /root/repo/src/net/socket.h \
  /usr/include/netinet/in.h /usr/include/x86_64-linux-gnu/sys/socket.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_iovec.h \
  /usr/include/x86_64-linux-gnu/bits/socket.h \
@@ -312,17 +319,12 @@ tests/CMakeFiles/prototype_integration_test.dir/cluster/prototype_integration_te
  /usr/include/x86_64-linux-gnu/asm/sockios.h \
  /usr/include/asm-generic/sockios.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_osockaddr.h \
- /usr/include/x86_64-linux-gnu/bits/in.h \
+ /usr/include/x86_64-linux-gnu/bits/in.h /root/repo/src/core/policy.h \
+ /root/repo/src/core/selection.h /root/repo/src/core/load_index.h \
+ /root/repo/src/net/poller.h /usr/include/poll.h \
+ /usr/include/x86_64-linux-gnu/sys/poll.h \
+ /usr/include/x86_64-linux-gnu/bits/poll.h \
  /root/repo/src/stats/accumulator.h /root/repo/src/stats/histogram.h \
  /root/repo/src/workload/workload.h \
  /root/repo/src/workload/distribution.h /root/repo/src/workload/trace.h \
- /root/repo/src/cluster/server_node.h /usr/include/c++/12/thread \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
- /usr/include/c++/12/bits/atomic_timed_wait.h \
- /usr/include/c++/12/bits/this_thread_sleep.h \
- /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/net/message.h /root/repo/src/net/wire.h \
- /usr/include/c++/12/cstring /root/repo/src/common/check.h \
- /root/repo/src/workload/catalog.h
+ /root/repo/src/cluster/server_node.h /root/repo/src/workload/catalog.h

@@ -215,12 +215,12 @@ tests/CMakeFiles/service_client_test.dir/neptune/service_client_test.cc.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/common/time.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/net/message.h \
- /root/repo/src/net/wire.h /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/common/rng.h /root/repo/src/common/time.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/fault/fault.h \
+ /root/repo/src/net/message.h /root/repo/src/net/wire.h \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/common/check.h /root/repo/src/net/socket.h \
  /usr/include/netinet/in.h /usr/include/x86_64-linux-gnu/sys/socket.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_iovec.h \
@@ -240,10 +240,9 @@ tests/CMakeFiles/service_client_test.dir/neptune/service_client_test.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/types/struct_osockaddr.h \
  /usr/include/x86_64-linux-gnu/bits/in.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/common/rng.h /root/repo/src/core/policy.h \
- /root/repo/src/core/selection.h /root/repo/src/core/load_index.h \
- /root/repo/src/net/poller.h /usr/include/poll.h \
- /usr/include/x86_64-linux-gnu/sys/poll.h \
+ /root/repo/src/core/policy.h /root/repo/src/core/selection.h \
+ /root/repo/src/core/load_index.h /root/repo/src/net/poller.h \
+ /usr/include/poll.h /usr/include/x86_64-linux-gnu/sys/poll.h \
  /usr/include/x86_64-linux-gnu/bits/poll.h /root/repo/src/neptune/rpc.h \
  /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \

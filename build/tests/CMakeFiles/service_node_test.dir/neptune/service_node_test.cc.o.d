@@ -249,7 +249,8 @@ tests/CMakeFiles/service_node_test.dir/neptune/service_node_test.cc.o: \
  /usr/include/asm-generic/sockios.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_osockaddr.h \
  /usr/include/x86_64-linux-gnu/bits/in.h /usr/include/c++/12/span \
- /usr/include/c++/12/cstddef /root/repo/src/neptune/rpc.h \
+ /usr/include/c++/12/cstddef /root/repo/src/fault/fault.h \
+ /root/repo/src/common/rng.h /root/repo/src/neptune/rpc.h \
  /root/repo/src/net/wire.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/common/check.h /root/miniconda/include/gtest/gtest.h \

@@ -183,8 +183,7 @@ tests/CMakeFiles/tcp_test.dir/net/tcp_test.cc.o: \
  /usr/include/x86_64-linux-gnu/asm/sockios.h \
  /usr/include/asm-generic/sockios.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_osockaddr.h \
- /usr/include/x86_64-linux-gnu/bits/in.h \
- /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/memory \
+ /usr/include/x86_64-linux-gnu/bits/in.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -224,7 +223,9 @@ tests/CMakeFiles/tcp_test.dir/net/tcp_test.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/fault/fault.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/common/rng.h /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \

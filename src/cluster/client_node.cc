@@ -34,6 +34,21 @@ void ClientStats::merge(const ClientStats& other) {
   response_timeouts += other.response_timeouts;
   send_failures += other.send_failures;
   broadcasts_received += other.broadcasts_received;
+  fallback_dispatches += other.fallback_dispatches;
+  access_retries += other.access_retries;
+  blacklist_insertions += other.blacklist_insertions;
+  blacklist_hits += other.blacklist_hits;
+  mapping_refreshes += other.mapping_refreshes;
+  refresh_failures += other.refresh_failures;
+  snapshot_retries += other.snapshot_retries;
+  if (timeline.size() < other.timeline.size()) {
+    timeline.resize(other.timeline.size());
+  }
+  for (std::size_t i = 0; i < other.timeline.size(); ++i) {
+    timeline[i].completed += other.timeline[i].completed;
+    timeline[i].failed += other.timeline[i].failed;
+    timeline[i].sum_response_ms += other.timeline[i].sum_response_ms;
+  }
 }
 
 ClientNode::ClientNode(ClientOptions options,
@@ -57,15 +72,26 @@ ClientNode::ClientNode(ClientOptions options,
   for (const auto& server : options_.servers) {
     server_ids_.push_back(server.id);
   }
+  endpoint_live_.assign(options_.servers.size(), 1);
+  consecutive_timeouts_.assign(options_.servers.size(), 0);
 
   service_socket_.set_buffer_sizes(1 << 21);
+  service_socket_.attach_fault_injector(options_.fault);
   poller_.add(service_socket_.fd(), kServiceTag);
 
   poll_sockets_.reserve(options_.servers.size());
   for (std::size_t i = 0; i < options_.servers.size(); ++i) {
     poll_sockets_.emplace_back();
     poll_sockets_.back().connect(options_.servers[i].load_addr);
+    poll_sockets_.back().attach_fault_injector(options_.fault);
     poller_.add(poll_sockets_.back().fd(), kPollTagBase + i);
+  }
+
+  if (options_.directory && options_.mapping_refresh > 0) {
+    directory_client_ = std::make_unique<DirectoryClient>(
+        *options_.directory, options_.seed + 77);
+    directory_client_->attach_fault_injector(options_.fault);
+    mapping_refresh_interval_ = options_.mapping_refresh;
   }
 
   if (options_.ideal_manager) {
@@ -95,10 +121,19 @@ ClientNode::ClientNode(ClientOptions options,
 
 void ClientNode::run() {
   TraceRecord pending = source_->next();
-  SimTime next_arrival = net::monotonic_now() + pending.arrival_interval;
+  run_started_at_ = net::monotonic_now();
+  SimTime next_arrival = run_started_at_ + pending.arrival_interval;
+  next_mapping_refresh_ = run_started_at_ + mapping_refresh_interval_;
 
   while (resolved_ < options_.total_requests) {
     SimTime now = net::monotonic_now();
+
+    // Re-pull the service mapping so endpoints whose soft state expired
+    // stop receiving work (failure hardening; off unless configured).
+    if (directory_client_ && now >= next_mapping_refresh_) {
+      refresh_mapping(now);
+      now = net::monotonic_now();
+    }
 
     // Keep the broadcast-channel subscription alive (soft state).
     if (broadcast_socket_ && now >= subscribe_refresh_at_) {
@@ -149,11 +184,95 @@ void ClientNode::run() {
   }
 }
 
+void ClientNode::refresh_mapping(SimTime now) {
+  ++stats_.mapping_refreshes;
+  std::vector<ServiceEndpoint> snapshot;
+  bool ok = true;
+  try {
+    snapshot = directory_client_->fetch(options_.directory_service,
+                                        /*timeout=*/200 * kMillisecond);
+  } catch (const InvariantError&) {
+    ok = false;
+  }
+  if (!ok) {
+    ++stats_.refresh_failures;
+    // Directory outage: back off (with jitter) instead of hammering it —
+    // doubled interval, capped at 8x the configured period.
+    mapping_refresh_interval_ = std::min<SimDuration>(
+        mapping_refresh_interval_ * 2, options_.mapping_refresh * 8);
+  } else {
+    mapping_refresh_interval_ = options_.mapping_refresh;
+    std::fill(endpoint_live_.begin(), endpoint_live_.end(), 0);
+    for (const auto& entry : snapshot) {
+      for (std::size_t i = 0; i < options_.servers.size(); ++i) {
+        if (options_.servers[i].id == entry.server) {
+          endpoint_live_[i] = 1;
+          break;
+        }
+      }
+    }
+    // An empty snapshot means the directory lost *all* soft state (e.g. it
+    // restarted); treat everyone as live rather than dispatching nowhere.
+    bool any = false;
+    for (const std::uint8_t live : endpoint_live_) any |= live != 0;
+    if (!any) std::fill(endpoint_live_.begin(), endpoint_live_.end(), 1);
+  }
+  stats_.snapshot_retries = directory_client_->snapshot_retries();
+  const double jitter = rng_.uniform(0.75, 1.25);
+  next_mapping_refresh_ =
+      now + static_cast<SimDuration>(
+                static_cast<double>(mapping_refresh_interval_) * jitter);
+}
+
+std::vector<ServerId> ClientNode::candidate_indices(SimTime now) {
+  std::vector<ServerId> live;
+  live.reserve(options_.servers.size());
+  for (std::size_t i = 0; i < options_.servers.size(); ++i) {
+    if (endpoint_live_[i]) live.push_back(static_cast<ServerId>(i));
+  }
+  if (live.empty()) {
+    for (std::size_t i = 0; i < options_.servers.size(); ++i) {
+      live.push_back(static_cast<ServerId>(i));
+    }
+  }
+  if (options_.blacklist_cooldown > 0) {
+    const std::int64_t hits_before = blacklist_.hits();
+    live = blacklist_.filter(live, now);
+    stats_.blacklist_hits += blacklist_.hits() - hits_before;
+  }
+  return live;
+}
+
+void ClientNode::mark_failed(std::size_t server_index, SimTime now) {
+  if (options_.blacklist_cooldown <= 0) return;
+  if (++consecutive_timeouts_[server_index] >= options_.blacklist_after) {
+    blacklist_.add(server_index, now + options_.blacklist_cooldown);
+    ++stats_.blacklist_insertions;
+  }
+}
+
+void ClientNode::record_outcome(SimTime now, bool completed,
+                                double response_ms) {
+  if (options_.timeline_bucket <= 0) return;
+  const auto bucket = static_cast<std::size_t>(
+      std::max<SimTime>(now - run_started_at_, 0) / options_.timeline_bucket);
+  if (stats_.timeline.size() <= bucket) stats_.timeline.resize(bucket + 1);
+  if (completed) {
+    ++stats_.timeline[bucket].completed;
+    stats_.timeline[bucket].sum_response_ms += response_ms;
+  } else {
+    ++stats_.timeline[bucket].failed;
+  }
+}
+
 void ClientNode::begin_access(const Access& access) {
   switch (options_.policy.kind) {
-    case PolicyKind::kRandom:
-      dispatch(access, rng_.uniform_int(options_.servers.size()));
+    case PolicyKind::kRandom: {
+      const auto candidates = candidate_indices(access.started_at);
+      dispatch(access, static_cast<std::size_t>(
+                           pick_random(candidates, rng_)));
       break;
+    }
     case PolicyKind::kRoundRobin: {
       const ServerId id = rr_.next(server_ids_);
       for (std::size_t i = 0; i < server_ids_.size(); ++i) {
@@ -204,11 +323,9 @@ void ClientNode::start_poll_round(const Access& access) {
                                : options_.max_poll_wait;
   round.deadline = access.started_at + wait;
 
-  // Choose poll targets as indices into the endpoint table.
-  std::vector<ServerId> index_pool(options_.servers.size());
-  for (std::size_t i = 0; i < index_pool.size(); ++i) {
-    index_pool[i] = static_cast<ServerId>(i);
-  }
+  // Choose poll targets as indices into the endpoint table, restricted to
+  // endpoints currently believed live (mapping + blacklist).
+  const auto index_pool = candidate_indices(access.started_at);
   const auto chosen = choose_poll_set(
       index_pool, static_cast<std::size_t>(options_.policy.poll_size), rng_);
   round.targets.assign(chosen.begin(), chosen.end());
@@ -233,7 +350,13 @@ void ClientNode::finish_poll_round(std::uint64_t seq, PollRound& round) {
   }
   std::size_t target = 0;
   if (round.replies.empty()) {
-    target = round.targets[rng_.uniform_int(round.targets.size())];
+    // Every inquiry (or every reply) was lost: dispatch blind. Prefer the
+    // current candidate set over the polled targets — if the targets were
+    // since blacklisted or dropped from the mapping, re-picking among them
+    // would just hit the same dead servers again.
+    ++stats_.fallback_dispatches;
+    const auto candidates = candidate_indices(now);
+    target = static_cast<std::size_t>(pick_random(candidates, rng_));
   } else {
     // ServerLoad.server holds endpoint *indices* here (see
     // drain_poll_socket), so the selection result is directly usable.
@@ -260,6 +383,7 @@ void ClientNode::dispatch(const Access& access, std::size_t server_index,
     ++stats_.send_failures;
     ++stats_.response_timeouts;  // counts as a failed access
     ++resolved_;
+    record_outcome(net::monotonic_now(), /*completed=*/false, 0.0);
     if (manager_acquired) release_manager_slot(server_index);
     return;
   }
@@ -284,13 +408,16 @@ void ClientNode::drain_service_socket() {
     const auto it = outstanding_.find(response.request_id);
     if (it == outstanding_.end()) continue;  // answered after timeout
     const Outstanding& out = it->second;
+    const SimTime now = net::monotonic_now();
+    const double rt_ms = to_ms(now - out.access.started_at);
     if (should_record(out.access)) {
-      const double rt_ms = to_ms(net::monotonic_now() - out.access.started_at);
       stats_.response_ms.add(rt_ms);
       stats_.response_hist_ms.add(rt_ms);
       stats_.queue_at_arrival.add(response.queue_at_arrival);
       ++stats_.recorded;
     }
+    record_outcome(now, /*completed=*/true, rt_ms);
+    consecutive_timeouts_[out.server_index] = 0;
     ++stats_.completed;
     ++resolved_;
     if (out.manager_acquired) release_manager_slot(out.server_index);
@@ -413,9 +540,24 @@ void ClientNode::fire_deadlines(SimTime now) {
       if (it->second.manager_acquired) {
         release_manager_slot(it->second.server_index);
       }
+      mark_failed(it->second.server_index, now);
+      Access access = it->second.access;
       it = outstanding_.erase(it);
-      ++stats_.response_timeouts;
-      ++resolved_;
+      if (access.attempt < options_.max_access_retries) {
+        // Re-dispatch to a fresh candidate (the failing server was just
+        // blacklisted). started_at is kept, so a retried access's response
+        // time honestly includes the timeout it waited through; the request
+        // id is reused, so a late answer from the first attempt still
+        // completes the access.
+        ++access.attempt;
+        ++stats_.access_retries;
+        dispatch(access, static_cast<std::size_t>(
+                             pick_random(candidate_indices(now), rng_)));
+      } else {
+        record_outcome(now, /*completed=*/false, 0.0);
+        ++stats_.response_timeouts;
+        ++resolved_;
+      }
     } else {
       ++it;
     }

@@ -30,11 +30,14 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "cluster/directory.h"
 #include "common/rng.h"
 #include "core/policy.h"
 #include "core/selection.h"
+#include "fault/fault.h"
 #include "net/poller.h"
 #include "net/socket.h"
 #include "stats/accumulator.h"
@@ -69,6 +72,37 @@ struct ClientOptions {
   /// An access not answered within this bound counts as failed — the same
   /// 2-second criterion the paper's load calibration uses (§4).
   SimDuration response_timeout = 2 * kSecond;
+
+  // --- failure hardening (all off by default; seed behavior unchanged) -----
+
+  /// Fault injector attached to every socket this client owns (loss/dup/
+  /// delay per fault/fault.h). Null = no injection.
+  std::shared_ptr<fault::FaultInjector> fault;
+  /// A server whose access times out is excluded from candidate sets for
+  /// this long (0 disables). Keeps poll rounds and requests away from dead
+  /// nodes while the directory's soft-state TTL catches up.
+  SimDuration blacklist_cooldown = 0;
+  /// Consecutive response timeouts from one server before it is
+  /// blacklisted. 1 = first strike. Under ambient message loss a single
+  /// timeout is weak evidence (a dead server fails every access, a lossy
+  /// link only a fraction), so raising this keeps the blacklist from
+  /// thrashing on healthy servers.
+  int blacklist_after = 1;
+  /// When set, the client re-fetches the service mapping from this
+  /// directory every `mapping_refresh`, and marks endpoints missing from
+  /// the snapshot unavailable — how a killed server's expired entry makes
+  /// subsequent polls route around it mid-run.
+  std::optional<net::Address> directory;
+  std::string directory_service;
+  SimDuration mapping_refresh = 0;
+  /// Bucket width for the per-client completion/failure timeline used by
+  /// the fault-tolerance bench to measure recovery (0 disables).
+  SimDuration timeline_bucket = 0;
+  /// A timed-out access is re-dispatched (to a fresh candidate, after the
+  /// failing server is blacklisted) up to this many times before counting
+  /// as failed. 0 = fail on first timeout, the paper's behavior.
+  int max_access_retries = 0;
+
   std::uint64_t seed = 1;
 };
 
@@ -94,6 +128,24 @@ struct ClientStats {
   std::int64_t send_failures = 0;
   std::int64_t broadcasts_received = 0;
 
+  // Failure-hardening counters (see ClientOptions).
+  std::int64_t fallback_dispatches = 0;  // poll rounds decided blind
+  std::int64_t access_retries = 0;       // timed-out accesses re-dispatched
+  std::int64_t blacklist_insertions = 0;
+  std::int64_t blacklist_hits = 0;  // candidates excluded by cooldown
+  std::int64_t mapping_refreshes = 0;
+  std::int64_t refresh_failures = 0;
+  std::int64_t snapshot_retries = 0;  // directory retransmits (backoff)
+
+  /// Completion/failure counts per timeline bucket (ClientOptions::
+  /// timeline_bucket); empty when disabled.
+  struct TimelineBucket {
+    std::int64_t completed = 0;
+    std::int64_t failed = 0;
+    double sum_response_ms = 0.0;
+  };
+  std::vector<TimelineBucket> timeline;
+
   void merge(const ClientStats& other);
 };
 
@@ -115,6 +167,7 @@ class ClientNode {
     std::int64_t index = 0;
     SimTime started_at = 0;
     std::uint32_t service_us = 0;
+    int attempt = 0;  // retry count so far (max_access_retries bound)
   };
 
   struct PollRound {
@@ -154,6 +207,12 @@ class ClientNode {
   bool should_record(const Access& access) const {
     return access.index >= options_.warmup_requests;
   }
+  /// Endpoint indices usable for new work: mapping-live minus blacklisted,
+  /// falling back to every endpoint when that leaves nothing.
+  std::vector<ServerId> candidate_indices(SimTime now);
+  void refresh_mapping(SimTime now);
+  void record_outcome(SimTime now, bool completed, double response_ms);
+  void mark_failed(std::size_t server_index, SimTime now);
 
   ClientOptions options_;
   std::unique_ptr<RequestSource> source_;
@@ -175,6 +234,15 @@ class ClientNode {
   std::map<std::uint64_t, Outstanding> outstanding_;    // by request id
   std::uint64_t next_seq_ = 1;
   std::int64_t resolved_ = 0;
+
+  // Failure hardening (see ClientOptions).
+  Blacklist blacklist_;
+  std::vector<int> consecutive_timeouts_;  // per endpoint index
+  std::unique_ptr<DirectoryClient> directory_client_;
+  std::vector<std::uint8_t> endpoint_live_;  // per endpoint index
+  SimTime next_mapping_refresh_ = 0;
+  SimDuration mapping_refresh_interval_ = 0;  // backs off on failure
+  SimTime run_started_at_ = 0;
 
   ClientStats stats_;
 };

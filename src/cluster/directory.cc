@@ -1,5 +1,6 @@
 #include "cluster/directory.h"
 
+#include <algorithm>
 #include <array>
 
 #include "common/check.h"
@@ -88,9 +89,15 @@ void DirectoryServer::recv_loop() {
   }
 }
 
-DirectoryClient::DirectoryClient(const net::Address& directory)
-    : directory_(directory) {
+DirectoryClient::DirectoryClient(const net::Address& directory,
+                                 std::uint64_t seed)
+    : directory_(directory), rng_(seed) {
   socket_.connect(directory);
+}
+
+void DirectoryClient::attach_fault_injector(
+    std::shared_ptr<fault::FaultInjector> injector) {
+  socket_.attach_fault_injector(std::move(injector));
 }
 
 std::vector<ServiceEndpoint> DirectoryClient::fetch(const std::string& service,
@@ -99,14 +106,24 @@ std::vector<ServiceEndpoint> DirectoryClient::fetch(const std::string& service,
   net::Poller poller;
   poller.add(socket_.fd(), 0);
   std::array<std::uint8_t, 4096> buf{};
+  // Retransmit with exponential backoff: 100 ms base doubling to an 800 ms
+  // cap, each interval jittered by +/-25% so a fleet of clients recovering
+  // from a directory outage does not resynchronize into bursts.
+  SimDuration backoff = 100 * kMillisecond;
+  constexpr SimDuration kBackoffCap = 800 * kMillisecond;
+  bool first_send = true;
   while (net::monotonic_now() < deadline) {
     net::SnapshotRequest request;
     request.seq = next_seq_++;
     request.service = service;
     socket_.send(request.encode());
-    // One retransmit round every 100 ms until the matching reply arrives.
+    if (!first_send) ++snapshot_retries_;
+    first_send = false;
+    const auto jittered = static_cast<SimDuration>(
+        static_cast<double>(backoff) * rng_.uniform(0.75, 1.25));
+    backoff = std::min<SimDuration>(backoff * 2, kBackoffCap);
     const SimTime retry_at =
-        std::min<SimTime>(deadline, net::monotonic_now() + 100 * kMillisecond);
+        std::min<SimTime>(deadline, net::monotonic_now() + jittered);
     while (net::monotonic_now() < retry_at) {
       poller.wait(retry_at - net::monotonic_now());
       while (auto size = socket_.recv(buf)) {

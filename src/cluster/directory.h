@@ -19,7 +19,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/time.h"
+#include "fault/fault.h"
 #include "net/message.h"
 #include "net/socket.h"
 
@@ -75,9 +77,16 @@ class DirectoryServer {
 /// reply, retrying on loss. This is the "service mapping table" refresh.
 class DirectoryClient {
  public:
-  explicit DirectoryClient(const net::Address& directory);
+  explicit DirectoryClient(const net::Address& directory,
+                           std::uint64_t seed = 1);
 
-  /// Fetches the live endpoints for `service` (empty = all). Throws
+  /// Optional loss/dup/delay injection on the snapshot socket (tests and
+  /// the fault-tolerance bench).
+  void attach_fault_injector(std::shared_ptr<fault::FaultInjector> injector);
+
+  /// Fetches the live endpoints for `service` (empty = all). Retransmits
+  /// with exponential backoff plus jitter (100 ms doubling to 800 ms) so a
+  /// struggling directory is not hammered at a fixed rate. Throws
   /// InvariantError if the directory does not answer within `timeout`.
   std::vector<ServiceEndpoint> fetch(const std::string& service,
                                      SimDuration timeout = kSecond);
@@ -88,10 +97,15 @@ class DirectoryClient {
       const std::string& service, std::size_t min_servers,
       SimDuration deadline_from_now = 5 * kSecond);
 
+  /// Snapshot requests retransmitted beyond the first send of each fetch.
+  std::int64_t snapshot_retries() const { return snapshot_retries_; }
+
  private:
   net::Address directory_;
   net::UdpSocket socket_;
   std::uint64_t next_seq_ = 1;
+  Rng rng_;
+  std::int64_t snapshot_retries_ = 0;
 };
 
 }  // namespace finelb::cluster

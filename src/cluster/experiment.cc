@@ -1,5 +1,7 @@
 #include "cluster/experiment.h"
 
+#include <algorithm>
+#include <atomic>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -41,6 +43,24 @@ PrototypeResult run_prototype(const PrototypeConfig& config,
                "load must be in (0, 1)");
   FINELB_CHECK(config.total_requests >= config.clients,
                "need at least one request per client");
+  for (const ServerKill& kill : config.kills) {
+    FINELB_CHECK(kill.server >= 0 && kill.server < config.servers,
+                 "kill schedule names an unknown server");
+    FINELB_CHECK(kill.after >= 0, "kill time must be non-negative");
+  }
+
+  // Per-node fault injectors: one per server and one per client, seeded
+  // from the spec seed plus the node index so every node sees an
+  // independent — but reproducible — loss/dup/delay stream.
+  const bool inject = config.fault.any();
+  std::vector<std::shared_ptr<fault::FaultInjector>> injectors;
+  const auto make_injector = [&](std::uint64_t salt) {
+    if (!inject) return std::shared_ptr<fault::FaultInjector>();
+    fault::FaultSpec spec = config.fault;
+    spec.seed = config.fault.seed * 0x9E3779B97F4A7C15ull + salt;
+    injectors.push_back(std::make_shared<fault::FaultInjector>(spec));
+    return injectors.back();
+  };
 
   // --- servers ---------------------------------------------------------------
   std::vector<std::unique_ptr<ServerNode>> servers;
@@ -53,6 +73,7 @@ PrototypeResult run_prototype(const PrototypeConfig& config,
     opts.busy_reply_alpha = config.busy_reply_alpha;
     opts.busy_reply_xm = config.busy_reply_xm;
     opts.busy_slow_prob = config.busy_slow_prob;
+    opts.fault = make_injector(static_cast<std::uint64_t>(s) + 1);
     opts.seed = config.seed + static_cast<std::uint64_t>(s) * 7919;
     servers.push_back(std::make_unique<ServerNode>(opts));
   }
@@ -64,8 +85,8 @@ PrototypeResult run_prototype(const PrototypeConfig& config,
     directory->start();
     for (auto& server : servers) {
       server->enable_publishing(directory->address(), kExperimentService,
-                                /*partition=*/0, /*interval=*/kSecond / 4,
-                                /*ttl=*/2 * kSecond);
+                                /*partition=*/0, config.publish_interval,
+                                config.publish_ttl);
     }
   }
 
@@ -130,6 +151,16 @@ PrototypeResult run_prototype(const PrototypeConfig& config,
     opts.total_requests = per_client;
     opts.warmup_requests = warmup;
     opts.response_timeout = config.response_timeout;
+    opts.fault = make_injector(0x10000 + static_cast<std::uint64_t>(c));
+    opts.blacklist_cooldown = config.blacklist_cooldown;
+    opts.blacklist_after = config.blacklist_after;
+    opts.timeline_bucket = config.timeline_bucket;
+    opts.max_access_retries = config.max_access_retries;
+    if (directory && config.client_mapping_refresh > 0) {
+      opts.directory = directory->address();
+      opts.directory_service = kExperimentService;
+      opts.mapping_refresh = config.client_mapping_refresh;
+    }
     opts.seed = config.seed + 31 + static_cast<std::uint64_t>(c) * 9973;
     clients.push_back(std::make_unique<ClientNode>(
         std::move(opts),
@@ -143,7 +174,40 @@ PrototypeResult run_prototype(const PrototypeConfig& config,
   for (auto& client : clients) {
     client_threads.emplace_back([&client] { client->run(); });
   }
+
+  // Kill-control thread: executes the kill schedule against wall time.
+  // ServerNode::stop() joins the victim's threads, after which it stops
+  // answering polls, serving requests, and refreshing its directory entry —
+  // exactly the failure mode the hardening is meant to survive.
+  std::atomic<bool> clients_done{false};
+  std::atomic<int> killed{0};
+  std::thread killer;
+  if (!config.kills.empty()) {
+    killer = std::thread([&] {
+      std::vector<ServerKill> schedule = config.kills;
+      std::sort(schedule.begin(), schedule.end(),
+                [](const ServerKill& a, const ServerKill& b) {
+                  return a.after < b.after;
+                });
+      for (const ServerKill& kill : schedule) {
+        const SimTime due = started + kill.after;
+        while (net::monotonic_now() < due) {
+          if (clients_done.load(std::memory_order_relaxed)) return;
+          net::sleep_for(std::min<SimDuration>(due - net::monotonic_now(),
+                                               10 * kMillisecond));
+        }
+        FINELB_LOG(kInfo, "experiment")
+            << "killing server " << kill.server << " at +"
+            << to_ms(net::monotonic_now() - started) << " ms";
+        servers[static_cast<std::size_t>(kill.server)]->stop();
+        killed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
   for (auto& thread : client_threads) thread.join();
+  clients_done.store(true, std::memory_order_relaxed);
+  if (killer.joinable()) killer.join();
   const SimTime finished = net::monotonic_now();
 
   // --- collect ---------------------------------------------------------------
@@ -157,6 +221,10 @@ PrototypeResult run_prototype(const PrototypeConfig& config,
         std::max(result.servers.max_queue_length, counters.max_queue_length);
     result.servers.send_failures += counters.send_failures;
   }
+  for (const auto& injector : injectors) {
+    result.faults.merge(injector->counters());
+  }
+  result.servers_killed = killed.load();
   result.offered_load = offered_load;
   result.wall_sec = to_sec(finished - started);
   result.throughput = result.wall_sec > 0.0

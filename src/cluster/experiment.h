@@ -17,13 +17,23 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "cluster/client_node.h"
 #include "cluster/server_node.h"
 #include "core/policy.h"
+#include "fault/fault.h"
 #include "workload/workload.h"
 
 namespace finelb::cluster {
+
+/// Fault-tolerance extension: stop server `server` once `after` of the
+/// measurement has elapsed (restart is not modelled in the prototype; the
+/// server simply goes silent, as a crashed node would).
+struct ServerKill {
+  int server = 0;
+  SimDuration after = 0;
+};
 
 struct PrototypeConfig {
   int servers = 16;
@@ -50,6 +60,26 @@ struct PrototypeConfig {
   /// messaging, context switches, and client bookkeeping.
   double per_request_overhead_sec = 400e-6;
   SimDuration response_timeout = 2 * kSecond;
+
+  // --- fault tolerance (all off by default; seed behavior unchanged) -------
+
+  /// Datagram-level fault spec applied at every node's sockets. Each node
+  /// gets its own injector with a seed derived from fault.seed and the node
+  /// index, so the whole fault schedule reproduces for a fixed config.
+  fault::FaultSpec fault;
+  /// Servers to kill mid-run (see ServerKill).
+  std::vector<ServerKill> kills;
+  /// Soft-state publishing cadence on the availability directory. A short
+  /// ttl makes a killed server's entry expire quickly (paper §3.1).
+  SimDuration publish_interval = kSecond / 4;
+  SimDuration publish_ttl = 2 * kSecond;
+  /// Client hardening knobs, passed through to ClientOptions (0 = off).
+  SimDuration client_mapping_refresh = 0;
+  SimDuration blacklist_cooldown = 0;
+  int blacklist_after = 1;
+  SimDuration timeline_bucket = 0;
+  int max_access_retries = 0;
+
   std::uint64_t seed = 1;
 };
 
@@ -62,6 +92,11 @@ struct PrototypeResult {
   double wall_sec = 0.0;
   /// Aggregate completed-request throughput (1/s).
   double throughput = 0.0;
+  /// Injected-fault totals summed over every node's injector (all zero
+  /// when PrototypeConfig::fault is empty).
+  fault::FaultCounters faults;
+  /// Servers actually stopped by the kill schedule.
+  int servers_killed = 0;
 };
 
 /// Runs one full prototype experiment; blocking.

@@ -19,6 +19,8 @@ ServerNode::ServerNode(ServerOptions options)
   FINELB_CHECK(options_.worker_threads >= 1, "need at least one worker");
   service_socket_.set_buffer_sizes(1 << 21);
   load_socket_.set_buffer_sizes(1 << 21);
+  service_socket_.attach_fault_injector(options_.fault);
+  load_socket_.attach_fault_injector(options_.fault);
 }
 
 ServerNode::~ServerNode() { stop(); }

@@ -42,6 +42,7 @@
 #include "common/rng.h"
 #include "common/time.h"
 #include "core/load_index.h"
+#include "fault/fault.h"
 #include "net/message.h"
 #include "net/socket.h"
 
@@ -65,6 +66,10 @@ struct ServerOptions {
   SimDuration busy_slow_min = from_ms(8);
   SimDuration busy_slow_excess = from_ms(8);
   SimDuration busy_slow_cap = from_ms(40);
+
+  /// Fault injector attached to the service and load-index sockets
+  /// (loss/dup/delay per fault/fault.h). Null = no injection.
+  std::shared_ptr<fault::FaultInjector> fault;
 
   std::uint64_t seed = 1;
 };

@@ -1,0 +1,73 @@
+#include "fault/fault.h"
+
+#include "common/check.h"
+
+namespace finelb::fault {
+
+FaultSpec FaultSpec::symmetric_loss(double p, std::uint64_t seed) {
+  FaultSpec spec;
+  spec.egress.drop_prob = p;
+  spec.ingress.drop_prob = p;
+  spec.seed = seed;
+  return spec;
+}
+
+namespace {
+
+void validate(const DirectionSpec& d, const char* name) {
+  FINELB_CHECK(d.drop_prob >= 0.0 && d.dup_prob >= 0.0 && d.delay_prob >= 0.0,
+               std::string("fault probabilities must be non-negative (") +
+                   name + ")");
+  FINELB_CHECK(d.drop_prob + d.dup_prob + d.delay_prob <= 1.0,
+               std::string("fault probabilities must sum to <= 1 (") + name +
+                   ")");
+  FINELB_CHECK(d.delay_min >= 0 && d.delay_max >= d.delay_min,
+               std::string("fault delay bounds must satisfy 0 <= min <= max"
+                           " (") +
+                   name + ")");
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultSpec spec)
+    : spec_(spec), rng_(spec.seed) {
+  validate(spec_.egress, "egress");
+  validate(spec_.ingress, "ingress");
+}
+
+FaultDecision FaultInjector::decide(Direction dir) {
+  const DirectionSpec& d =
+      dir == Direction::kEgress ? spec_.egress : spec_.ingress;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.decisions;
+  if (!d.any()) return {};
+  // One uniform draw classifies the datagram; a second is consumed only for
+  // the delay amount. Both draws happen under the lock, so the stream is a
+  // pure function of the call sequence.
+  const double u = rng_.uniform01();
+  FaultDecision decision;
+  if (u < d.drop_prob) {
+    decision.action = FaultAction::kDrop;
+    ++counters_.drops;
+  } else if (u < d.drop_prob + d.dup_prob) {
+    decision.action = FaultAction::kDuplicate;
+    ++counters_.duplicates;
+  } else if (u < d.drop_prob + d.dup_prob + d.delay_prob) {
+    decision.action = FaultAction::kDelay;
+    decision.delay =
+        d.delay_max > d.delay_min
+            ? static_cast<SimDuration>(
+                  rng_.uniform(static_cast<double>(d.delay_min),
+                               static_cast<double>(d.delay_max)))
+            : d.delay_min;
+    ++counters_.delays;
+  }
+  return decision;
+}
+
+FaultCounters FaultInjector::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+}  // namespace finelb::fault

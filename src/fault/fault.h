@@ -1,0 +1,103 @@
+// Deterministic fault injection for the prototype runtime (and, via the
+// simulator's fault model in sim/config.h, for the simulation study).
+//
+// The paper claims the flat architecture "operates smoothly in the presence
+// of transient failures and service evolution" but never induces failures on
+// demand. A FaultInjector makes that claim testable: attached to a UDP
+// endpoint (net::UdpSocket::attach_fault_injector) it intercepts every
+// datagram in a chosen direction and — with configured probabilities —
+// drops it, duplicates it, or delays it by a uniformly drawn amount.
+//
+// Determinism: decisions are drawn from a dedicated xoshiro256** stream
+// seeded by FaultSpec::seed, so two injectors with the same spec produce the
+// same decision *sequence*. In the threaded prototype the mapping of
+// decisions onto datagrams still depends on packet arrival order (real
+// concurrency), which is why experiments give every node its own injector
+// with a seed derived from the experiment seed — the per-node decision
+// streams are then reproducible even though interleaving is not.
+//
+// Thread safety: decide() and counters() are safe to call concurrently; a
+// single mutex guards the RNG and counters. Injection is off the hot path
+// by default (sockets without an injector pay one null check).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace finelb::fault {
+
+/// Direction of travel relative to the instrumented endpoint.
+enum class Direction { kEgress, kIngress };
+
+/// Per-direction fault probabilities. drop/dup/delay are exclusive per
+/// datagram (at most one applies); their sum must be <= 1.
+struct DirectionSpec {
+  double drop_prob = 0.0;
+  double dup_prob = 0.0;
+  double delay_prob = 0.0;
+  /// Uniform delay bounds, used only when a delay is drawn.
+  SimDuration delay_min = 0;
+  SimDuration delay_max = 0;
+
+  bool any() const {
+    return drop_prob > 0.0 || dup_prob > 0.0 || delay_prob > 0.0;
+  }
+};
+
+struct FaultSpec {
+  DirectionSpec egress;
+  DirectionSpec ingress;
+  std::uint64_t seed = 1;
+
+  bool any() const { return egress.any() || ingress.any(); }
+
+  /// Loss-only spec dropping each datagram with probability p in both
+  /// directions — the "10% UDP loss" knob of the fault-tolerance bench.
+  static FaultSpec symmetric_loss(double p, std::uint64_t seed = 1);
+};
+
+enum class FaultAction { kPass, kDrop, kDuplicate, kDelay };
+
+struct FaultDecision {
+  FaultAction action = FaultAction::kPass;
+  SimDuration delay = 0;  // set only for kDelay
+};
+
+/// Injection counters; recorded per node and surfaced in bench summaries.
+struct FaultCounters {
+  std::int64_t decisions = 0;
+  std::int64_t drops = 0;
+  std::int64_t duplicates = 0;
+  std::int64_t delays = 0;
+
+  void merge(const FaultCounters& other) {
+    decisions += other.decisions;
+    drops += other.drops;
+    duplicates += other.duplicates;
+    delays += other.delays;
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSpec spec);
+
+  /// Draws the fate of one datagram travelling in `dir`. Deterministic
+  /// call-sequence for a fixed spec; thread-safe.
+  FaultDecision decide(Direction dir);
+
+  FaultCounters counters() const;
+  const FaultSpec& spec() const { return spec_; }
+
+ private:
+  FaultSpec spec_;
+  mutable std::mutex mutex_;
+  Rng rng_;
+  FaultCounters counters_;
+};
+
+}  // namespace finelb::fault

@@ -1,5 +1,6 @@
 #include "neptune/service_client.h"
 
+#include <algorithm>
 #include <array>
 
 #include "common/check.h"
@@ -31,12 +32,63 @@ ServiceClient::ServiceClient(ServiceClientOptions options)
 void ServiceClient::refresh_mapping(bool force) {
   const SimTime now = net::monotonic_now();
   if (!force && now - mapping_fetched_at_ < options_.mapping_refresh) return;
+  // Backoff gate: after a failed fetch, even forced refreshes wait it out.
+  // Every retry path funnels through here, so this is what bounds the
+  // retry rate against a struggling directory.
+  if (now < refresh_backoff_until_) return;
+  std::vector<cluster::ServiceEndpoint> snapshot;
+  try {
+    snapshot = directory_.fetch(options_.service_name);
+  } catch (const InvariantError&) {
+    // Directory unreachable: keep the stale table (stale beats empty) and
+    // back off exponentially with jitter, capped at 8x the refresh period.
+    ++stats_.refresh_failures;
+    refresh_backoff_ =
+        refresh_backoff_ > 0
+            ? std::min<SimDuration>(refresh_backoff_ * 2,
+                                    options_.mapping_refresh * 8)
+            : std::max<SimDuration>(options_.mapping_refresh / 4,
+                                    50 * kMillisecond);
+    refresh_backoff_until_ =
+        now + static_cast<SimDuration>(static_cast<double>(refresh_backoff_) *
+                                       rng_.uniform(0.75, 1.25));
+    return;
+  }
+  refresh_backoff_ = 0;
+  refresh_backoff_until_ = 0;
   mapping_.clear();
-  for (const auto& endpoint : directory_.fetch(options_.service_name)) {
+  for (const auto& endpoint : snapshot) {
     mapping_[endpoint.partition].push_back(endpoint);
   }
   mapping_fetched_at_ = now;
   ++stats_.mapping_refreshes;
+}
+
+std::vector<std::size_t> ServiceClient::live_indices(
+    const std::vector<cluster::ServiceEndpoint>& group, SimTime now) {
+  std::vector<std::size_t> live;
+  live.reserve(group.size());
+  if (options_.blacklist_cooldown > 0) {
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      const auto it = blacklist_until_.find(group[i].server);
+      if (it != blacklist_until_.end() && it->second > now) {
+        ++stats_.blacklist_hits;
+      } else {
+        live.push_back(i);
+      }
+    }
+  }
+  if (live.empty()) {
+    for (std::size_t i = 0; i < group.size(); ++i) live.push_back(i);
+  }
+  return live;
+}
+
+void ServiceClient::mark_timed_out(ServerId server, SimTime now) {
+  if (options_.blacklist_cooldown <= 0) return;
+  SimTime& until = blacklist_until_[server];
+  until = std::max(until, now + options_.blacklist_cooldown);
+  ++stats_.blacklist_insertions;
 }
 
 std::size_t ServiceClient::replicas(std::uint32_t partition) {
@@ -57,28 +109,27 @@ net::UdpSocket& ServiceClient::poll_socket_for(const net::Address& addr) {
 std::size_t ServiceClient::choose(
     const std::vector<cluster::ServiceEndpoint>& group) {
   if (group.size() == 1) return 0;
+  // Replica choice runs over the group minus blacklisted (recently timed
+  // out) replicas; ids may be sparse so cycle group positions, not ids.
+  const std::vector<std::size_t> live =
+      live_indices(group, net::monotonic_now());
+  if (live.size() == 1) return live.front();
+  std::vector<ServerId> positions(live.size());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    positions[i] = static_cast<ServerId>(live[i]);
+  }
   switch (options_.policy.kind) {
     case PolicyKind::kRandom:
-      return rng_.uniform_int(group.size());
-    case PolicyKind::kRoundRobin: {
-      // Cursor over indices; ids may be sparse so cycle positions instead.
-      std::vector<ServerId> positions(group.size());
-      for (std::size_t i = 0; i < group.size(); ++i) {
-        positions[i] = static_cast<ServerId>(i);
-      }
+      return live[rng_.uniform_int(live.size())];
+    case PolicyKind::kRoundRobin:
       return static_cast<std::size_t>(rr_.next(positions));
-    }
     case PolicyKind::kPolling:
       break;
     default:
       FINELB_CHECK(false, "unreachable: policy validated in constructor");
   }
 
-  // Random polling over the replica group.
-  std::vector<ServerId> positions(group.size());
-  for (std::size_t i = 0; i < group.size(); ++i) {
-    positions[i] = static_cast<ServerId>(i);
-  }
+  // Random polling over the live replica positions.
   const auto targets = choose_poll_set(
       positions, static_cast<std::size_t>(options_.policy.poll_size), rng_);
 
@@ -94,7 +145,7 @@ std::size_t ServiceClient::choose(
     seq_to_index[inquiry.seq] = index;
     poller.add(socket.fd(), inquiry.seq);
   }
-  if (seq_to_index.empty()) return rng_.uniform_int(group.size());
+  if (seq_to_index.empty()) return live[rng_.uniform_int(live.size())];
 
   const SimDuration wait = options_.policy.discard_timeout > 0
                                ? options_.policy.discard_timeout
@@ -123,7 +174,7 @@ std::size_t ServiceClient::choose(
       }
     }
   }
-  if (replies.empty()) return rng_.uniform_int(group.size());
+  if (replies.empty()) return live[rng_.uniform_int(live.size())];
   return static_cast<std::size_t>(pick_least_loaded(replies, rng_));
 }
 
@@ -143,6 +194,11 @@ CallResult ServiceClient::call(std::uint16_t method, std::uint32_t partition,
     const auto group_it = mapping_.find(partition);
     if (group_it == mapping_.end() || group_it->second.empty()) {
       refresh_mapping(/*force=*/true);
+      // The forced refresh is gated by the failure backoff, so without a
+      // pause this loop would spin hot while the partition has no live
+      // replicas; a short jittered sleep bounds the retry rate instead.
+      net::sleep_for(static_cast<SimDuration>(
+          static_cast<double>(10 * kMillisecond) * rng_.uniform(0.5, 1.5)));
       continue;
     }
     const auto& group = group_it->second;
@@ -179,7 +235,9 @@ CallResult ServiceClient::call(std::uint16_t method, std::uint32_t partition,
         return result;
       }
     }
-    // Timed out: fall through to the next attempt on a fresh replica.
+    // Timed out: blacklist the silent replica so the retry (and subsequent
+    // calls) steer around it, then try again on a fresh choice.
+    mark_timed_out(group[target].server, net::monotonic_now());
   }
   ++stats_.transport_failures;
   result.transport_ok = false;

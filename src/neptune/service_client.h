@@ -49,6 +49,10 @@ struct ServiceClientOptions {
   SimDuration mapping_refresh = kSecond;
   /// Poll-reply wait when the discard optimization is off.
   SimDuration max_poll_wait = 20 * kMillisecond;
+  /// A replica whose RPC timed out is excluded from replica choice for
+  /// this long (0 disables), so retries and subsequent calls steer around
+  /// a dead node until the directory's soft state expires it.
+  SimDuration blacklist_cooldown = kSecond;
   std::uint64_t seed = 1;
 };
 
@@ -67,6 +71,11 @@ struct ServiceClientStats {
   std::int64_t transport_failures = 0;
   std::int64_t polls_sent = 0;
   std::int64_t mapping_refreshes = 0;
+  /// Directory fetches that timed out; the stale table is kept and the next
+  /// refresh is delayed by an exponentially backed-off, jittered interval.
+  std::int64_t refresh_failures = 0;
+  std::int64_t blacklist_insertions = 0;
+  std::int64_t blacklist_hits = 0;  // replicas excluded by cooldown
 };
 
 class ServiceClient {
@@ -91,6 +100,11 @@ class ServiceClient {
   /// Chooses a replica index within `group` per the configured policy.
   std::size_t choose(const std::vector<cluster::ServiceEndpoint>& group);
   net::UdpSocket& poll_socket_for(const net::Address& addr);
+  /// Group indices not under blacklist cooldown (all of them if every
+  /// replica is blacklisted — a blind pick beats not dispatching).
+  std::vector<std::size_t> live_indices(
+      const std::vector<cluster::ServiceEndpoint>& group, SimTime now);
+  void mark_timed_out(ServerId server, SimTime now);
 
   ServiceClientOptions options_;
   cluster::DirectoryClient directory_;
@@ -101,6 +115,9 @@ class ServiceClient {
   std::map<std::uint32_t, std::vector<cluster::ServiceEndpoint>> mapping_;
   SimTime mapping_fetched_at_ = 0;
   std::uint64_t next_id_ = 1;
+  std::map<ServerId, SimTime> blacklist_until_;
+  SimTime refresh_backoff_until_ = 0;
+  SimDuration refresh_backoff_ = 0;
   ServiceClientStats stats_;
 };
 

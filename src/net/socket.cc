@@ -5,12 +5,36 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
+#include <mutex>
 #include <utility>
+#include <vector>
 
 #include "common/check.h"
+#include "net/clock.h"
 
 namespace finelb::net {
+
+/// Delayed datagrams held back by the fault injector. Guarded by a mutex
+/// because server sockets are shared between a receive loop and worker
+/// threads; the state exists only while an injector is attached.
+struct UdpSocket::FaultState {
+  struct DelayedEgress {
+    std::vector<std::uint8_t> payload;
+    Address dest;
+    bool connected = false;  // true: send(), false: send_to(dest)
+    SimTime due = 0;
+  };
+  struct DelayedIngress {
+    std::vector<std::uint8_t> payload;
+    Address from;
+    SimTime due = 0;
+  };
+  std::mutex mutex;
+  std::vector<DelayedEgress> egress;
+  std::vector<DelayedIngress> ingress;
+};
 
 FdHandle::~FdHandle() { reset(); }
 
@@ -73,6 +97,10 @@ UdpSocket::UdpSocket(std::uint16_t port) {
   }
 }
 
+UdpSocket::~UdpSocket() = default;
+UdpSocket::UdpSocket(UdpSocket&&) noexcept = default;
+UdpSocket& UdpSocket::operator=(UdpSocket&&) noexcept = default;
+
 Address UdpSocket::local_address() const {
   sockaddr_in sa{};
   socklen_t len = sizeof(sa);
@@ -90,7 +118,7 @@ void UdpSocket::connect(const Address& peer) {
   }
 }
 
-bool UdpSocket::send(std::span<const std::uint8_t> payload) {
+bool UdpSocket::raw_send(std::span<const std::uint8_t> payload) {
   const ssize_t n = ::send(fd(), payload.data(), payload.size(), 0);
   if (n >= 0) return true;
   if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS ||
@@ -102,8 +130,8 @@ bool UdpSocket::send(std::span<const std::uint8_t> payload) {
   FINELB_THROW_ERRNO("send(udp)");
 }
 
-bool UdpSocket::send_to(std::span<const std::uint8_t> payload,
-                        const Address& dest) {
+bool UdpSocket::raw_send_to(std::span<const std::uint8_t> payload,
+                            const Address& dest) {
   const sockaddr_in sa = dest.to_sockaddr();
   const ssize_t n =
       ::sendto(fd(), payload.data(), payload.size(), 0,
@@ -115,7 +143,23 @@ bool UdpSocket::send_to(std::span<const std::uint8_t> payload,
   FINELB_THROW_ERRNO("sendto(udp, " + dest.to_string() + ")");
 }
 
+bool UdpSocket::send(std::span<const std::uint8_t> payload) {
+  if (injector_) return faulty_send(payload, nullptr);
+  return raw_send(payload);
+}
+
+bool UdpSocket::send_to(std::span<const std::uint8_t> payload,
+                        const Address& dest) {
+  if (injector_) return faulty_send(payload, &dest);
+  return raw_send_to(payload, dest);
+}
+
 std::optional<std::size_t> UdpSocket::recv(std::span<std::uint8_t> buffer) {
+  if (injector_) {
+    const auto dgram = faulty_recv(buffer, /*want_sender=*/false);
+    if (!dgram) return std::nullopt;
+    return dgram->size;
+  }
   const ssize_t n = ::recv(fd(), buffer.data(), buffer.size(), 0);
   if (n >= 0) return static_cast<std::size_t>(n);
   if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNREFUSED) {
@@ -125,6 +169,7 @@ std::optional<std::size_t> UdpSocket::recv(std::span<std::uint8_t> buffer) {
 }
 
 std::optional<Datagram> UdpSocket::recv_from(std::span<std::uint8_t> buffer) {
+  if (injector_) return faulty_recv(buffer, /*want_sender=*/true);
   sockaddr_in sa{};
   socklen_t len = sizeof(sa);
   const ssize_t n = ::recvfrom(fd(), buffer.data(), buffer.size(), 0,
@@ -136,6 +181,144 @@ std::optional<Datagram> UdpSocket::recv_from(std::span<std::uint8_t> buffer) {
     return std::nullopt;
   }
   FINELB_THROW_ERRNO("recvfrom(udp)");
+}
+
+void UdpSocket::attach_fault_injector(
+    std::shared_ptr<fault::FaultInjector> injector) {
+  injector_ = std::move(injector);
+  if (injector_ && !fault_state_) {
+    fault_state_ = std::make_unique<FaultState>();
+  }
+}
+
+void UdpSocket::flush_delayed_egress() {
+  // Collect due datagrams under the lock, send outside it: raw sends can
+  // throw and must not leave the mutex held.
+  std::vector<FaultState::DelayedEgress> due;
+  {
+    std::lock_guard<std::mutex> lock(fault_state_->mutex);
+    const SimTime now = monotonic_now();
+    auto& pending = fault_state_->egress;
+    for (std::size_t i = 0; i < pending.size();) {
+      if (pending[i].due <= now) {
+        due.push_back(std::move(pending[i]));
+        pending[i] = std::move(pending.back());
+        pending.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+  for (const auto& d : due) {
+    if (d.connected) {
+      raw_send(d.payload);
+    } else {
+      raw_send_to(d.payload, d.dest);
+    }
+  }
+}
+
+bool UdpSocket::faulty_send(std::span<const std::uint8_t> payload,
+                            const Address* dest) {
+  flush_delayed_egress();
+  const fault::FaultDecision decision =
+      injector_->decide(fault::Direction::kEgress);
+  switch (decision.action) {
+    case fault::FaultAction::kDrop:
+      // Report success: from the sender's view the datagram left; the
+      // (simulated) network ate it, exactly like a switch drop.
+      return true;
+    case fault::FaultAction::kDuplicate: {
+      const bool first =
+          dest ? raw_send_to(payload, *dest) : raw_send(payload);
+      if (dest) {
+        raw_send_to(payload, *dest);
+      } else {
+        raw_send(payload);
+      }
+      return first;
+    }
+    case fault::FaultAction::kDelay: {
+      FaultState::DelayedEgress delayed;
+      delayed.payload.assign(payload.begin(), payload.end());
+      delayed.connected = dest == nullptr;
+      if (dest) delayed.dest = *dest;
+      delayed.due = monotonic_now() + decision.delay;
+      std::lock_guard<std::mutex> lock(fault_state_->mutex);
+      fault_state_->egress.push_back(std::move(delayed));
+      return true;
+    }
+    case fault::FaultAction::kPass:
+      break;
+  }
+  return dest ? raw_send_to(payload, *dest) : raw_send(payload);
+}
+
+std::optional<Datagram> UdpSocket::faulty_recv(std::span<std::uint8_t> buffer,
+                                               bool want_sender) {
+  flush_delayed_egress();
+  // Surface a held-back datagram whose delay has elapsed, if any.
+  {
+    std::lock_guard<std::mutex> lock(fault_state_->mutex);
+    const SimTime now = monotonic_now();
+    auto& pending = fault_state_->ingress;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      if (pending[i].due > now) continue;
+      const std::size_t n = std::min(pending[i].payload.size(), buffer.size());
+      std::memcpy(buffer.data(), pending[i].payload.data(), n);
+      Datagram dgram{n, pending[i].from};
+      pending[i] = std::move(pending.back());
+      pending.pop_back();
+      return dgram;
+    }
+  }
+  sockaddr_in sa{};
+  socklen_t len = sizeof(sa);
+  for (;;) {
+    ssize_t n;
+    if (want_sender) {
+      len = sizeof(sa);
+      n = ::recvfrom(fd(), buffer.data(), buffer.size(), 0,
+                     reinterpret_cast<sockaddr*>(&sa), &len);
+    } else {
+      n = ::recv(fd(), buffer.data(), buffer.size(), 0);
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNREFUSED) {
+        return std::nullopt;
+      }
+      FINELB_THROW_ERRNO(want_sender ? "recvfrom(udp)" : "recv(udp)");
+    }
+    Datagram dgram{static_cast<std::size_t>(n),
+                   want_sender ? Address::from_sockaddr(sa) : Address{}};
+    const fault::FaultDecision decision =
+        injector_->decide(fault::Direction::kIngress);
+    switch (decision.action) {
+      case fault::FaultAction::kDrop:
+        continue;  // swallowed; try the next queued datagram
+      case fault::FaultAction::kDelay: {
+        FaultState::DelayedIngress delayed;
+        delayed.payload.assign(buffer.data(), buffer.data() + dgram.size);
+        delayed.from = dgram.from;
+        delayed.due = monotonic_now() + decision.delay;
+        std::lock_guard<std::mutex> lock(fault_state_->mutex);
+        fault_state_->ingress.push_back(std::move(delayed));
+        continue;
+      }
+      case fault::FaultAction::kDuplicate: {
+        // Deliver now and queue an immediately-due copy for the next call.
+        FaultState::DelayedIngress copy;
+        copy.payload.assign(buffer.data(), buffer.data() + dgram.size);
+        copy.from = dgram.from;
+        copy.due = 0;
+        std::lock_guard<std::mutex> lock(fault_state_->mutex);
+        fault_state_->ingress.push_back(std::move(copy));
+        return dgram;
+      }
+      case fault::FaultAction::kPass:
+        return dgram;
+    }
+  }
 }
 
 void UdpSocket::set_buffer_sizes(int bytes) {

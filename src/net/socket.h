@@ -11,10 +11,13 @@
 #include <netinet/in.h>
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
+
+#include "fault/fault.h"
 
 namespace finelb::net {
 
@@ -64,9 +67,10 @@ class UdpSocket {
  public:
   /// Binds to 127.0.0.1 on `port` (0 picks an ephemeral port).
   explicit UdpSocket(std::uint16_t port = 0);
+  ~UdpSocket();  // out-of-line: FaultState is incomplete here
 
-  UdpSocket(UdpSocket&&) = default;
-  UdpSocket& operator=(UdpSocket&&) = default;
+  UdpSocket(UdpSocket&&) noexcept;
+  UdpSocket& operator=(UdpSocket&&) noexcept;
 
   int fd() const { return fd_.get(); }
   /// The locally bound address (with the kernel-assigned port resolved).
@@ -97,8 +101,33 @@ class UdpSocket {
   /// to overflow on a busy box.
   void set_buffer_sizes(int bytes);
 
+  /// Attaches a fault injector: every subsequent send*/recv* consults it and
+  /// may drop, duplicate, or delay the datagram (fault/fault.h). Delayed
+  /// egress datagrams are flushed on later calls to this socket; delayed
+  /// ingress datagrams are surfaced by later recv* calls once due, so
+  /// effective delay resolution is bounded by how often the owner's event
+  /// loop touches the socket. Pass nullptr to detach. Without an injector
+  /// the fast path pays a single null check.
+  void attach_fault_injector(std::shared_ptr<fault::FaultInjector> injector);
+
+  /// The injector attached to this socket, if any.
+  const std::shared_ptr<fault::FaultInjector>& fault_injector() const {
+    return injector_;
+  }
+
  private:
+  struct FaultState;  // pending delayed datagrams (socket.cc)
+
+  bool raw_send(std::span<const std::uint8_t> payload);
+  bool raw_send_to(std::span<const std::uint8_t> payload, const Address& dest);
+  void flush_delayed_egress();
+  bool faulty_send(std::span<const std::uint8_t> payload, const Address* dest);
+  std::optional<Datagram> faulty_recv(std::span<std::uint8_t> buffer,
+                                      bool want_sender);
+
   FdHandle fd_;
+  std::shared_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<FaultState> fault_state_;
 };
 
 }  // namespace finelb::net

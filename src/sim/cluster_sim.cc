@@ -62,6 +62,17 @@ class Simulation {
       FINELB_CHECK(outage.start >= 0 && outage.duration > 0,
                    "outage window must be non-negative and non-empty");
     }
+    FINELB_CHECK(config.faults.msg_loss_prob >= 0.0 &&
+                     config.faults.msg_loss_prob < 1.0,
+                 "msg_loss_prob must be in [0, 1)");
+    for (const ServerCrash& crash : config.faults.crashes) {
+      FINELB_CHECK(crash.server >= 0 && crash.server < config.servers,
+                   "crash names an unknown server");
+      FINELB_CHECK(crash.at >= 0, "crash time must be non-negative");
+      FINELB_CHECK(crash.restart_at <= 0 || crash.restart_at > crash.at,
+                   "restart must follow the crash");
+    }
+    faults_enabled_ = config.faults.enabled();
 
     // `load` is offered against the total cluster speed, so heterogeneous
     // clusters are driven at the same aggregate utilization.
@@ -77,6 +88,13 @@ class Simulation {
       for (std::size_t s = 0; s < servers_.size(); ++s) {
         clients_[c].table[s] = {static_cast<ServerId>(s), 0, 0};
       }
+    }
+    // The fault stream splits last so that fault-free configurations draw
+    // exactly the seed sequences they always did.
+    if (faults_enabled_) {
+      fault_rng_ = root_rng_.split();
+      job_resolved_.assign(static_cast<std::size_t>(config.total_requests),
+                           0);
     }
   }
 
@@ -99,6 +117,15 @@ class Simulation {
         maybe_start_next(static_cast<ServerId>(target));
       });
     }
+    for (const ServerCrash& crash : config_.faults.crashes) {
+      const auto target = static_cast<std::size_t>(crash.server);
+      engine_.schedule_at(crash.at, [this, target] { crash_server(target); });
+      if (crash.restart_at > crash.at) {
+        engine_.schedule_at(crash.restart_at, [this, target] {
+          servers_[target].crashed = false;
+        });
+      }
+    }
     engine_.run();
     finalize();
     return std::move(result_);
@@ -110,6 +137,10 @@ class Simulation {
     double speed = 1.0;
     bool paused = false;
     bool busy = false;
+    bool crashed = false;
+    /// Bumped on every crash; a completion event from a pre-crash service
+    /// is stale and must not touch the rebuilt server state.
+    std::uint64_t epoch = 0;
     std::int32_t qlen = 0;       // waiting + in service
     std::int32_t committed = 0;  // qlen + dispatched-but-not-completed
     SimDuration busy_time = 0;
@@ -200,13 +231,20 @@ class Simulation {
 
     for (const ServerId target : round->targets) {
       ++result_.messages;  // inquiry
+      if (lose_msg()) continue;  // inquiry eaten by the network
       engine_.schedule_after(config_.network.poll_oneway, [this, round,
                                                            target] {
         answer_poll(round, target);
       });
     }
-    if (config_.policy.discard_timeout > 0) {
-      engine_.schedule_after(config_.policy.discard_timeout, [this, round] {
+    SimDuration round_deadline = config_.policy.discard_timeout;
+    if (round_deadline <= 0 && faults_enabled_) {
+      // Backstop: without the discard optimization a lossy network could
+      // starve the round forever (mirrors the prototype's max_poll_wait).
+      round_deadline = config_.faults.max_poll_wait;
+    }
+    if (round_deadline > 0) {
+      engine_.schedule_after(round_deadline, [this, round] {
         if (!round->dispatched) finish_poll_round(*round);
       });
     }
@@ -214,6 +252,7 @@ class Simulation {
 
   void answer_poll(const std::shared_ptr<PollRound>& round, ServerId target) {
     Server& server = servers_[static_cast<std::size_t>(target)];
+    if (server.crashed) return;  // nobody home to answer
     // Reply cost: a fixed CPU charge plus an optional queue-proportional
     // term modelling slow replies from busy servers (paper §3.2 profile).
     SimDuration reply_delay = config_.network.poll_reply_cpu;
@@ -222,6 +261,7 @@ class Simulation {
     }
     const ServerLoad observation{target, server.qlen, engine_.now()};
     ++result_.messages;  // reply
+    if (lose_msg()) return;  // reply sent, eaten in transit
     engine_.schedule_after(
         reply_delay + config_.network.poll_oneway, [this, round, observation] {
           if (round->dispatched) {
@@ -245,6 +285,9 @@ class Simulation {
       candidates.push_back(client.memory);
     }
     if (candidates.empty()) {
+      // Fallback rule: every inquiry or reply was lost — dispatch randomly
+      // over the polled candidates rather than stalling the access.
+      ++result_.poll_fallbacks;
       target = pick_random(round.targets, client.rng);
       client.memory = {kInvalidServer, 0, 0};  // blind dispatch: no info
     } else {
@@ -270,14 +313,27 @@ class Simulation {
   void dispatch(Job job, ServerId target) {
     job.dispatched_at = engine_.now();
     Server& server = servers_[static_cast<std::size_t>(target)];
-    ++server.committed;
     ++result_.messages;  // request
+    if (faults_enabled_) {
+      // Failure detection is client-side only: whatever becomes of the
+      // request, the access resolves by response or by timeout.
+      engine_.schedule_after(config_.faults.response_timeout,
+                             [this, index = job.index] { fail_job(index); });
+      if (lose_msg()) return;  // request eaten; server never sees it
+    }
+    ++server.committed;
     engine_.schedule_after(config_.network.request_oneway,
                            [this, job, target] { arrive(job, target); });
   }
 
   void arrive(const Job& job, ServerId target) {
     Server& server = servers_[static_cast<std::size_t>(target)];
+    if (server.crashed) {
+      // The datagram hits a dead port: the access is lost; the dispatch-time
+      // commitment is handed back so the oracle's view stays consistent.
+      --server.committed;
+      return;
+    }
     if (should_record(job)) {
       result_.queue_on_arrival.add(server.qlen);
     }
@@ -303,14 +359,16 @@ class Simulation {
     server.busy = true;
     const auto effective = static_cast<SimDuration>(
         static_cast<double>(job.service_time) / server.speed);
-    engine_.schedule_after(effective, [this, job, target, effective] {
-      complete_service(job, target, effective);
-    });
+    engine_.schedule_after(
+        effective, [this, job, target, effective, epoch = server.epoch] {
+          complete_service(job, target, effective, epoch);
+        });
   }
 
-  void complete_service(const Job& job, ServerId target,
-                        SimDuration effective) {
+  void complete_service(const Job& job, ServerId target, SimDuration effective,
+                        std::uint64_t epoch) {
     Server& server = servers_[static_cast<std::size_t>(target)];
+    if (server.epoch != epoch) return;  // server crashed mid-service
     server.busy_time += effective;
     --server.qlen;
     --server.committed;
@@ -318,18 +376,64 @@ class Simulation {
     ++result_.per_server_served[static_cast<std::size_t>(target)];
     maybe_start_next(target);
     ++result_.messages;  // response
+    if (lose_msg()) return;  // response eaten; client times the access out
     engine_.schedule_after(config_.network.request_oneway,
                            [this, job] { receive_response(job); });
   }
 
   void receive_response(const Job& job) {
+    if (faults_enabled_ && !resolve_job(job.index)) {
+      return;  // already failed by timeout; late response is discarded
+    }
     if (should_record(job)) {
       const double rt_ms = to_ms(engine_.now() - job.generated_at);
       result_.response_ms.add(rt_ms);
       result_.response_hist_ms.add(rt_ms);
     }
     ++result_.completed;
-    if (result_.completed == config_.total_requests) engine_.stop();
+    ++resolved_count_;
+    if (resolved_count_ == config_.total_requests) engine_.stop();
+  }
+
+  // --- fault model -----------------------------------------------------------
+
+  /// Draws the loss process for one message leg. No RNG is consumed when
+  /// loss is disabled, keeping crash-only schedules reproducible against
+  /// loss-free ones.
+  bool lose_msg() {
+    if (config_.faults.msg_loss_prob <= 0.0) return false;
+    if (fault_rng_.uniform01() >= config_.faults.msg_loss_prob) return false;
+    ++result_.drops_injected;
+    return true;
+  }
+
+  /// Marks a job resolved; false when it was already resolved.
+  bool resolve_job(std::int64_t index) {
+    auto& flag = job_resolved_[static_cast<std::size_t>(index)];
+    if (flag) return false;
+    flag = 1;
+    return true;
+  }
+
+  /// Response-timeout event: the access failed unless a response won.
+  void fail_job(std::int64_t index) {
+    if (!resolve_job(index)) return;
+    ++result_.failed;
+    ++resolved_count_;
+    if (resolved_count_ == config_.total_requests) engine_.stop();
+  }
+
+  void crash_server(std::size_t target) {
+    Server& server = servers_[target];
+    server.crashed = true;
+    ++server.epoch;
+    // Queued and in-service accesses vanish; their clients discover the
+    // failure by timeout. The committed count keeps only in-transit jobs
+    // (they hand their slot back on arrival at the dead port).
+    server.committed -= server.qlen;
+    server.qlen = 0;
+    server.waiting.clear();
+    server.busy = false;
   }
 
   // --- broadcast policy ------------------------------------------------------
@@ -342,16 +446,21 @@ class Simulation {
                   servers_[s].rng.uniform(0.5 * mean, 1.5 * mean))
             : static_cast<SimDuration>(mean);
     engine_.schedule_after(interval, [this, s] {
-      ++result_.broadcasts_sent;
-      const ServerLoad announcement{static_cast<ServerId>(s),
-                                    servers_[s].qlen, engine_.now()};
-      for (std::size_t c = 0; c < clients_.size(); ++c) {
-        ++result_.messages;  // one delivery per listening client
-        engine_.schedule_after(config_.network.broadcast_oneway,
-                               [this, c, announcement] {
-                                 clients_[c].table[static_cast<std::size_t>(
-                                     announcement.server)] = announcement;
-                               });
+      // A crashed server announces nothing, but the timer keeps ticking so
+      // announcements resume after a restart.
+      if (!servers_[s].crashed) {
+        ++result_.broadcasts_sent;
+        const ServerLoad announcement{static_cast<ServerId>(s),
+                                      servers_[s].qlen, engine_.now()};
+        for (std::size_t c = 0; c < clients_.size(); ++c) {
+          ++result_.messages;  // one delivery per listening client
+          if (lose_msg()) continue;  // this client's copy was eaten
+          engine_.schedule_after(config_.network.broadcast_oneway,
+                                 [this, c, announcement] {
+                                   clients_[c].table[static_cast<std::size_t>(
+                                       announcement.server)] = announcement;
+                                 });
+        }
       }
       schedule_broadcast(s);
     });
@@ -381,6 +490,10 @@ class Simulation {
   std::vector<ServerId> all_server_ids_;
   std::vector<Client> clients_;
   std::int64_t generated_ = 0;
+  std::int64_t resolved_count_ = 0;  // completed + failed
+  bool faults_enabled_ = false;
+  Rng fault_rng_;
+  std::vector<std::uint8_t> job_resolved_;  // faults only; by job index
   SimResult result_;
 };
 

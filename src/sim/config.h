@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/policy.h"
 #include "stats/accumulator.h"
@@ -44,6 +45,39 @@ struct ServerOutage {
   SimDuration duration = 0;
 };
 
+/// Fault extension: a server crash. Unlike an outage, a crash is invisible
+/// until probed: queued and in-flight accesses are lost (they fail at the
+/// client by response timeout), load inquiries go unanswered, requests and
+/// broadcasts sent to the server vanish. At `restart_at` (<= 0: never) the
+/// server rejoins empty.
+struct ServerCrash {
+  int server = 0;
+  SimTime at = 0;
+  SimTime restart_at = -1;
+};
+
+/// Fault extension: message-level fault model for the simulated network.
+/// Loss applies independently to every message leg (request, response, poll
+/// inquiry, poll reply, broadcast delivery) from a dedicated seeded RNG
+/// stream, so the schedule is reproducible for a fixed SimConfig. With the
+/// model disabled (all defaults) the simulation consumes exactly the same
+/// random streams as before the fault subsystem existed.
+struct SimFaultModel {
+  /// Per-message-leg loss probability in [0, 1).
+  double msg_loss_prob = 0.0;
+  /// Crash/restart schedule (see ServerCrash).
+  std::vector<ServerCrash> crashes;
+  /// A dispatched access unanswered for this long counts as failed — the
+  /// paper's 2-second criterion (§4).
+  SimDuration response_timeout = 2 * kSecond;
+  /// Backstop deadline for poll rounds when the discard optimization is
+  /// off: under loss, a round whose inquiries or replies all vanished must
+  /// still dispatch (randomly, over the polled candidates).
+  SimDuration max_poll_wait = from_ms(10);
+
+  bool enabled() const { return msg_loss_prob > 0.0 || !crashes.empty(); }
+};
+
 struct SimConfig {
   int servers = 16;
   /// Independent client request streams (the prototype uses up to 6 client
@@ -63,6 +97,8 @@ struct SimConfig {
   std::vector<double> server_speeds;
   /// Extension: planned outages (see ServerOutage).
   std::vector<ServerOutage> outages;
+  /// Extension: message loss and crash/restart faults (see SimFaultModel).
+  SimFaultModel faults;
   std::uint64_t seed = 1;
 };
 
@@ -82,6 +118,15 @@ struct SimResult {
   std::int64_t polls_sent = 0;
   std::int64_t polls_discarded = 0;
   std::int64_t broadcasts_sent = 0;
+  /// Accesses that never produced a client-visible response (lost request
+  /// or response, or a crash ate the queued access); counted against
+  /// SimFaultModel::response_timeout. Always 0 with faults disabled.
+  std::int64_t failed = 0;
+  /// Message legs eaten by the fault model's loss process.
+  std::int64_t drops_injected = 0;
+  /// Poll rounds dispatched blind (every reply lost) under the fault
+  /// model's backstop deadline.
+  std::int64_t poll_fallbacks = 0;
   /// Total network messages (requests + responses + polls + replies +
   /// broadcast deliveries) — the scalability discussion in §2.4.
   std::int64_t messages = 0;

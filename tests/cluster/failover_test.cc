@@ -1,0 +1,136 @@
+// End-to-end failover: a killed server's soft-state directory entry must
+// expire within its ttl, and clients that refresh their mapping (plus the
+// timeout blacklist) must route subsequent work around the dead node —
+// the paper's §3.1 claim that the infrastructure "operates smoothly in the
+// presence of transient failures", exercised for real.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "cluster/directory.h"
+#include "cluster/experiment.h"
+#include "cluster/server_node.h"
+#include "net/clock.h"
+#include "workload/catalog.h"
+
+namespace finelb::cluster {
+namespace {
+
+const Workload& fast_workload() {
+  static const Workload w = make_poisson_exp(0.005);  // 5 ms services
+  return w;
+}
+
+TEST(FailoverTest, KilledServerEntryExpiresWithinTtl) {
+  DirectoryServer directory;
+  directory.start();
+
+  constexpr SimDuration kInterval = 50 * kMillisecond;
+  constexpr SimDuration kTtl = 300 * kMillisecond;
+  std::vector<std::unique_ptr<ServerNode>> servers;
+  for (int s = 0; s < 3; ++s) {
+    ServerOptions opts;
+    opts.id = s;
+    servers.push_back(std::make_unique<ServerNode>(opts));
+    servers.back()->enable_publishing(directory.address(), "svc",
+                                      /*partition=*/0, kInterval, kTtl);
+    servers.back()->start();
+  }
+
+  DirectoryClient client(directory.address());
+  const auto before = client.wait_for_servers("svc", 3);
+  ASSERT_EQ(before.size(), 3u);
+
+  const SimTime killed_at = net::monotonic_now();
+  servers[1]->stop();  // silent death: no deregistration message
+
+  // The dead entry must disappear no later than ttl past its last possible
+  // refresh; poll until it does and bound the elapsed time.
+  bool expired = false;
+  SimTime expired_at = 0;
+  while (net::monotonic_now() - killed_at < kTtl + 500 * kMillisecond) {
+    const auto snapshot = client.fetch("svc");
+    const bool gone =
+        std::none_of(snapshot.begin(), snapshot.end(),
+                     [](const ServiceEndpoint& e) { return e.server == 1; });
+    if (gone) {
+      expired = true;
+      expired_at = net::monotonic_now();
+      break;
+    }
+    net::sleep_for(20 * kMillisecond);
+  }
+  ASSERT_TRUE(expired) << "dead server's soft state never expired";
+  EXPECT_LE(expired_at - killed_at, kTtl + 200 * kMillisecond);
+
+  // Survivors stay live the whole time.
+  const auto after = client.fetch("svc");
+  EXPECT_EQ(after.size(), 2u);
+
+  for (auto& server : servers) server->stop();
+  directory.stop();
+}
+
+PrototypeConfig failover_config(PolicyConfig policy) {
+  PrototypeConfig config;
+  config.servers = 4;
+  config.clients = 2;
+  config.policy = policy;
+  config.load = 0.6;
+  config.total_requests = 2000;
+  config.per_request_overhead_sec = 300e-6;
+  config.response_timeout = 300 * kMillisecond;
+  // Soft state tight enough that expiry happens well inside the run.
+  config.publish_interval = 50 * kMillisecond;
+  config.publish_ttl = 400 * kMillisecond;
+  config.kills = {{1, kSecond}};
+  config.timeline_bucket = 500 * kMillisecond;
+  config.seed = 17;
+  return config;
+}
+
+TEST(FailoverTest, PollsRouteAroundKilledServer) {
+  PrototypeConfig config = failover_config(PolicyConfig::polling(2));
+  config.client_mapping_refresh = 150 * kMillisecond;
+  config.blacklist_cooldown = kSecond;
+  const PrototypeResult r = run_prototype(config, fast_workload());
+
+  EXPECT_EQ(r.servers_killed, 1);
+  EXPECT_EQ(r.clients.issued, config.total_requests);
+  EXPECT_GT(r.clients.mapping_refreshes, 0);
+  // A dead poll target answers no inquiries and then drops out of the
+  // mapping; nearly everything must still complete.
+  EXPECT_GE(r.clients.completed, config.total_requests * 95 / 100);
+  // Once the entry expired and the mapping refreshed, late buckets must be
+  // failure-free: the whole point of routing around the corpse.
+  ASSERT_GE(r.clients.timeline.size(), 3u);
+  std::int64_t late_failed = 0;
+  const std::size_t tail_start = r.clients.timeline.size() - 2;
+  for (std::size_t b = tail_start; b < r.clients.timeline.size(); ++b) {
+    late_failed += r.clients.timeline[b].failed;
+  }
+  EXPECT_EQ(late_failed, 0) << "accesses still failing after recovery";
+}
+
+TEST(FailoverTest, HardeningCutsFailuresForLoadBlindPolicies) {
+  // Random policy keeps hitting the dead server by construction, so this
+  // isolates what mapping refresh + blacklist buy.
+  PrototypeConfig config = failover_config(PolicyConfig::random());
+  const PrototypeResult bare = run_prototype(config, fast_workload());
+
+  config.client_mapping_refresh = 150 * kMillisecond;
+  config.blacklist_cooldown = kSecond;
+  const PrototypeResult hardened = run_prototype(config, fast_workload());
+
+  EXPECT_GT(bare.clients.response_timeouts, 0)
+      << "without hardening, random must keep feeding the dead server";
+  EXPECT_LT(hardened.clients.response_timeouts,
+            std::max<std::int64_t>(bare.clients.response_timeouts / 3, 1))
+      << "blacklist + mapping refresh must cut failures sharply";
+  EXPECT_GT(hardened.clients.blacklist_insertions, 0);
+}
+
+}  // namespace
+}  // namespace finelb::cluster

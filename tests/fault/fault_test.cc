@@ -1,0 +1,204 @@
+// Tests for the deterministic fault-injection subsystem: decision-stream
+// determinism, counter bookkeeping, spec validation, and end-to-end
+// injection at the UDP socket layer.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "fault/fault.h"
+#include "net/clock.h"
+#include "net/socket.h"
+
+namespace finelb::fault {
+namespace {
+
+FaultSpec mixed_spec(std::uint64_t seed) {
+  FaultSpec spec;
+  spec.egress = {0.2, 0.1, 0.1, from_us(100), from_ms(2)};
+  spec.ingress = {0.1, 0.0, 0.3, from_us(50), from_ms(1)};
+  spec.seed = seed;
+  return spec;
+}
+
+std::vector<FaultDecision> draw_sequence(FaultInjector& injector, int n) {
+  std::vector<FaultDecision> out;
+  out.reserve(static_cast<std::size_t>(2 * n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(injector.decide(Direction::kEgress));
+    out.push_back(injector.decide(Direction::kIngress));
+  }
+  return out;
+}
+
+TEST(FaultInjectorTest, SameSeedSameDecisionSequence) {
+  FaultInjector a(mixed_spec(1234));
+  FaultInjector b(mixed_spec(1234));
+  const auto seq_a = draw_sequence(a, 5000);
+  const auto seq_b = draw_sequence(b, 5000);
+  ASSERT_EQ(seq_a.size(), seq_b.size());
+  for (std::size_t i = 0; i < seq_a.size(); ++i) {
+    EXPECT_EQ(seq_a[i].action, seq_b[i].action) << "at decision " << i;
+    EXPECT_EQ(seq_a[i].delay, seq_b[i].delay) << "at decision " << i;
+  }
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiverge) {
+  FaultInjector a(mixed_spec(1));
+  FaultInjector b(mixed_spec(2));
+  const auto seq_a = draw_sequence(a, 2000);
+  const auto seq_b = draw_sequence(b, 2000);
+  int differing = 0;
+  for (std::size_t i = 0; i < seq_a.size(); ++i) {
+    if (seq_a[i].action != seq_b[i].action) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultInjectorTest, CountersMatchDecisions) {
+  FaultInjector injector(mixed_spec(7));
+  int drops = 0, dups = 0, delays = 0;
+  const int n = 20'000;
+  for (const FaultDecision& d : draw_sequence(injector, n / 2)) {
+    drops += d.action == FaultAction::kDrop;
+    dups += d.action == FaultAction::kDuplicate;
+    delays += d.action == FaultAction::kDelay;
+  }
+  const FaultCounters counters = injector.counters();
+  EXPECT_EQ(counters.decisions, n);
+  EXPECT_EQ(counters.drops, drops);
+  EXPECT_EQ(counters.duplicates, dups);
+  EXPECT_EQ(counters.delays, delays);
+  // ~15% egress + ~5% ingress drops expected; loose 3-sigma style bounds.
+  EXPECT_GT(counters.drops, n / 10);
+  EXPECT_LT(counters.drops, n / 4);
+}
+
+TEST(FaultInjectorTest, DelaysRespectConfiguredBounds) {
+  FaultSpec spec;
+  spec.egress = {0.0, 0.0, 1.0, from_us(200), from_ms(3)};
+  spec.seed = 11;
+  FaultInjector injector(spec);
+  for (int i = 0; i < 1000; ++i) {
+    const FaultDecision d = injector.decide(Direction::kEgress);
+    ASSERT_EQ(d.action, FaultAction::kDelay);
+    EXPECT_GE(d.delay, from_us(200));
+    EXPECT_LE(d.delay, from_ms(3));
+  }
+}
+
+TEST(FaultInjectorTest, SymmetricLossHelper) {
+  const FaultSpec spec = FaultSpec::symmetric_loss(0.1, 42);
+  EXPECT_DOUBLE_EQ(spec.egress.drop_prob, 0.1);
+  EXPECT_DOUBLE_EQ(spec.ingress.drop_prob, 0.1);
+  EXPECT_EQ(spec.seed, 42u);
+  EXPECT_TRUE(spec.any());
+  EXPECT_FALSE(FaultSpec{}.any());
+}
+
+TEST(FaultInjectorTest, RejectsInvalidSpecs) {
+  FaultSpec negative;
+  negative.egress.drop_prob = -0.1;
+  EXPECT_THROW(FaultInjector{negative}, InvariantError);
+
+  FaultSpec oversum;
+  oversum.ingress = {0.6, 0.3, 0.3, 0, 0};
+  EXPECT_THROW(FaultInjector{oversum}, InvariantError);
+
+  FaultSpec bad_delay;
+  bad_delay.egress = {0.0, 0.0, 0.5, from_ms(2), from_ms(1)};
+  EXPECT_THROW(FaultInjector{bad_delay}, InvariantError);
+}
+
+// --- socket-layer injection --------------------------------------------------
+
+TEST(SocketFaultTest, EgressDropAllDeliversNothing) {
+  net::UdpSocket sender;
+  net::UdpSocket receiver;
+  FaultSpec spec;
+  spec.egress.drop_prob = 1.0;
+  sender.attach_fault_injector(std::make_shared<FaultInjector>(spec));
+
+  const std::array<std::uint8_t, 4> payload{1, 2, 3, 4};
+  for (int i = 0; i < 20; ++i) {
+    // The injector pretends success: a dropped datagram looks sent, just as
+    // a switch drop would.
+    EXPECT_TRUE(sender.send_to(payload, receiver.local_address()));
+  }
+  net::sleep_for(20 * kMillisecond);
+  std::array<std::uint8_t, 64> buf{};
+  EXPECT_FALSE(receiver.recv(buf).has_value());
+}
+
+TEST(SocketFaultTest, EgressDuplicateDeliversTwoCopies) {
+  net::UdpSocket sender;
+  net::UdpSocket receiver;
+  FaultSpec spec;
+  spec.egress.dup_prob = 1.0;
+  sender.attach_fault_injector(std::make_shared<FaultInjector>(spec));
+
+  const std::array<std::uint8_t, 4> payload{9, 8, 7, 6};
+  ASSERT_TRUE(sender.send_to(payload, receiver.local_address()));
+  net::sleep_for(20 * kMillisecond);
+  std::array<std::uint8_t, 64> buf{};
+  int received = 0;
+  while (receiver.recv(buf)) ++received;
+  EXPECT_EQ(received, 2);
+}
+
+TEST(SocketFaultTest, IngressDropAllReceivesNothing) {
+  net::UdpSocket sender;
+  net::UdpSocket receiver;
+  FaultSpec spec;
+  spec.ingress.drop_prob = 1.0;
+  receiver.attach_fault_injector(std::make_shared<FaultInjector>(spec));
+
+  const std::array<std::uint8_t, 4> payload{5, 5, 5, 5};
+  ASSERT_TRUE(sender.send_to(payload, receiver.local_address()));
+  net::sleep_for(20 * kMillisecond);
+  std::array<std::uint8_t, 64> buf{};
+  EXPECT_FALSE(receiver.recv(buf).has_value());
+  EXPECT_GT(receiver.fault_injector()->counters().drops, 0);
+}
+
+TEST(SocketFaultTest, DelayedEgressArrivesAfterTheDelay) {
+  net::UdpSocket sender;
+  net::UdpSocket receiver;
+  FaultSpec spec;
+  spec.egress = {0.0, 0.0, 1.0, 30 * kMillisecond, 30 * kMillisecond};
+  sender.attach_fault_injector(std::make_shared<FaultInjector>(spec));
+
+  const std::array<std::uint8_t, 4> payload{1, 1, 2, 3};
+  ASSERT_TRUE(sender.send_to(payload, receiver.local_address()));
+  std::array<std::uint8_t, 64> buf{};
+  EXPECT_FALSE(receiver.recv(buf).has_value()) << "datagram left too early";
+
+  net::sleep_for(40 * kMillisecond);
+  // Delayed egress is flushed by the next socket operation on the sender.
+  std::array<std::uint8_t, 64> sender_buf{};
+  (void)sender.recv(sender_buf);
+  net::sleep_for(10 * kMillisecond);
+  const auto size = receiver.recv(buf);
+  ASSERT_TRUE(size.has_value());
+  EXPECT_EQ(*size, payload.size());
+}
+
+TEST(SocketFaultTest, DetachRestoresCleanPath) {
+  net::UdpSocket sender;
+  net::UdpSocket receiver;
+  FaultSpec spec;
+  spec.egress.drop_prob = 1.0;
+  sender.attach_fault_injector(std::make_shared<FaultInjector>(spec));
+  sender.attach_fault_injector(nullptr);
+
+  const std::array<std::uint8_t, 4> payload{4, 3, 2, 1};
+  ASSERT_TRUE(sender.send_to(payload, receiver.local_address()));
+  net::sleep_for(20 * kMillisecond);
+  std::array<std::uint8_t, 64> buf{};
+  EXPECT_TRUE(receiver.recv(buf).has_value());
+}
+
+}  // namespace
+}  // namespace finelb::fault

@@ -1,0 +1,138 @@
+// Tests for the simulator's fault model (sim/config.h SimFaultModel):
+// message loss, server crashes/restarts, failure accounting, determinism,
+// and the guarantee that a disabled fault model leaves the simulation
+// exactly as it was.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "sim/config.h"
+#include "workload/catalog.h"
+
+namespace finelb::sim {
+namespace {
+
+const Workload& poisson50() {
+  static const Workload w = make_poisson_exp(0.050);
+  return w;
+}
+
+SimConfig base_config(PolicyConfig policy) {
+  SimConfig config;
+  config.servers = 8;
+  config.clients = 4;
+  config.policy = policy;
+  config.load = 0.8;
+  config.total_requests = 60'000;
+  config.warmup_requests = 6'000;
+  config.seed = 33;
+  return config;
+}
+
+TEST(FaultModelTest, DisabledModelChangesNothing) {
+  SimConfig config = base_config(PolicyConfig::polling(3));
+  const SimResult plain = run_cluster_sim(config, poisson50());
+  // Tuning knobs that only matter when faults fire must not perturb a
+  // fault-free run: the fault RNG stream is split only when enabled.
+  config.faults.response_timeout = 17 * kSecond;
+  config.faults.max_poll_wait = from_ms(3);
+  const SimResult tuned = run_cluster_sim(config, poisson50());
+  EXPECT_DOUBLE_EQ(plain.mean_response_ms(), tuned.mean_response_ms());
+  EXPECT_EQ(plain.messages, tuned.messages);
+  EXPECT_EQ(plain.completed, tuned.completed);
+  EXPECT_EQ(plain.failed, 0);
+  EXPECT_EQ(plain.drops_injected, 0);
+  EXPECT_EQ(plain.poll_fallbacks, 0);
+}
+
+TEST(FaultModelTest, EveryAccessResolvesUnderLoss) {
+  SimConfig config = base_config(PolicyConfig::polling(3));
+  config.faults.msg_loss_prob = 0.10;
+  const SimResult r = run_cluster_sim(config, poisson50());
+  EXPECT_EQ(r.completed + r.failed, config.total_requests)
+      << "every access must end as completed or failed";
+  EXPECT_GT(r.drops_injected, 0);
+  EXPECT_GT(r.failed, 0) << "10% per-leg loss must eat some requests";
+  // Lost requests/responses fail, but the vast majority still complete.
+  EXPECT_LT(r.failed, config.total_requests / 4);
+}
+
+TEST(FaultModelTest, LossTriggersPollFallbacks) {
+  SimConfig config = base_config(PolicyConfig::polling(2));
+  // Heavy loss makes all-inquiries-lost rounds likely; the backstop
+  // deadline must then dispatch blind instead of stalling the access.
+  config.faults.msg_loss_prob = 0.4;
+  config.total_requests = 20'000;
+  config.warmup_requests = 2'000;
+  const SimResult r = run_cluster_sim(config, poisson50());
+  EXPECT_EQ(r.completed + r.failed, config.total_requests);
+  EXPECT_GT(r.poll_fallbacks, 0);
+}
+
+TEST(FaultModelTest, LossDegradesButDoesNotBreakPolling) {
+  SimConfig config = base_config(PolicyConfig::polling(3));
+  const double clean = run_cluster_sim(config, poisson50()).mean_response_ms();
+  config.faults.msg_loss_prob = 0.10;
+  const SimResult lossy = run_cluster_sim(config, poisson50());
+  // Lost polls and 10 ms backstop waits push the mean up, but the policy
+  // keeps functioning (no runaway queues).
+  EXPECT_LT(lossy.mean_response_ms(), clean * 20.0);
+}
+
+TEST(FaultModelTest, CrashFailsInFlightWork) {
+  SimConfig config = base_config(PolicyConfig::random());
+  config.faults.crashes = {{0, 20 * kSecond, -1}};  // no restart
+  const SimResult r = run_cluster_sim(config, poisson50());
+  EXPECT_EQ(r.completed + r.failed, config.total_requests);
+  EXPECT_GT(r.failed, 0) << "random keeps dispatching to the dead server";
+}
+
+TEST(FaultModelTest, PollingRoutesAroundACrashedServer) {
+  SimConfig config = base_config(PolicyConfig::random());
+  config.faults.crashes = {{0, 20 * kSecond, -1}};
+  const SimResult random_r = run_cluster_sim(config, poisson50());
+  config.policy = PolicyConfig::polling(3);
+  const SimResult polling_r = run_cluster_sim(config, poisson50());
+  // A crashed server answers no inquiries, so poll rounds dispatch to live
+  // servers; only accesses that polled exclusively the dead server (or lost
+  // their round to its silence) can fail.
+  EXPECT_LT(polling_r.failed, random_r.failed / 2);
+}
+
+TEST(FaultModelTest, RestartRestoresCapacity) {
+  SimConfig config = base_config(PolicyConfig::random());
+  config.faults.crashes = {{0, 20 * kSecond, -1}};
+  const SimResult dead = run_cluster_sim(config, poisson50());
+  config.faults.crashes = {{0, 20 * kSecond, 30 * kSecond}};
+  const SimResult restarted = run_cluster_sim(config, poisson50());
+  EXPECT_LT(restarted.failed, dead.failed)
+      << "a restarted server stops eating dispatched requests";
+  EXPECT_EQ(restarted.completed + restarted.failed, config.total_requests);
+}
+
+TEST(FaultModelTest, SameSeedSameFaultSchedule) {
+  SimConfig config = base_config(PolicyConfig::polling(2));
+  config.faults.msg_loss_prob = 0.15;
+  config.faults.crashes = {{2, 15 * kSecond, 40 * kSecond}};
+  const SimResult a = run_cluster_sim(config, poisson50());
+  const SimResult b = run_cluster_sim(config, poisson50());
+  EXPECT_DOUBLE_EQ(a.mean_response_ms(), b.mean_response_ms());
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.drops_injected, b.drops_injected);
+  EXPECT_EQ(a.poll_fallbacks, b.poll_fallbacks);
+  EXPECT_EQ(a.messages, b.messages);
+}
+
+TEST(FaultModelTest, Validation) {
+  SimConfig config = base_config(PolicyConfig::random());
+  config.faults.msg_loss_prob = 1.0;  // would lose every message forever
+  EXPECT_THROW(run_cluster_sim(config, poisson50()), InvariantError);
+  config.faults.msg_loss_prob = 0.0;
+  config.faults.crashes = {{99, kSecond, -1}};
+  EXPECT_THROW(run_cluster_sim(config, poisson50()), InvariantError);
+  config.faults.crashes = {{0, 10 * kSecond, 5 * kSecond}};  // restart < crash
+  EXPECT_THROW(run_cluster_sim(config, poisson50()), InvariantError);
+}
+
+}  // namespace
+}  // namespace finelb::sim
