@@ -34,22 +34,32 @@ int main(int argc, char** argv) {
   bench::Table table(15);
   table.row({"interval(ms)", "jittered", "fixed", "fixed/jittered"});
 
-  for (const double interval : intervals_ms) {
-    double results[2] = {0, 0};
+  // Jittered and fixed runs of one interval share a derived seed (paired
+  // A/B); the whole grid fans out across cores.
+  bench::SweepRunner<double> runner;
+  for (std::size_t i = 0; i < intervals_ms.size(); ++i) {
+    const double interval = intervals_ms[i];
+    const std::uint64_t run_seed = bench::derive_seed(seed, i);
     for (const bool jitter : {true, false}) {
-      sim::SimConfig config;
-      config.policy = PolicyConfig::broadcast(from_ms(interval), jitter);
-      config.load = load;
-      config.total_requests = requests;
-      config.warmup_requests = requests / 10;
-      config.seed = seed;
-      results[jitter ? 0 : 1] =
-          run_cluster_sim(config, workload).mean_response_ms();
+      runner.submit([&workload, interval, jitter, load, requests, run_seed] {
+        sim::SimConfig config;
+        config.policy = PolicyConfig::broadcast(from_ms(interval), jitter);
+        config.load = load;
+        config.total_requests = requests;
+        config.warmup_requests = requests / 10;
+        config.seed = run_seed;
+        return run_cluster_sim(config, workload).mean_response_ms();
+      });
     }
-    table.row({bench::Table::num(interval, 0),
-               bench::Table::num(results[0], 1),
-               bench::Table::num(results[1], 1),
-               bench::Table::num(results[1] / results[0], 2) + "x"});
+  }
+  const std::vector<double> results = runner.run();
+
+  for (std::size_t i = 0; i < intervals_ms.size(); ++i) {
+    const double jittered = results[2 * i];
+    const double fixed = results[2 * i + 1];
+    table.row({bench::Table::num(intervals_ms[i], 0),
+               bench::Table::num(jittered, 1), bench::Table::num(fixed, 1),
+               bench::Table::num(fixed / jittered, 2) + "x"});
   }
   return 0;
 }

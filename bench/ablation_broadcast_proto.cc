@@ -30,11 +30,26 @@ int main(int argc, char** argv) {
   cluster::PrototypeConfig base;
   base.load = load;
   base.total_requests = requests;
-  base.seed = seed;
+  // All intervals normalize against the polling(2) reference, so every run
+  // shares one derived seed (paired comparison). Prototype runs burn real
+  // CPU: the sweep runner stays serial.
+  base.seed = bench::derive_seed(seed, 0);
 
-  base.policy = PolicyConfig::polling(2);
-  const double polling_ms =
-      cluster::run_prototype(base, workload).clients.response_ms.mean();
+  auto runner = bench::SweepRunner<cluster::PrototypeResult>::serial();
+  runner.submit([&workload, base] {
+    cluster::PrototypeConfig config = base;
+    config.policy = PolicyConfig::polling(2);
+    return cluster::run_prototype(config, workload);
+  });
+  for (const double interval : intervals_ms) {
+    runner.submit([&workload, base, interval] {
+      cluster::PrototypeConfig config = base;
+      config.policy = PolicyConfig::broadcast(from_ms(interval));
+      return cluster::run_prototype(config, workload);
+    });
+  }
+  const auto results = runner.run();
+  const double polling_ms = results[0].clients.response_ms.mean();
 
   bench::print_header(
       "Ablation: broadcast policy on the prototype (extension)",
@@ -44,10 +59,9 @@ int main(int argc, char** argv) {
   bench::Table table(15);
   table.row({"interval(ms)", "resp(ms)", "vs polling(2)", "announcements"});
 
-  for (const double interval : intervals_ms) {
-    cluster::PrototypeConfig config = base;
-    config.policy = PolicyConfig::broadcast(from_ms(interval));
-    const auto result = cluster::run_prototype(config, workload);
+  for (std::size_t i = 0; i < intervals_ms.size(); ++i) {
+    const double interval = intervals_ms[i];
+    const auto& result = results[1 + i];
     table.row({bench::Table::num(interval, 0),
                bench::Table::num(result.clients.response_ms.mean(), 1),
                bench::Table::num(

@@ -31,8 +31,23 @@ int main(int argc, char** argv) {
   base.policy = PolicyConfig::polling(3);
   base.load = load;
   base.total_requests = requests;
-  base.seed = seed;
-  const auto no_discard = cluster::run_prototype(base, workload);
+  // Every threshold is compared against the no-discard baseline, so all
+  // runs share one derived seed (paired comparison). Prototype runs burn
+  // real CPU: the sweep runner stays serial.
+  base.seed = bench::derive_seed(seed, 0);
+
+  auto runner = bench::SweepRunner<cluster::PrototypeResult>::serial();
+  runner.submit(
+      [&workload, base] { return cluster::run_prototype(base, workload); });
+  for (const double threshold : thresholds_ms) {
+    runner.submit([&workload, base, threshold] {
+      cluster::PrototypeConfig config = base;
+      config.policy = PolicyConfig::polling(3, from_ms(threshold));
+      return cluster::run_prototype(config, workload);
+    });
+  }
+  const auto results = runner.run();
+  const auto& no_discard = results[0];
 
   bench::print_header(
       "Ablation: discard threshold sweep (prototype, Fine-Grain)",
@@ -46,10 +61,9 @@ int main(int argc, char** argv) {
   table.row({"threshold(ms)", "resp(ms)", "poll(ms)", "timeouts",
              "vs-basic"});
 
-  for (const double threshold : thresholds_ms) {
-    cluster::PrototypeConfig config = base;
-    config.policy = PolicyConfig::polling(3, from_ms(threshold));
-    const auto result = cluster::run_prototype(config, workload);
+  for (std::size_t t = 0; t < thresholds_ms.size(); ++t) {
+    const double threshold = thresholds_ms[t];
+    const auto& result = results[1 + t];
     const double resp = result.clients.response_ms.mean();
     table.row(
         {bench::Table::num(threshold, 2), bench::Table::num(resp, 1),

@@ -44,17 +44,33 @@ void run_sim_phase(std::int64_t requests, std::uint64_t seed, double load,
           " load; per-message loss swept; failed = no response within 2 s");
   bench::Table table(12);
   table.row({"loss", "policy", "mean_ms", "failed%", "drops", "fallbacks"});
+  // Both policies at one loss rate share a derived seed (paired); the loss
+  // sweep fans out across cores and prints in submission order.
+  const std::vector<PolicyConfig> policies = {
+      PolicyConfig::polling(3), PolicyConfig::broadcast(from_ms(100))};
+  bench::SweepRunner<sim::SimResult> runner;
+  for (std::size_t l = 0; l < losses.size(); ++l) {
+    const double loss = losses[l];
+    const std::uint64_t run_seed = bench::derive_seed(seed, l);
+    for (const PolicyConfig& policy : policies) {
+      runner.submit([&workload, policy, loss, load, requests, run_seed] {
+        sim::SimConfig config;
+        config.policy = policy;
+        config.load = load;
+        config.total_requests = requests;
+        config.warmup_requests = requests / 10;
+        config.faults.msg_loss_prob = loss;
+        config.seed = run_seed;
+        return run_cluster_sim(config, workload);
+      });
+    }
+  }
+  const auto results = runner.run();
+
+  std::size_t next = 0;
   for (const double loss : losses) {
-    for (const auto& policy :
-         {PolicyConfig::polling(3), PolicyConfig::broadcast(from_ms(100))}) {
-      sim::SimConfig config;
-      config.policy = policy;
-      config.load = load;
-      config.total_requests = requests;
-      config.warmup_requests = requests / 10;
-      config.faults.msg_loss_prob = loss;
-      config.seed = seed;
-      const sim::SimResult r = run_cluster_sim(config, workload);
+    for (const PolicyConfig& policy : policies) {
+      const sim::SimResult& r = results[next++];
       table.row({bench::Table::pct(loss, 0), policy.describe(),
                  bench::Table::num(r.mean_response_ms(), 1),
                  bench::Table::pct(static_cast<double>(r.failed) /

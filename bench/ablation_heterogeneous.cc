@@ -35,24 +35,39 @@ int main(int argc, char** argv) {
   bench::Table table(13);
   table.row({"fast:slow", "random", "rr", "poll(2)", "poll(3)", "ideal"});
 
+  // Policies within one skew row share a derived seed (paired comparison);
+  // the grid fans out across cores.
+  const std::vector<PolicyConfig> policies = {
+      PolicyConfig::random(), PolicyConfig::round_robin(),
+      PolicyConfig::polling(2), PolicyConfig::polling(3),
+      PolicyConfig::ideal()};
+  bench::SweepRunner<double> runner;
+  for (std::size_t s = 0; s < skews.size(); ++s) {
+    const double skew = skews[s];
+    const std::uint64_t run_seed = bench::derive_seed(seed, s);
+    for (const PolicyConfig& policy : policies) {
+      runner.submit([&workload, policy, skew, load, requests, run_seed] {
+        sim::SimConfig config;
+        config.policy = policy;
+        config.load = load;
+        config.total_requests = requests;
+        config.warmup_requests = requests / 10;
+        config.seed = run_seed;
+        config.server_speeds.assign(16, 1.0);
+        for (int fast = 0; fast < 8; ++fast) {
+          config.server_speeds[static_cast<std::size_t>(fast)] = skew;
+        }
+        return run_cluster_sim(config, workload).mean_response_ms();
+      });
+    }
+  }
+  const std::vector<double> results = runner.run();
+
+  std::size_t next = 0;
   for (const double skew : skews) {
     std::vector<std::string> row = {bench::Table::num(skew, 0) + ":1"};
-    for (const auto& policy :
-         {PolicyConfig::random(), PolicyConfig::round_robin(),
-          PolicyConfig::polling(2), PolicyConfig::polling(3),
-          PolicyConfig::ideal()}) {
-      sim::SimConfig config;
-      config.policy = policy;
-      config.load = load;
-      config.total_requests = requests;
-      config.warmup_requests = requests / 10;
-      config.seed = seed;
-      config.server_speeds.assign(16, 1.0);
-      for (int s = 0; s < 8; ++s) {
-        config.server_speeds[static_cast<std::size_t>(s)] = skew;
-      }
-      row.push_back(bench::Table::num(
-          run_cluster_sim(config, workload).mean_response_ms(), 1));
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      row.push_back(bench::Table::num(results[next++], 1));
     }
     table.row(row);
   }

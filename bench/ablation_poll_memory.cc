@@ -26,6 +26,30 @@ int main(int argc, char** argv) {
 
   const Workload workload = make_poisson_exp(0.050);
 
+  // (plain, with-memory) pairs per (load, poll size) share a derived seed;
+  // the grid fans out across cores and prints in submission order.
+  bench::SweepRunner<double> runner;
+  std::uint64_t point = 0;
+  for (const double load : loads) {
+    for (const auto d : poll_sizes) {
+      const std::uint64_t run_seed = bench::derive_seed(seed, point++);
+      for (const bool memory : {false, true}) {
+        runner.submit([&workload, d, memory, load, requests, run_seed] {
+          sim::SimConfig config;
+          config.policy = PolicyConfig::polling(static_cast<int>(d));
+          config.policy.poll_memory = memory;
+          config.load = load;
+          config.total_requests = requests;
+          config.warmup_requests = requests / 10;
+          config.seed = run_seed;
+          return run_cluster_sim(config, workload).mean_response_ms();
+        });
+      }
+    }
+  }
+  const std::vector<double> results = runner.run();
+
+  std::size_t next = 0;
   for (const double load : loads) {
     bench::print_header(
         "Ablation: polling with memory, " + bench::Table::pct(load, 0) +
@@ -34,17 +58,8 @@ int main(int argc, char** argv) {
     bench::Table table(14);
     table.row({"poll size", "plain", "with memory", "memory gain"});
     for (const auto d : poll_sizes) {
-      sim::SimConfig config;
-      config.policy = PolicyConfig::polling(static_cast<int>(d));
-      config.load = load;
-      config.total_requests = requests;
-      config.warmup_requests = requests / 10;
-      config.seed = seed;
-      const double plain =
-          run_cluster_sim(config, workload).mean_response_ms();
-      config.policy.poll_memory = true;
-      const double with_memory =
-          run_cluster_sim(config, workload).mean_response_ms();
+      const double plain = results[next++];
+      const double with_memory = results[next++];
       table.row({std::to_string(d), bench::Table::num(plain, 1),
                  bench::Table::num(with_memory, 1),
                  bench::Table::pct((plain - with_memory) / plain)});

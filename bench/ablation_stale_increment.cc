@@ -33,11 +33,32 @@ int main(int argc, char** argv) {
   base.load = load;
   base.total_requests = requests;
   base.warmup_requests = requests / 10;
-  base.seed = seed;
 
-  base.policy = PolicyConfig::ideal();
-  const double ideal_ms =
-      run_cluster_sim(base, workload).mean_response_ms();
+  // The IDEAL baseline plus (plain, optimistic) pairs per interval, fanned
+  // out across cores; each pair shares a derived seed so the recovered
+  // fraction is a paired comparison.
+  bench::SweepRunner<double> runner;
+  runner.submit([&workload, base, seed] {
+    sim::SimConfig config = base;
+    config.policy = PolicyConfig::ideal();
+    config.seed = bench::derive_seed(seed, 0);
+    return run_cluster_sim(config, workload).mean_response_ms();
+  });
+  for (std::size_t i = 0; i < intervals_ms.size(); ++i) {
+    const double interval = intervals_ms[i];
+    const std::uint64_t run_seed = bench::derive_seed(seed, 1 + i);
+    for (const bool optimistic : {false, true}) {
+      runner.submit([&workload, base, interval, optimistic, run_seed] {
+        sim::SimConfig config = base;
+        config.policy = PolicyConfig::broadcast(from_ms(interval));
+        config.policy.optimistic_increment = optimistic;
+        config.seed = run_seed;
+        return run_cluster_sim(config, workload).mean_response_ms();
+      });
+    }
+  }
+  const std::vector<double> results = runner.run();
+  const double ideal_ms = results[0];
 
   bench::print_header(
       "Ablation: broadcast with optimistic local increments",
@@ -47,13 +68,10 @@ int main(int argc, char** argv) {
   bench::Table table(15);
   table.row({"interval(ms)", "plain", "optimistic", "recovered"});
 
-  for (const double interval : intervals_ms) {
-    sim::SimConfig config = base;
-    config.policy = PolicyConfig::broadcast(from_ms(interval));
-    const double plain = run_cluster_sim(config, workload).mean_response_ms();
-    config.policy.optimistic_increment = true;
-    const double optimistic =
-        run_cluster_sim(config, workload).mean_response_ms();
+  for (std::size_t i = 0; i < intervals_ms.size(); ++i) {
+    const double interval = intervals_ms[i];
+    const double plain = results[1 + 2 * i];
+    const double optimistic = results[2 + 2 * i];
     const double recovered =
         plain - ideal_ms > 0
             ? (plain - optimistic) / (plain - ideal_ms)

@@ -5,11 +5,107 @@
 // tables. Keep stdout for results only; diagnostics go through the logger.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace finelb::bench {
+
+/// Worker count for parallel sweeps: FINELB_SWEEP_THREADS if set (>= 1),
+/// otherwise the hardware concurrency.
+inline unsigned sweep_threads() {
+  if (const char* env = std::getenv("FINELB_SWEEP_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+/// Mixes a per-run index into a base seed (splitmix64 finalizer), so every
+/// sweep point owns an independent RNG stream no matter which thread runs
+/// it. Points that must stay paired (A/B comparisons at equal randomness)
+/// simply share one derived seed.
+inline std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) {
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Fans independent runs out across a thread pool and hands the results
+/// back in submission order, so a table printed from them is byte-identical
+/// to the sequential sweep. Each submitted task must be self-contained
+/// (own engine, own RNG seeded from its config); the runner adds no
+/// synchronization beyond claiming task indices.
+///
+/// Prototype harnesses (real sockets, wall-clock service times) construct
+/// the runner with `serial()`: timing-sensitive runs must not share the
+/// machine, so they execute inline, in order, on the calling thread.
+template <class R>
+class SweepRunner {
+ public:
+  explicit SweepRunner(unsigned threads = sweep_threads())
+      : threads_(threads > 0 ? threads : 1) {}
+
+  static SweepRunner serial() { return SweepRunner(1); }
+
+  /// Queues a task; returns its index (== position of its result).
+  template <class F>
+  std::size_t submit(F fn) {
+    tasks_.emplace_back(std::move(fn));
+    return tasks_.size() - 1;
+  }
+
+  std::size_t pending() const { return tasks_.size(); }
+
+  /// Executes every queued task and returns results in submission order.
+  /// If tasks threw, the lowest-index exception is rethrown after all
+  /// workers finish. The queue is cleared, so a runner can be reused for
+  /// a second wave.
+  std::vector<R> run() {
+    std::vector<R> results(tasks_.size());
+    std::vector<std::exception_ptr> errors(tasks_.size());
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= tasks_.size()) return;
+        try {
+          results[i] = tasks_[i]();
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      }
+    };
+    const std::size_t workers =
+        std::min<std::size_t>(threads_, tasks_.size());
+    if (workers <= 1) {
+      worker();
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(workers);
+      for (std::size_t i = 0; i < workers; ++i) pool.emplace_back(worker);
+      for (auto& t : pool) t.join();
+    }
+    tasks_.clear();
+    for (auto& error : errors) {
+      if (error) std::rethrow_exception(error);
+    }
+    return results;
+  }
+
+ private:
+  unsigned threads_;
+  std::vector<std::function<R()>> tasks_;
+};
 
 /// Prints "=== <title> ===" with a parameter line underneath.
 inline void print_header(const std::string& title,

@@ -33,7 +33,25 @@ int main(int argc, char** argv) {
       {"Fine-Grain", make_fine_grain(100'000, seed + 20)},
   };
 
-  for (const double rho : loads) {
+  // One trajectory simulation per (load, workload) cell, fanned out across
+  // cores with per-run derived seeds; results return in submission order.
+  bench::SweepRunner<std::vector<sim::InaccuracyPoint>> runner;
+  for (std::size_t r = 0; r < loads.size(); ++r) {
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+      const double rho = loads[r];
+      const Workload& workload = workloads[w].second;
+      const std::uint64_t run_seed =
+          bench::derive_seed(seed, r * workloads.size() + w);
+      runner.submit([&workload, rho, &delays, requests, samples, run_seed] {
+        return sim::inaccuracy_sweep(workload, rho, delays, requests,
+                                     samples, run_seed);
+      });
+    }
+  }
+  const auto all_sweeps = runner.run();
+
+  for (std::size_t r = 0; r < loads.size(); ++r) {
+    const double rho = loads[r];
     bench::print_header(
         "Figure 2: load index inaccuracy vs delay, server " +
             bench::Table::pct(rho, 0) + " busy",
@@ -49,18 +67,12 @@ int main(int argc, char** argv) {
     head.push_back("Eq.1 bound");
     table.row(head);
 
-    std::vector<std::vector<sim::InaccuracyPoint>> sweeps;
-    for (const auto& [name, workload] : workloads) {
-      (void)name;
-      sweeps.push_back(
-          sim::inaccuracy_sweep(workload, rho, delays, requests, samples,
-                                seed));
-    }
+    const auto* sweeps = &all_sweeps[r * workloads.size()];
     const double bound = queueing::stale_index_inaccuracy_bound(rho);
     for (std::size_t d = 0; d < delays.size(); ++d) {
       std::vector<std::string> row = {bench::Table::num(delays[d], 1)};
-      for (const auto& sweep : sweeps) {
-        row.push_back(bench::Table::num(sweep[d].inaccuracy, 3));
+      for (std::size_t w = 0; w < workloads.size(); ++w) {
+        row.push_back(bench::Table::num(sweeps[w][d].inaccuracy, 3));
       }
       row.push_back(bench::Table::num(bound, 3));
       table.row(row);

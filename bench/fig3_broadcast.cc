@@ -33,19 +33,44 @@ int main(int argc, char** argv) {
       {"Fine-Grain", make_fine_grain(100'000, seed + 20)},
   };
 
-  const auto run = [&](const Workload& workload, PolicyConfig policy,
-                       double load) {
-    sim::SimConfig config;
-    config.servers = servers;
-    config.clients = clients;
-    config.policy = policy;
-    config.load = load;
-    config.total_requests = requests;
-    config.warmup_requests = requests / 10;
-    config.seed = seed;
-    return run_cluster_sim(config, workload);
+  // Fan every (load, workload, policy) run out across cores. The IDEAL
+  // baseline and all broadcast intervals of one (load, workload) column
+  // share a derived seed, so the normalization stays a paired comparison.
+  bench::SweepRunner<double> runner;
+  const auto submit = [&](const Workload& workload, PolicyConfig policy,
+                          double load, std::uint64_t run_seed) {
+    runner.submit([&workload, policy, load, servers, clients, requests,
+                   run_seed] {
+      sim::SimConfig config;
+      config.servers = servers;
+      config.clients = clients;
+      config.policy = policy;
+      config.load = load;
+      config.total_requests = requests;
+      config.warmup_requests = requests / 10;
+      config.seed = run_seed;
+      return run_cluster_sim(config, workload).mean_response_ms();
+    });
   };
 
+  const auto column_seed = [&](std::size_t l, std::size_t w) {
+    return bench::derive_seed(seed, l * workloads.size() + w);
+  };
+  for (std::size_t l = 0; l < loads.size(); ++l) {
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+      submit(workloads[w].second, PolicyConfig::ideal(), loads[l],
+             column_seed(l, w));
+    }
+    for (const double interval : intervals_ms) {
+      for (std::size_t w = 0; w < workloads.size(); ++w) {
+        submit(workloads[w].second, PolicyConfig::broadcast(from_ms(interval)),
+               loads[l], column_seed(l, w));
+      }
+    }
+  }
+  const std::vector<double> results = runner.run();
+
+  std::size_t next = 0;
   for (const double load : loads) {
     bench::print_header(
         "Figure 3: broadcast frequency impact, servers " +
@@ -62,21 +87,15 @@ int main(int argc, char** argv) {
     table.row(head);
 
     std::vector<double> ideal_ms;
-    for (const auto& [name, workload] : workloads) {
-      (void)name;
-      ideal_ms.push_back(
-          run(workload, PolicyConfig::ideal(), load).mean_response_ms());
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+      ideal_ms.push_back(results[next++]);
     }
 
     for (const double interval : intervals_ms) {
       std::vector<std::string> row = {bench::Table::num(interval, 0)};
       for (std::size_t w = 0; w < workloads.size(); ++w) {
-        const auto result = run(workloads[w].second,
-                                PolicyConfig::broadcast(from_ms(interval)),
-                                load);
         row.push_back(
-            bench::Table::num(result.mean_response_ms() / ideal_ms[w], 2) +
-            "x");
+            bench::Table::num(results[next++] / ideal_ms[w], 2) + "x");
       }
       table.row(row);
     }

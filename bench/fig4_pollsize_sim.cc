@@ -41,7 +41,38 @@ int main(int argc, char** argv) {
   }
   policies.emplace_back("ideal", PolicyConfig::ideal());
 
+  // Fan the whole (workload x load x policy) grid out across cores; the
+  // policies within one row share a derived seed so their comparison stays
+  // paired, and results come back in submission order so the tables below
+  // print exactly as the sequential sweep would.
+  bench::SweepRunner<double> runner;
+  std::uint64_t row_index = 0;
   for (const auto& [wname, workload] : workloads) {
+    (void)wname;
+    for (const double load : loads) {
+      const std::uint64_t run_seed = bench::derive_seed(seed, row_index++);
+      for (const auto& [pname, policy] : policies) {
+        (void)pname;
+        runner.submit([&workload, policy, load, servers, clients, requests,
+                       run_seed] {
+          sim::SimConfig config;
+          config.servers = servers;
+          config.clients = clients;
+          config.policy = policy;
+          config.load = load;
+          config.total_requests = requests;
+          config.warmup_requests = requests / 10;
+          config.seed = run_seed;
+          return run_cluster_sim(config, workload).mean_response_ms();
+        });
+      }
+    }
+  }
+  const std::vector<double> results = runner.run();
+
+  std::size_t next = 0;
+  for (const auto& [wname, workload] : workloads) {
+    (void)workload;
     bench::print_header(
         "Figure 4 <" + wname + ">: poll size impact (simulation)",
         std::to_string(servers) + " servers, " + std::to_string(clients) +
@@ -57,18 +88,8 @@ int main(int argc, char** argv) {
 
     for (const double load : loads) {
       std::vector<std::string> row = {bench::Table::pct(load, 0)};
-      for (const auto& [pname, policy] : policies) {
-        (void)pname;
-        sim::SimConfig config;
-        config.servers = servers;
-        config.clients = clients;
-        config.policy = policy;
-        config.load = load;
-        config.total_requests = requests;
-        config.warmup_requests = requests / 10;
-        config.seed = seed;
-        row.push_back(bench::Table::num(
-            run_cluster_sim(config, workload).mean_response_ms(), 1));
+      for (std::size_t p = 0; p < policies.size(); ++p) {
+        row.push_back(bench::Table::num(results[next++], 1));
       }
       table.row(row);
     }

@@ -61,7 +61,37 @@ int main(int argc, char** argv) {
   }
   policies.emplace_back("ideal", PolicyConfig::ideal());
 
+  // Prototype runs burn real CPU for service times, so they go through the
+  // sweep runner in serial mode: one at a time, in submission order.
+  // Concurrent cluster instances would contend for cores and corrupt the
+  // measured response times. Policies within one row share a derived seed.
+  auto runner = bench::SweepRunner<cluster::PrototypeResult>::serial();
+  std::uint64_t row_index = 0;
   for (const auto& [wname, workload] : workloads) {
+    (void)wname;
+    for (const double load : loads) {
+      const std::uint64_t run_seed = bench::derive_seed(seed, row_index++);
+      for (const auto& [pname, policy] : policies) {
+        (void)pname;
+        runner.submit([&workload, policy, load, servers, clients, requests,
+                       run_seed] {
+          cluster::PrototypeConfig config;
+          config.servers = servers;
+          config.clients = clients;
+          config.policy = policy;
+          config.load = load;
+          config.total_requests = requests;
+          config.seed = run_seed;
+          return cluster::run_prototype(config, workload);
+        });
+      }
+    }
+  }
+  const auto results = runner.run();
+
+  std::size_t next = 0;
+  for (const auto& [wname, workload] : workloads) {
+    (void)workload;
     bench::print_header(
         "Figure 6 <" + wname + ">: poll size impact (prototype)",
         std::to_string(servers) + " server nodes, " + std::to_string(clients) +
@@ -77,19 +107,12 @@ int main(int argc, char** argv) {
     table.row(head);
 
     for (const double load : loads) {
+      (void)load;
       std::vector<std::string> row = {bench::Table::pct(load, 0)};
       std::int64_t completed = 0;
       std::int64_t issued = 0;
-      for (const auto& [pname, policy] : policies) {
-        (void)pname;
-        cluster::PrototypeConfig config;
-        config.servers = servers;
-        config.clients = clients;
-        config.policy = policy;
-        config.load = load;
-        config.total_requests = requests;
-        config.seed = seed;
-        const auto result = cluster::run_prototype(config, workload);
+      for (std::size_t p = 0; p < policies.size(); ++p) {
+        const auto& result = results[next++];
         row.push_back(
             bench::Table::num(result.clients.response_ms.mean(), 1));
         completed += result.clients.completed;

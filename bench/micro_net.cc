@@ -1,8 +1,26 @@
 // Micro-benchmarks for the networking substrate (google-benchmark):
-// message codecs, loopback datagram round trips, and poller wakeups.
+// message codecs, loopback datagram round trips, and poller wakeups —
+// plus the networking half of the perf-trajectory harness.
+//
+//   micro_net                      # full google-benchmark suite
+//   micro_net --json=BENCH_net.json [--smoke]
+//
+// With --json (or --smoke) the binary skips google-benchmark and measures
+// the trajectory metrics instead: one-way loopback datagram throughput via
+// the single-datagram path (send_to/recv_from) and the batched path
+// (send_batch/recv_batch, one sendmmsg/recvmmsg per burst — the pattern the
+// server recv loops and client drains use), and the p50/p99 round-trip time
+// of a load-inquiry poll over connected sockets. JSON goes to the given
+// path; --smoke shrinks the workload to ctest scale (label: bench-smoke).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "net/message.h"
 #include "net/poller.h"
@@ -96,7 +114,217 @@ void BM_PollerWaitReady(benchmark::State& state) {
 }
 BENCHMARK(BM_PollerWaitReady)->Unit(benchmark::kMicrosecond);
 
+void BM_LoopbackBurstBatched(benchmark::State& state) {
+  // Burst of 32 through sendmmsg/recvmmsg — the server recv-loop pattern.
+  UdpSocket sender;
+  UdpSocket receiver;
+  receiver.set_buffer_sizes(1 << 21);
+  constexpr std::size_t kBurst = 32;
+  DatagramBatch out(kBurst, 64);
+  DatagramBatch in(kBurst, 64);
+  const std::array<std::uint8_t, 16> payload{};
+  std::int64_t moved = 0;
+  for (auto _ : state) {
+    out.clear();
+    for (std::size_t i = 0; i < kBurst; ++i) {
+      out.append(payload, receiver.local_address());
+    }
+    const std::size_t sent = sender.send_batch(out);
+    std::size_t got = 0;
+    while (got < sent) {
+      const std::size_t n = receiver.recv_batch(in);
+      if (n == 0) break;  // kernel dropped the tail; count what arrived
+      got += n;
+    }
+    moved += static_cast<std::int64_t>(got);
+  }
+  state.SetItemsProcessed(moved);
+}
+BENCHMARK(BM_LoopbackBurstBatched)->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------------
+// Perf-trajectory harness (--json / --smoke).
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// One-way loopback throughput: bursts of 32 datagrams, sender → receiver,
+/// drained each burst so the socket buffer never overflows. `batched`
+/// selects sendmmsg/recvmmsg vs one syscall per datagram.
+double measure_oneway_datagrams_per_sec(std::int64_t total, bool batched) {
+  UdpSocket sender;
+  UdpSocket receiver;
+  receiver.set_buffer_sizes(1 << 21);
+  constexpr std::size_t kBurst = 32;
+  const std::array<std::uint8_t, 16> payload{};
+  DatagramBatch out(kBurst, 64);
+  DatagramBatch in(kBurst, 64);
+  std::array<std::uint8_t, 64> buf{};
+  const Address dest = receiver.local_address();
+
+  std::int64_t moved = 0;
+  const auto start = std::chrono::steady_clock::now();
+  while (moved < total) {
+    std::size_t sent = 0;
+    if (batched) {
+      out.clear();
+      for (std::size_t i = 0; i < kBurst; ++i) out.append(payload, dest);
+      sent = sender.send_batch(out);
+    } else {
+      for (std::size_t i = 0; i < kBurst; ++i) {
+        if (sender.send_to(payload, dest)) ++sent;
+      }
+    }
+    std::size_t got = 0;
+    while (got < sent) {
+      if (batched) {
+        const std::size_t n = receiver.recv_batch(in);
+        if (n == 0) break;
+        got += n;
+      } else {
+        if (!receiver.recv_from(buf)) break;
+        ++got;
+      }
+    }
+    // Loopback doesn't lose datagrams below the buffer size, but count
+    // only what actually moved end to end.
+    moved += static_cast<std::int64_t>(got);
+    if (got == 0) break;  // defensive: avoid spinning forever
+  }
+  const double elapsed = seconds_since(start);
+  return elapsed > 0 ? static_cast<double>(moved) / elapsed : 0.0;
+}
+
+struct RttStats {
+  int rounds = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+/// Round-trip time of a load-inquiry poll (connected client socket, server
+/// answering from qlen) — the prototype's polling-agent critical path.
+RttStats measure_poll_rtt(int rounds) {
+  UdpSocket server;
+  UdpSocket client;
+  client.connect(server.local_address());
+  Poller client_poller;
+  client_poller.add(client.fd(), 0);
+  Poller server_poller;
+  server_poller.add(server.fd(), 0);
+  std::array<std::uint8_t, 64> buf{};
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(rounds));
+  for (int r = 0; r < rounds; ++r) {
+    LoadInquiry inquiry;
+    inquiry.seq = static_cast<std::uint64_t>(r) + 1;
+    const auto start = std::chrono::steady_clock::now();
+    client.send(inquiry.encode());
+    while (true) {
+      server_poller.wait(kSecond);
+      if (auto dgram = server.recv_from(buf)) {
+        LoadReply reply;
+        reply.seq = inquiry.seq;
+        reply.queue_length = 1;
+        server.send_to(reply.encode(), dgram->from);
+        break;
+      }
+    }
+    while (true) {
+      client_poller.wait(kSecond);
+      if (client.recv(buf)) break;
+    }
+    samples.push_back(seconds_since(start) * 1e6);
+  }
+  RttStats stats;
+  stats.rounds = rounds;
+  std::sort(samples.begin(), samples.end());
+  const auto at = [&](double q) {
+    const std::size_t i = std::min(
+        samples.size() - 1,
+        static_cast<std::size_t>(q * static_cast<double>(samples.size())));
+    return samples[i];
+  };
+  stats.p50_us = at(0.50);
+  stats.p99_us = at(0.99);
+  return stats;
+}
+
+int run_trajectory(const std::string& json_path, bool smoke) {
+  const std::int64_t total = smoke ? 100'000 : 1'000'000;
+  const int rounds = smoke ? 2'000 : 20'000;
+  // Best of 2 passes each: loopback throughput shares the box with every
+  // other process, and noise only ever subtracts.
+  double unbatched = 0.0;
+  double batched = 0.0;
+  for (int pass = 0; pass < 2; ++pass) {
+    unbatched =
+        std::max(unbatched, measure_oneway_datagrams_per_sec(total, false));
+    batched =
+        std::max(batched, measure_oneway_datagrams_per_sec(total, true));
+  }
+  const RttStats rtt = measure_poll_rtt(rounds);
+
+  std::printf("one-way loopback: %.0f dgrams/sec single, %.0f batched "
+              "(x%.2f)\n",
+              unbatched, batched, batched / unbatched);
+  std::printf("poll rtt: p50 %.1f us, p99 %.1f us over %d rounds\n",
+              rtt.p50_us, rtt.p99_us, rtt.rounds);
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"bench\": \"net\",\n  \"smoke\": %s,\n",
+                 smoke ? "true" : "false");
+    std::fprintf(out, "  \"oneway\": {\n");
+    std::fprintf(out, "    \"datagrams\": %lld,\n",
+                 static_cast<long long>(total));
+    std::fprintf(out, "    \"unbatched_per_sec\": %.0f,\n", unbatched);
+    std::fprintf(out, "    \"batched_per_sec\": %.0f,\n", batched);
+    std::fprintf(out, "    \"batch_speedup\": %.3f\n",
+                 unbatched > 0 ? batched / unbatched : 0.0);
+    std::fprintf(out, "  },\n");
+    std::fprintf(out, "  \"poll_rtt_us\": {\n");
+    std::fprintf(out, "    \"rounds\": %d,\n", rtt.rounds);
+    std::fprintf(out, "    \"p50\": %.2f,\n", rtt.p50_us);
+    std::fprintf(out, "    \"p99\": %.2f\n", rtt.p99_us);
+    std::fprintf(out, "  }\n}\n");
+    std::fclose(out);
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace finelb::net
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool smoke = false;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!json_path.empty() || smoke) {
+    return finelb::net::run_trajectory(json_path, smoke);
+  }
+  int pargc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pargc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pargc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -38,6 +38,18 @@ class BlockingQueue {
     return item;
   }
 
+  /// Non-blocking pop: returns the front item if one is queued, nullopt
+  /// otherwise (empty or closed-and-drained). Lets a worker opportunistically
+  /// drain a burst without bouncing through the condition variable for each
+  /// item.
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
   /// Closes the queue; queued items can still be popped.
   void close() {
     {

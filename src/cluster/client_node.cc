@@ -396,32 +396,32 @@ void ClientNode::dispatch(const Access& access, std::size_t server_index,
 }
 
 void ClientNode::drain_service_socket() {
-  std::array<std::uint8_t, 256> buf{};
-  while (auto size = service_socket_.recv_from(buf)) {
-    net::ServiceResponse response;
-    try {
-      response =
-          net::ServiceResponse::decode(std::span(buf.data(), size->size));
-    } catch (const InvariantError&) {
-      continue;
+  while (service_socket_.recv_batch(recv_batch_) > 0) {
+    for (std::size_t d = 0; d < recv_batch_.size(); ++d) {
+      net::ServiceResponse response;
+      try {
+        response = net::ServiceResponse::decode(recv_batch_.payload(d));
+      } catch (const InvariantError&) {
+        continue;
+      }
+      const auto it = outstanding_.find(response.request_id);
+      if (it == outstanding_.end()) continue;  // answered after timeout
+      const Outstanding& out = it->second;
+      const SimTime now = net::monotonic_now();
+      const double rt_ms = to_ms(now - out.access.started_at);
+      if (should_record(out.access)) {
+        stats_.response_ms.add(rt_ms);
+        stats_.response_hist_ms.add(rt_ms);
+        stats_.queue_at_arrival.add(response.queue_at_arrival);
+        ++stats_.recorded;
+      }
+      record_outcome(now, /*completed=*/true, rt_ms);
+      consecutive_timeouts_[out.server_index] = 0;
+      ++stats_.completed;
+      ++resolved_;
+      if (out.manager_acquired) release_manager_slot(out.server_index);
+      outstanding_.erase(it);
     }
-    const auto it = outstanding_.find(response.request_id);
-    if (it == outstanding_.end()) continue;  // answered after timeout
-    const Outstanding& out = it->second;
-    const SimTime now = net::monotonic_now();
-    const double rt_ms = to_ms(now - out.access.started_at);
-    if (should_record(out.access)) {
-      stats_.response_ms.add(rt_ms);
-      stats_.response_hist_ms.add(rt_ms);
-      stats_.queue_at_arrival.add(response.queue_at_arrival);
-      ++stats_.recorded;
-    }
-    record_outcome(now, /*completed=*/true, rt_ms);
-    consecutive_timeouts_[out.server_index] = 0;
-    ++stats_.completed;
-    ++resolved_;
-    if (out.manager_acquired) release_manager_slot(out.server_index);
-    outstanding_.erase(it);
   }
 }
 
@@ -481,30 +481,31 @@ void ClientNode::drain_broadcast_socket() {
 }
 
 void ClientNode::drain_poll_socket(std::size_t server_index) {
-  std::array<std::uint8_t, 64> buf{};
-  while (auto size = poll_sockets_[server_index].recv(buf)) {
-    net::LoadReply reply;
-    try {
-      reply = net::LoadReply::decode(std::span(buf.data(), *size));
-    } catch (const InvariantError&) {
-      continue;
-    }
-    const auto it = poll_rounds_.find(reply.seq);
-    if (it == poll_rounds_.end()) {
-      ++stats_.polls_discarded;  // reply arrived after the round was decided
-      continue;
-    }
-    PollRound& round = it->second;
-    if (should_record(round.access)) {
-      stats_.poll_rtt_ms.add(to_ms(net::monotonic_now() - round.sent_at));
-    }
-    // Store the endpoint *index* in the server field so the least-loaded
-    // pick can be used directly (ids and indices coincide in experiments,
-    // but examples may use sparse ids).
-    round.replies.push_back({static_cast<ServerId>(server_index),
-                             reply.queue_length, net::monotonic_now()});
-    if (round.replies.size() == round.targets.size()) {
-      finish_poll_round(it->first, round);
+  while (poll_sockets_[server_index].recv_batch(recv_batch_) > 0) {
+    for (std::size_t d = 0; d < recv_batch_.size(); ++d) {
+      net::LoadReply reply;
+      try {
+        reply = net::LoadReply::decode(recv_batch_.payload(d));
+      } catch (const InvariantError&) {
+        continue;
+      }
+      const auto it = poll_rounds_.find(reply.seq);
+      if (it == poll_rounds_.end()) {
+        ++stats_.polls_discarded;  // reply arrived after the round was decided
+        continue;
+      }
+      PollRound& round = it->second;
+      if (should_record(round.access)) {
+        stats_.poll_rtt_ms.add(to_ms(net::monotonic_now() - round.sent_at));
+      }
+      // Store the endpoint *index* in the server field so the least-loaded
+      // pick can be used directly (ids and indices coincide in experiments,
+      // but examples may use sparse ids).
+      round.replies.push_back({static_cast<ServerId>(server_index),
+                               reply.queue_length, net::monotonic_now()});
+      if (round.replies.size() == round.targets.size()) {
+        finish_poll_round(it->first, round);
+      }
     }
   }
 }

@@ -222,6 +222,9 @@ class ClientNode {
 
   net::UdpSocket service_socket_;
   std::vector<net::UdpSocket> poll_sockets_;  // one per server, connected
+  // Reused across every drain_* call: responses and poll replies arrive in
+  // bursts, and one recvmmsg per burst beats one recvfrom per datagram.
+  net::DatagramBatch recv_batch_{32, 256};
   std::unique_ptr<net::UdpSocket> manager_socket_;
   std::unique_ptr<net::UdpSocket> broadcast_socket_;
   /// Broadcast policy's local load table, indexed like options_.servers.

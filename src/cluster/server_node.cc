@@ -87,28 +87,31 @@ void ServerNode::stop() {
 void ServerNode::service_recv_loop() {
   net::Poller poller;
   poller.add(service_socket_.fd(), 0);
-  std::array<std::uint8_t, 256> buf{};
+  net::DatagramBatch batch(32, 256);
   while (running_.load(std::memory_order_relaxed)) {
     if (poller.wait(50 * kMillisecond).empty()) continue;
-    while (auto dgram = service_socket_.recv_from(buf)) {
-      WorkItem item;
-      try {
-        item.request = net::ServiceRequest::decode(
-            std::span(buf.data(), dgram->size));
-      } catch (const InvariantError&) {
-        FINELB_LOG(kWarn, "server") << "dropping malformed service request";
-        continue;
+    // Drain the burst with one recvmmsg per batch instead of one recvfrom
+    // per request: under fine-grain load many arrivals pile up per wakeup.
+    while (service_socket_.recv_batch(batch) > 0) {
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        WorkItem item;
+        try {
+          item.request = net::ServiceRequest::decode(batch.payload(i));
+        } catch (const InvariantError&) {
+          FINELB_LOG(kWarn, "server") << "dropping malformed service request";
+          continue;
+        }
+        item.reply_to = batch.address(i);
+        // Load index covers queued + in-service accesses: increment on
+        // acceptance, decrement after the response is sent (worker_loop).
+        item.queue_at_arrival = qlen_.fetch_add(1, std::memory_order_relaxed);
+        std::int32_t expected = max_qlen_.load(std::memory_order_relaxed);
+        const std::int32_t now_len = item.queue_at_arrival + 1;
+        while (now_len > expected &&
+               !max_qlen_.compare_exchange_weak(expected, now_len)) {
+        }
+        queue_->push(std::move(item));
       }
-      item.reply_to = dgram->from;
-      // Load index covers queued + in-service accesses: increment on
-      // acceptance, decrement after the response is sent (worker_loop).
-      item.queue_at_arrival = qlen_.fetch_add(1, std::memory_order_relaxed);
-      std::int32_t expected = max_qlen_.load(std::memory_order_relaxed);
-      const std::int32_t now_len = item.queue_at_arrival + 1;
-      while (now_len > expected &&
-             !max_qlen_.compare_exchange_weak(expected, now_len)) {
-      }
-      queue_->push(std::move(item));
     }
   }
 }
@@ -116,7 +119,11 @@ void ServerNode::service_recv_loop() {
 void ServerNode::load_recv_loop() {
   net::Poller poller;
   poller.add(load_socket_.fd(), 0);
-  std::array<std::uint8_t, 64> buf{};
+  // Inquiry bursts arrive d-at-a-time (every polling client fans out d
+  // inquiries per access): drain and answer them batched, one syscall per
+  // burst in each direction.
+  net::DatagramBatch inquiries(32, 64);
+  net::DatagramBatch replies(32, 64);
   Rng rng(options_.seed * 2654435761u + 17);
 
   // Replies whose injected busy delay has not elapsed yet. Delays must not
@@ -150,37 +157,53 @@ void ServerNode::load_recv_loop() {
       wait = std::clamp<SimDuration>(earliest - net::monotonic_now(), 0, wait);
     }
     poller.wait(wait);
-    while (auto dgram = load_socket_.recv_from(buf)) {
-      net::LoadInquiry inquiry;
-      try {
-        inquiry = net::LoadInquiry::decode(std::span(buf.data(), dgram->size));
-      } catch (const InvariantError&) {
-        continue;
-      }
-      const std::int32_t qlen = qlen_.load(std::memory_order_relaxed);
-      if (options_.inject_busy_reply_delay && qlen > 0) {
-        // Scheduler-contention stand-in (see header comment): rare long
-        // stall or short heavy-tailed stack delay.
-        SimDuration delay = 0;
-        if (rng.bernoulli(options_.busy_slow_prob)) {
-          delay = std::min<SimDuration>(
-              options_.busy_slow_min +
-                  static_cast<SimDuration>(rng.exponential(
-                      static_cast<double>(options_.busy_slow_excess))),
-              options_.busy_slow_cap);
-        } else {
-          const double u = std::max(1.0 - rng.uniform01(), 1e-12);
-          const double delay_ns =
-              static_cast<double>(options_.busy_reply_xm) *
-              std::pow(u, -1.0 / options_.busy_reply_alpha);
-          delay = std::min(static_cast<SimDuration>(delay_ns),
-                           options_.busy_reply_cap);
+    while (load_socket_.recv_batch(inquiries) > 0) {
+      replies.clear();
+      for (std::size_t i = 0; i < inquiries.size(); ++i) {
+        net::LoadInquiry inquiry;
+        try {
+          inquiry = net::LoadInquiry::decode(inquiries.payload(i));
+        } catch (const InvariantError&) {
+          continue;
         }
-        delayed.push_back(
-            {inquiry.seq, dgram->from, net::monotonic_now() + delay});
-      } else {
-        send_reply(inquiry.seq, dgram->from);
+        const std::int32_t qlen = qlen_.load(std::memory_order_relaxed);
+        if (options_.inject_busy_reply_delay && qlen > 0) {
+          // Scheduler-contention stand-in (see header comment): rare long
+          // stall or short heavy-tailed stack delay.
+          SimDuration delay = 0;
+          if (rng.bernoulli(options_.busy_slow_prob)) {
+            delay = std::min<SimDuration>(
+                options_.busy_slow_min +
+                    static_cast<SimDuration>(rng.exponential(
+                        static_cast<double>(options_.busy_slow_excess))),
+                options_.busy_slow_cap);
+          } else {
+            const double u = std::max(1.0 - rng.uniform01(), 1e-12);
+            const double delay_ns =
+                static_cast<double>(options_.busy_reply_xm) *
+                std::pow(u, -1.0 / options_.busy_reply_alpha);
+            delay = std::min(static_cast<SimDuration>(delay_ns),
+                             options_.busy_reply_cap);
+          }
+          delayed.push_back({inquiry.seq, inquiries.address(i),
+                             net::monotonic_now() + delay});
+        } else {
+          // Queue length at *reply* time, as in send_reply: batching spans
+          // one drained burst, so the index is at most a burst stale.
+          net::LoadReply reply;
+          reply.seq = inquiry.seq;
+          reply.queue_length = qlen;
+          if (!replies.append(reply.encode(), inquiries.address(i))) {
+            send_reply(inquiry.seq, inquiries.address(i));
+          }
+        }
       }
+      const std::size_t sent = load_socket_.send_batch(replies);
+      send_failures_.fetch_add(
+          static_cast<std::int64_t>(replies.size() - sent),
+          std::memory_order_relaxed);
+      inquiries_.fetch_add(static_cast<std::int64_t>(replies.size()),
+                           std::memory_order_relaxed);
     }
     if (!delayed.empty()) {
       const SimTime now = net::monotonic_now();
@@ -199,8 +222,13 @@ void ServerNode::load_recv_loop() {
 
 void ServerNode::worker_loop() {
   while (true) {
-    auto item = queue_->pop();
-    if (!item) return;  // queue closed and drained
+    // Fast path for bursts: grab a queued item without touching the
+    // condition variable; only block when the queue is momentarily empty.
+    auto item = queue_->try_pop();
+    if (!item) {
+      item = queue_->pop();
+      if (!item) return;  // queue closed and drained
+    }
     const SimTime deadline =
         net::monotonic_now() +
         static_cast<SimDuration>(item->request.service_us) * kMicrosecond;

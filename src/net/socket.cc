@@ -36,6 +36,97 @@ struct UdpSocket::FaultState {
   std::vector<DelayedIngress> ingress;
 };
 
+/// Flat storage for a batch: one contiguous payload arena plus parallel
+/// mmsghdr/iovec/sockaddr arrays, sized once at construction. recv_batch
+/// re-arms the iovecs in place; send_batch copies staged payloads into the
+/// same arena, so neither direction allocates after construction.
+struct DatagramBatch::Impl {
+  std::size_t capacity = 0;
+  std::size_t buffer_bytes = 0;
+  std::size_t count = 0;
+  std::vector<std::uint8_t> arena;        // capacity * buffer_bytes
+  std::vector<std::size_t> sizes;         // payload length per slot
+  std::vector<Address> addresses;         // sender (recv) or dest (send)
+  std::vector<::mmsghdr> headers;
+  std::vector<::iovec> iovecs;
+  std::vector<sockaddr_in> sockaddrs;
+
+  std::uint8_t* slot(std::size_t i) { return arena.data() + i * buffer_bytes; }
+
+  /// Points every header at its full slot buffer and its sockaddr, ready
+  /// for recvmmsg to fill.
+  void arm_for_recv() {
+    for (std::size_t i = 0; i < capacity; ++i) {
+      iovecs[i] = {slot(i), buffer_bytes};
+      std::memset(&headers[i], 0, sizeof(headers[i]));
+      headers[i].msg_hdr.msg_iov = &iovecs[i];
+      headers[i].msg_hdr.msg_iovlen = 1;
+      headers[i].msg_hdr.msg_name = &sockaddrs[i];
+      headers[i].msg_hdr.msg_namelen = sizeof(sockaddrs[i]);
+    }
+  }
+
+  /// Points the first `count` headers at the staged payload lengths and
+  /// destination sockaddrs, ready for sendmmsg.
+  void arm_for_send() {
+    for (std::size_t i = 0; i < count; ++i) {
+      iovecs[i] = {slot(i), sizes[i]};
+      sockaddrs[i] = addresses[i].to_sockaddr();
+      std::memset(&headers[i], 0, sizeof(headers[i]));
+      headers[i].msg_hdr.msg_iov = &iovecs[i];
+      headers[i].msg_hdr.msg_iovlen = 1;
+      headers[i].msg_hdr.msg_name = &sockaddrs[i];
+      headers[i].msg_hdr.msg_namelen = sizeof(sockaddrs[i]);
+    }
+  }
+};
+
+DatagramBatch::DatagramBatch(std::size_t capacity, std::size_t buffer_bytes)
+    : impl_(std::make_unique<Impl>()) {
+  FINELB_CHECK(capacity > 0 && buffer_bytes > 0,
+               "batch needs capacity and buffer space");
+  impl_->capacity = capacity;
+  impl_->buffer_bytes = buffer_bytes;
+  impl_->arena.resize(capacity * buffer_bytes);
+  impl_->sizes.resize(capacity);
+  impl_->addresses.resize(capacity);
+  impl_->headers.resize(capacity);
+  impl_->iovecs.resize(capacity);
+  impl_->sockaddrs.resize(capacity);
+}
+
+DatagramBatch::~DatagramBatch() = default;
+DatagramBatch::DatagramBatch(DatagramBatch&&) noexcept = default;
+DatagramBatch& DatagramBatch::operator=(DatagramBatch&&) noexcept = default;
+
+std::size_t DatagramBatch::capacity() const { return impl_->capacity; }
+std::size_t DatagramBatch::size() const { return impl_->count; }
+
+std::span<const std::uint8_t> DatagramBatch::payload(std::size_t i) const {
+  FINELB_CHECK(i < impl_->count, "batch index out of range");
+  return {impl_->slot(i), impl_->sizes[i]};
+}
+
+const Address& DatagramBatch::address(std::size_t i) const {
+  FINELB_CHECK(i < impl_->count, "batch index out of range");
+  return impl_->addresses[i];
+}
+
+bool DatagramBatch::append(std::span<const std::uint8_t> payload,
+                           const Address& dest) {
+  if (impl_->count >= impl_->capacity ||
+      payload.size() > impl_->buffer_bytes) {
+    return false;
+  }
+  const std::size_t i = impl_->count++;
+  std::memcpy(impl_->slot(i), payload.data(), payload.size());
+  impl_->sizes[i] = payload.size();
+  impl_->addresses[i] = dest;
+  return true;
+}
+
+void DatagramBatch::clear() { impl_->count = 0; }
+
 FdHandle::~FdHandle() { reset(); }
 
 FdHandle::FdHandle(FdHandle&& other) noexcept
@@ -181,6 +272,66 @@ std::optional<Datagram> UdpSocket::recv_from(std::span<std::uint8_t> buffer) {
     return std::nullopt;
   }
   FINELB_THROW_ERRNO("recvfrom(udp)");
+}
+
+std::size_t UdpSocket::recv_batch(DatagramBatch& batch) {
+  DatagramBatch::Impl& b = *batch.impl_;
+  b.count = 0;
+  if (injector_) {
+    // Per-datagram fault path: each datagram must get its own
+    // drop/duplicate/delay roll, so the kernel batching is bypassed and
+    // the batch is filled through faulty_recv into its own slots.
+    while (b.count < b.capacity) {
+      const auto dgram = faulty_recv(
+          std::span(b.slot(b.count), b.buffer_bytes), /*want_sender=*/true);
+      if (!dgram) break;
+      b.sizes[b.count] = dgram->size;
+      b.addresses[b.count] = dgram->from;
+      ++b.count;
+    }
+    return b.count;
+  }
+  b.arm_for_recv();
+  const int n = ::recvmmsg(fd(), b.headers.data(),
+                           static_cast<unsigned>(b.capacity), 0, nullptr);
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNREFUSED) {
+      return 0;
+    }
+    FINELB_THROW_ERRNO("recvmmsg(udp)");
+  }
+  b.count = static_cast<std::size_t>(n);
+  for (std::size_t i = 0; i < b.count; ++i) {
+    b.sizes[i] = b.headers[i].msg_len;
+    b.addresses[i] = Address::from_sockaddr(b.sockaddrs[i]);
+  }
+  return b.count;
+}
+
+std::size_t UdpSocket::send_batch(DatagramBatch& batch) {
+  DatagramBatch::Impl& b = *batch.impl_;
+  if (b.count == 0) return 0;
+  if (injector_) {
+    // Per-datagram fault path, mirroring recv_batch.
+    std::size_t sent = 0;
+    for (std::size_t i = 0; i < b.count; ++i) {
+      if (faulty_send(std::span<const std::uint8_t>(b.slot(i), b.sizes[i]),
+                      &b.addresses[i])) {
+        ++sent;
+      }
+    }
+    return sent;
+  }
+  b.arm_for_send();
+  const int n = ::sendmmsg(fd(), b.headers.data(),
+                           static_cast<unsigned>(b.count), 0);
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS) {
+      return 0;  // kernel buffer full: the whole burst counts as dropped
+    }
+    FINELB_THROW_ERRNO("sendmmsg(udp)");
+  }
+  return static_cast<std::size_t>(n);
 }
 
 void UdpSocket::attach_fault_injector(

@@ -60,6 +60,36 @@ struct Datagram {
   Address from;
 };
 
+/// Preallocated buffer pool for batched datagram I/O (recvmmsg/sendmmsg).
+/// One batch is reused across calls: receive loops drain bursts into it
+/// without per-datagram syscalls or allocations, and reply paths stage
+/// outgoing datagrams in it before a single send_batch. A batch serves one
+/// direction at a time — clear() resets it between uses.
+class DatagramBatch {
+ public:
+  explicit DatagramBatch(std::size_t capacity = 32,
+                         std::size_t buffer_bytes = 512);
+  ~DatagramBatch();
+  DatagramBatch(DatagramBatch&&) noexcept;
+  DatagramBatch& operator=(DatagramBatch&&) noexcept;
+
+  std::size_t capacity() const;
+  /// Datagrams held: received by the last recv_batch, or staged for send.
+  std::size_t size() const;
+  std::span<const std::uint8_t> payload(std::size_t i) const;
+  const Address& address(std::size_t i) const;  // sender (recv) / dest (send)
+
+  /// Stages a datagram for send_batch. Returns false when the batch is
+  /// full or the payload exceeds the per-slot buffer.
+  bool append(std::span<const std::uint8_t> payload, const Address& dest);
+  void clear();
+
+ private:
+  friend class UdpSocket;
+  struct Impl;  // mmsghdr/iovec/sockaddr arrays (socket.cc)
+  std::unique_ptr<Impl> impl_;
+};
+
 /// A UDP socket bound to loopback. Non-blocking by default: all prototype
 /// I/O goes through poll()-driven event loops and blocking would deadlock a
 /// single-threaded client.
@@ -95,6 +125,21 @@ class UdpSocket {
 
   /// Non-blocking receive capturing the sender address.
   std::optional<Datagram> recv_from(std::span<std::uint8_t> buffer);
+
+  /// Drains up to batch.capacity() pending datagrams in one recvmmsg call
+  /// (one syscall per burst instead of one per datagram). Returns the count
+  /// received, 0 when nothing is pending. With a fault injector attached
+  /// the batch is filled through the per-datagram fault path instead, so
+  /// drop/duplicate/delay decisions still apply to each datagram
+  /// individually.
+  std::size_t recv_batch(DatagramBatch& batch);
+
+  /// Sends every datagram staged in the batch via one sendmmsg call.
+  /// Returns the number the kernel accepted; the remainder were dropped
+  /// (full buffer — same semantics as send_to returning false). With a
+  /// fault injector attached each datagram goes through the per-datagram
+  /// fault path instead.
+  std::size_t send_batch(DatagramBatch& batch);
 
   /// Enlarges kernel buffers; the experiment harness drives thousands of
   /// datagrams per second through loopback and the 212 kB default is easy

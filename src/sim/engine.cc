@@ -1,45 +1,188 @@
 #include "sim/engine.h"
 
-#include <utility>
-
-#include "common/check.h"
+#include <cstring>
 
 namespace finelb::sim {
 
-void Engine::schedule_at(SimTime t, EventFn fn) {
-  FINELB_CHECK(t >= now_, "cannot schedule into the past");
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
-}
-
-void Engine::schedule_after(SimDuration delay, EventFn fn) {
-  FINELB_CHECK(delay >= 0, "negative event delay");
-  schedule_at(now_ + delay, std::move(fn));
-}
-
 void Engine::run() {
   stopped_ = false;
-  while (!queue_.empty() && !stopped_) {
-    // priority_queue::top() is const; move out via const_cast before pop,
-    // which is safe because the element is removed immediately after.
-    Event event = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = event.time;
-    ++processed_;
-    event.fn();
+  while (live_ != 0 && !stopped_) {
+    fire_next();
   }
 }
 
 void Engine::run_until(SimTime t) {
   FINELB_CHECK(t >= now_, "cannot run backwards");
   stopped_ = false;
-  while (!queue_.empty() && !stopped_ && queue_.top().time <= t) {
-    Event event = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = event.time;
-    ++processed_;
-    event.fn();
+  while (live_ != 0 && !stopped_) {
+    if (!ensure_ready()) break;
+    if (active_.front().time > t) break;
+    fire_next();
   }
   if (!stopped_) now_ = t;
+}
+
+void Engine::grow_pool() {
+  const auto base =
+      static_cast<std::uint32_t>(chunks_.size() << kChunkShift);
+  FINELB_CHECK(base + kChunkSize <= (std::size_t{1} << kSlotBits),
+               "event slot pool exhausted");
+  // Default-initialized (not value-initialized): slot storage is written
+  // before it is ever read, and zeroing 20 kB per chunk would be waste.
+  chunks_.emplace_back(new Slot[kChunkSize]);
+  free_slots_.reserve(free_slots_.size() + kChunkSize);
+  // Pushed in reverse so acquire_slot() hands out ascending indices within
+  // the fresh chunk (front-to-back memory order on the common fill path).
+  for (std::size_t i = kChunkSize; i-- > 0;) {
+    free_slots_.push_back(base + static_cast<std::uint32_t>(i));
+  }
+}
+
+void Engine::rebuild() {
+  // Precondition (from ensure_ready): the active heap is empty, the rung
+  // is spent, and staging_ or far_ holds events. All buckets are empty,
+  // so the arena and store can be recycled wholesale.
+  if (!head_) {
+    head_.reset(new std::uint32_t[kRungBuckets]);
+    std::fill_n(head_.get(), kRungBuckets, kNilNode);
+  }
+  arena_used_ = 0;
+
+  SimTime lo = 0;
+  SimTime hi = 0;
+  bool have = false;
+  for (const HeapEntry& e : staging_) {
+    if (!have) {
+      lo = hi = e.time;
+      have = true;
+    } else {
+      lo = std::min(lo, e.time);
+      hi = std::max(hi, e.time);
+    }
+  }
+  if (!far_.empty()) {
+    const SimTime far_min = far_.front().time;
+    if (!have) {
+      lo = hi = far_min;
+      have = true;
+    } else {
+      lo = std::min(lo, far_min);
+    }
+  }
+
+  // Bucket width: smallest power of two (at or above the adaptive floor)
+  // that fits the observed span into one rung. Events past the end simply
+  // wait in the far heap for the next rung.
+  unsigned shift = base_shift_;
+  while (shift < kMaxRungShift &&
+         (static_cast<std::uint64_t>(hi - lo) >> shift) >= kRungBuckets) {
+    ++shift;
+  }
+  rung_t0_ = lo;
+  rung_shift_ = shift;
+  rung_active_ = true;
+  cur_bucket_ = 0;
+  const SimTime end = rung_end();
+
+  // Gather everything this rung will hold into staging_, then
+  // counting-sort it into the contiguous store: histogram, prefix-sum,
+  // scatter. After the scatter, off_[i] is the end of bucket i's slice.
+  while (!far_.empty() && far_.front().time < end) {
+    const HeapEntry e = heap_pop(far_);
+    hi = std::max(hi, e.time);
+    staging_.push_back(e);
+  }
+  const auto bucket_of = [this](SimTime t) {
+    return static_cast<std::size_t>(
+        static_cast<std::uint64_t>(t - rung_t0_) >> rung_shift_);
+  };
+  // Only buckets up to the highest in-span time are touched; zeroing and
+  // prefix-summing stop there so a small rebuild does not pay for the
+  // whole rung.
+  idx_cap_ = hi >= end ? kRungBuckets : bucket_of(hi) + 1;
+  off_.resize(kRungBuckets);
+  std::fill(off_.begin(),
+            off_.begin() + static_cast<std::ptrdiff_t>(idx_cap_), 0);
+  std::uint64_t scattered = 0;
+  for (const HeapEntry& e : staging_) {
+    if (e.time >= end) continue;  // beyond the span: stays far
+    const std::size_t idx = bucket_of(e.time);
+    ++off_[idx];
+    bitmap_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+    ++scattered;
+  }
+  std::uint32_t running = 0;
+  for (std::size_t i = 0; i < idx_cap_; ++i) {
+    const std::uint32_t c = off_[i];
+    off_[i] = running;
+    running += c;
+  }
+  store_.resize(running);
+  for (const HeapEntry& e : staging_) {
+    if (e.time >= end) {
+      heap_push(far_, e);
+    } else {
+      store_[off_[bucket_of(e.time)]++] = e;
+    }
+  }
+  staging_.clear();
+
+  // Width adaptation. A rung that drew almost nothing while events sit
+  // just past its end is thrashing (rebuild per handful of events): widen
+  // future rungs. A rung packed far beyond one event per bucket wastes
+  // sort work in the active heap: narrow again.
+  if (!far_.empty() && scattered < kRungBuckets / 64) {
+    base_shift_ = std::min(base_shift_ + 2, kMaxRungShift);
+  } else if (scattered > kRungBuckets * 8 && base_shift_ > 0) {
+    --base_shift_;
+  }
+
+  // lo itself landed in bucket 0, so the rung is non-empty by construction.
+  advance_bucket(0);
+}
+
+void Engine::destroy_pending() {
+  const auto destroy_entry = [this](const HeapEntry& e) {
+    Slot& slot = slot_at(e.slot());
+    slot.op(slot, SlotOp::kDestroy);
+  };
+  for (const HeapEntry& e : active_) destroy_entry(e);
+  active_.clear();
+  for (const HeapEntry& e : staging_) destroy_entry(e);
+  staging_.clear();
+  for (const HeapEntry& e : far_) destroy_entry(e);
+  far_.clear();
+  if (rung_active_ && head_) {
+    // Buckets whose bit is still set were never loaded: destroy their
+    // store slices and any mid-drain chains.
+    for (std::size_t w = 0; w < kBitmapWords; ++w) {
+      std::uint64_t word = bitmap_[w];
+      while (word != 0) {
+        const std::size_t idx =
+            (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+        word &= word - 1;
+        if (idx < idx_cap_) {
+          const std::uint32_t b0 = idx == 0 ? 0 : off_[idx - 1];
+          for (std::uint32_t i = b0; i < off_[idx]; ++i) {
+            destroy_entry(store_[i]);
+          }
+        }
+        std::uint32_t node = head_[idx];
+        head_[idx] = kNilNode;
+        while (node != kNilNode) {
+          const BucketNode& bn = arena_[node];
+          for (std::uint32_t j = 0; j < bn.count; ++j) {
+            destroy_entry(bn.entries[j]);
+          }
+          node = bn.next;
+        }
+      }
+    }
+  }
+  std::memset(bitmap_, 0, sizeof(bitmap_));
+  arena_used_ = 0;
+  rung_active_ = false;
+  live_ = 0;
 }
 
 }  // namespace finelb::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <functional>
 
 #include "common/check.h"
 #include "common/rng.h"

@@ -78,5 +78,40 @@ TEST(BlockingQueueTest, MoveOnlyPayload) {
   EXPECT_EQ(**item, 5);
 }
 
+TEST(BlockingQueueTest, TryPopNeverBlocks) {
+  BlockingQueue<int> q;
+  EXPECT_FALSE(q.try_pop().has_value());  // empty: returns immediately
+  q.push(1);
+  q.push(2);
+  auto first = q.try_pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, 1);  // FIFO, same as pop()
+  auto second = q.try_pop();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*second, 2);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BlockingQueueTest, TryPopDrainsAfterClose) {
+  // Workers use try_pop as the burst fast path; items queued before close()
+  // must still drain through it.
+  BlockingQueue<int> q;
+  q.push(7);
+  q.close();
+  auto item = q.try_pop();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(*item, 7);
+  EXPECT_FALSE(q.try_pop().has_value());
+  EXPECT_FALSE(q.pop().has_value());  // closed and drained
+}
+
+TEST(BlockingQueueTest, TryPopMoveOnlyPayload) {
+  BlockingQueue<std::unique_ptr<int>> q;
+  q.push(std::make_unique<int>(9));
+  auto item = q.try_pop();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(**item, 9);
+}
+
 }  // namespace
 }  // namespace finelb::cluster

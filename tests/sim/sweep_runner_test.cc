@@ -1,0 +1,121 @@
+// SweepRunner determinism contract (bench/bench_util.h).
+//
+// The parallel sweep path is only admissible because its output is
+// byte-identical to the sequential sweep: results come back in submission
+// order and every task owns its RNG stream via a seed derived from the
+// submission index, never from thread identity. These tests pin that
+// contract, including on real cluster simulations.
+
+#include "bench_util.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "sim/config.h"
+#include "workload/catalog.h"
+
+namespace finelb::bench {
+namespace {
+
+TEST(DeriveSeedTest, DeterministicAndWellSpread) {
+  EXPECT_EQ(derive_seed(1, 0), derive_seed(1, 0));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t base = 1; base <= 4; ++base) {
+    for (std::uint64_t index = 0; index < 64; ++index) {
+      seen.insert(derive_seed(base, index));
+    }
+  }
+  // 4 bases x 64 indices must not collide (a collision would silently
+  // correlate two sweep points).
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(SweepRunnerTest, ResultsComeBackInSubmissionOrder) {
+  SweepRunner<int> runner(4);
+  // Reverse-staggered sleeps: late-submitted tasks finish first, so any
+  // completion-order leak into the result vector shows up immediately.
+  for (int i = 0; i < 16; ++i) {
+    runner.submit([i] {
+      std::this_thread::sleep_for(std::chrono::milliseconds((16 - i) % 5));
+      return i * i;
+    });
+  }
+  EXPECT_EQ(runner.pending(), 16u);
+  const std::vector<int> results = runner.run();
+  ASSERT_EQ(results.size(), 16u);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)], i * i);
+  }
+  // The queue is cleared so the runner can take a second wave.
+  EXPECT_EQ(runner.pending(), 0u);
+  runner.submit([] { return 7; });
+  EXPECT_EQ(runner.run(), std::vector<int>{7});
+}
+
+TEST(SweepRunnerTest, LowestIndexExceptionWins) {
+  SweepRunner<int> runner(4);
+  runner.submit([] { return 0; });
+  runner.submit([]() -> int { throw std::runtime_error("first"); });
+  runner.submit([] { return 2; });
+  runner.submit([]() -> int { throw std::runtime_error("second"); });
+  try {
+    runner.run();
+    FAIL() << "run() must rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+}
+
+TEST(SweepRunnerTest, ParallelClusterSweepIsBitIdenticalToSerial) {
+  // A miniature fig-style sweep: two policies across three loads, each
+  // point seeded from its submission row. Run it through a 4-thread pool
+  // and through the serial runner; every statistic must match exactly —
+  // not approximately — because each simulation is fully self-contained.
+  const Workload workload = make_poisson_exp(0.050);
+  const std::vector<double> loads = {0.5, 0.7, 0.9};
+  const std::vector<PolicyConfig> policies = {PolicyConfig::random(),
+                                              PolicyConfig::polling(3)};
+
+  const auto sweep = [&](SweepRunner<sim::SimResult> runner) {
+    std::uint64_t row = 0;
+    for (const double load : loads) {
+      const std::uint64_t run_seed = derive_seed(42, row++);
+      for (const PolicyConfig& policy : policies) {
+        runner.submit([&workload, policy, load, run_seed] {
+          sim::SimConfig config;
+          config.servers = 4;
+          config.clients = 2;
+          config.policy = policy;
+          config.load = load;
+          config.total_requests = 4000;
+          config.warmup_requests = 400;
+          config.seed = run_seed;
+          return sim::run_cluster_sim(config, workload);
+        });
+      }
+    }
+    return runner.run();
+  };
+
+  const auto parallel = sweep(SweepRunner<sim::SimResult>(4));
+  const auto serial = sweep(SweepRunner<sim::SimResult>::serial());
+
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < parallel.size(); ++i) {
+    EXPECT_EQ(parallel[i].response_ms.count(), serial[i].response_ms.count());
+    EXPECT_EQ(parallel[i].mean_response_ms(), serial[i].mean_response_ms());
+    EXPECT_EQ(parallel[i].response_ms.max(), serial[i].response_ms.max());
+    EXPECT_EQ(parallel[i].utilization, serial[i].utilization);
+    EXPECT_EQ(parallel[i].polls_sent, serial[i].polls_sent);
+    EXPECT_EQ(parallel[i].per_server_served, serial[i].per_server_served);
+  }
+}
+
+}  // namespace
+}  // namespace finelb::bench
