@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Full CI sweep for the finelb prototype:
+#   1. tier-1 verify  — default build, entire ctest suite;
+#   2. bench smoke    — perf-trajectory smoke runs, including the
+#                       steady-state allocation gate (micro_net --smoke
+#                       fails if the request/poll hot loop allocates);
+#   3. sanitizers     — ASan+UBSan and TSan builds running the threaded
+#                       runtime tests (ctest -L runtime).
+#
+# Usage: ci/run_ci.sh [build-root]     (default: <repo>/build-ci)
+# Each stage uses its own build tree under the build root, so a warm tree
+# makes re-runs incremental. Exits non-zero on the first failing stage.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build_root="${1:-${repo}/build-ci}"
+jobs="$(nproc)"
+
+stage() {
+  echo
+  echo "=== $* ==="
+}
+
+configure_and_build() {
+  local dir="$1"
+  shift
+  cmake -S "${repo}" -B "${dir}" -DCMAKE_BUILD_TYPE=Release "$@" \
+    -Wno-dev >/dev/null
+  cmake --build "${dir}" -j"${jobs}"
+}
+
+stage "tier-1: default build + full test suite"
+configure_and_build "${build_root}/default"
+ctest --test-dir "${build_root}/default" -j"${jobs}" --output-on-failure
+
+stage "bench smoke (allocation gate included)"
+ctest --test-dir "${build_root}/default" -L bench-smoke --output-on-failure
+
+stage "address sanitizer: runtime tests"
+configure_and_build "${build_root}/asan" -DFINELB_SANITIZE=address
+ctest --test-dir "${build_root}/asan" -j"${jobs}" -L runtime \
+  --output-on-failure
+
+stage "thread sanitizer: runtime tests"
+configure_and_build "${build_root}/tsan" -DFINELB_SANITIZE=thread
+ctest --test-dir "${build_root}/tsan" -j"${jobs}" -L runtime \
+  --output-on-failure
+
+stage "all stages passed"

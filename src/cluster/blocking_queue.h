@@ -4,15 +4,32 @@
 // this queue is that service queue. close() wakes all waiters and makes
 // further pops return nullopt once drained, which is how server shutdown
 // propagates to workers without sentinel values.
+//
+// Storage is a power-of-two ring buffer rather than std::deque: a deque
+// allocates and frees map blocks as the head chases the tail, so even a
+// bounded-occupancy queue churns the allocator in steady state. The ring
+// grows geometrically to the high-water mark and is then allocation-free
+// for the life of the queue.
 #pragma once
 
 #include <condition_variable>
-#include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace finelb::cluster {
+
+/// Outcome of a non-blocking pop. Distinguishing kEmpty from kClosed
+/// matters for poll-style workers: "nothing right now, spin again" versus
+/// "the queue is shut down and drained, exit the loop". The old
+/// optional-returning try_pop conflated the two, so a worker that relied on
+/// it alone could never observe shutdown.
+enum class PopResult {
+  kItem,    ///< an item was dequeued into `out`
+  kEmpty,   ///< nothing queued right now (queue still open, or not drained)
+  kClosed,  ///< closed and fully drained; no item will ever arrive again
+};
 
 template <class T>
 class BlockingQueue {
@@ -22,7 +39,9 @@ class BlockingQueue {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (closed_) return false;
-      items_.push_back(std::move(item));
+      if (count_ == ring_.size()) grow();
+      ring_[(head_ + count_) & (ring_.size() - 1)] = std::move(item);
+      ++count_;
     }
     cv_.notify_one();
     return true;
@@ -31,23 +50,28 @@ class BlockingQueue {
   /// Blocks until an item is available or the queue is closed and drained.
   std::optional<T> pop() {
     std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return !items_.empty() || closed_; });
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
-    return item;
+    cv_.wait(lock, [this] { return count_ != 0 || closed_; });
+    if (count_ == 0) return std::nullopt;
+    return pop_front_locked();
   }
 
-  /// Non-blocking pop: returns the front item if one is queued, nullopt
-  /// otherwise (empty or closed-and-drained). Lets a worker opportunistically
-  /// drain a burst without bouncing through the condition variable for each
-  /// item.
-  std::optional<T> try_pop() {
+  /// Non-blocking pop into `out`. Returns kItem when an item was dequeued,
+  /// kEmpty when the queue is open but momentarily empty (or closed with
+  /// items still draining elsewhere is impossible — drained is drained),
+  /// and kClosed once the queue is closed and drained. Lets a worker
+  /// opportunistically drain a burst without bouncing through the condition
+  /// variable per item, while still observing shutdown.
+  PopResult try_pop(T& out) {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
-    return item;
+    if (count_ == 0) return closed_ ? PopResult::kClosed : PopResult::kEmpty;
+    out = pop_front_locked();
+    return PopResult::kItem;
+  }
+
+  /// True once close() has been called (items may still be queued).
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
   }
 
   /// Closes the queue; queued items can still be popped.
@@ -61,13 +85,32 @@ class BlockingQueue {
 
   std::size_t size() const {
     std::lock_guard<std::mutex> lock(mutex_);
-    return items_.size();
+    return count_;
   }
 
  private:
+  T pop_front_locked() {
+    T item = std::move(ring_[head_]);
+    head_ = (head_ + 1) & (ring_.size() - 1);
+    --count_;
+    return item;
+  }
+
+  void grow() {
+    const std::size_t new_size = ring_.empty() ? 16 : ring_.size() * 2;
+    std::vector<T> bigger(new_size);
+    for (std::size_t i = 0; i < count_; ++i) {
+      bigger[i] = std::move(ring_[(head_ + i) & (ring_.size() - 1)]);
+    }
+    ring_ = std::move(bigger);
+    head_ = 0;
+  }
+
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<T> items_;
+  std::vector<T> ring_;     // power-of-two capacity; index masked
+  std::size_t head_ = 0;    // index of the front item
+  std::size_t count_ = 0;   // occupied slots
   bool closed_ = false;
 };
 

@@ -15,6 +15,15 @@ constexpr std::uint64_t kManagerTag = 1;
 constexpr std::uint64_t kBroadcastTag = 2;
 constexpr std::uint64_t kPollTagBase = 1000;
 constexpr std::uint32_t kSubscribeTtlMs = 5000;
+
+// Encodes a fixed-size message onto the stack and sends it; no heap
+// traffic, unlike msg.encode() which materialises a vector per send.
+template <class Msg, class Send>
+bool send_fixed(const Msg& msg, Send&& send) {
+  std::array<std::uint8_t, net::kMaxFixedMsgSize> buf;
+  const std::size_t n = msg.encode_into(buf);
+  return send(std::span<const std::uint8_t>(buf.data(), n));
+}
 }  // namespace
 
 void ClientStats::merge(const ClientStats& other) {
@@ -105,14 +114,16 @@ ClientNode::ClientNode(ClientOptions options,
     broadcast_socket_->set_buffer_sizes(1 << 21);
     broadcast_socket_->connect(*options_.broadcast_channel);
     poller_.add(broadcast_socket_->fd(), kBroadcastTag);
-    broadcast_table_.resize(options_.servers.size());
+    broadcast_table_ = std::make_unique<LoadCache>(options_.servers.size());
     for (std::size_t i = 0; i < options_.servers.size(); ++i) {
       // ServerLoad.server holds the endpoint *index* (as in poll replies).
-      broadcast_table_[i] = {static_cast<ServerId>(i), 0, 0};
+      broadcast_table_->store(i, {static_cast<ServerId>(i), 0, 0});
     }
     net::Subscribe subscribe;
     subscribe.ttl_ms = kSubscribeTtlMs;
-    if (!broadcast_socket_->send(subscribe.encode())) ++stats_.send_failures;
+    if (!send_fixed(subscribe, [&](auto p) { return broadcast_socket_->send(p); })) {
+      ++stats_.send_failures;
+    }
     subscribe_refresh_at_ =
         net::monotonic_now() +
         static_cast<SimDuration>(kSubscribeTtlMs / 2) * kMillisecond;
@@ -139,7 +150,8 @@ void ClientNode::run() {
     if (broadcast_socket_ && now >= subscribe_refresh_at_) {
       net::Subscribe subscribe;
       subscribe.ttl_ms = kSubscribeTtlMs;
-      if (!broadcast_socket_->send(subscribe.encode())) {
+      if (!send_fixed(subscribe,
+                      [&](auto p) { return broadcast_socket_->send(p); })) {
         ++stats_.send_failures;
       }
       subscribe_refresh_at_ =
@@ -224,9 +236,9 @@ void ClientNode::refresh_mapping(SimTime now) {
                 static_cast<double>(mapping_refresh_interval_) * jitter);
 }
 
-std::vector<ServerId> ClientNode::candidate_indices(SimTime now) {
-  std::vector<ServerId> live;
-  live.reserve(options_.servers.size());
+std::span<const ServerId> ClientNode::candidate_indices(SimTime now) {
+  std::vector<ServerId>& live = candidate_scratch_;
+  live.clear();
   for (std::size_t i = 0; i < options_.servers.size(); ++i) {
     if (endpoint_live_[i]) live.push_back(static_cast<ServerId>(i));
   }
@@ -237,7 +249,7 @@ std::vector<ServerId> ClientNode::candidate_indices(SimTime now) {
   }
   if (options_.blacklist_cooldown > 0) {
     const std::int64_t hits_before = blacklist_.hits();
-    live = blacklist_.filter(live, now);
+    blacklist_.filter_in_place(live, now);
     stats_.blacklist_hits += blacklist_.hits() - hits_before;
   }
   return live;
@@ -290,22 +302,28 @@ void ClientNode::begin_access(const Access& access) {
       const std::uint64_t seq = next_seq_++;
       net::Acquire acquire;
       acquire.seq = seq;
-      if (!manager_socket_->send(acquire.encode())) {
+      if (!send_fixed(acquire,
+                      [&](auto p) { return manager_socket_->send(p); })) {
         ++stats_.send_failures;
         ++stats_.manager_timeouts;
         dispatch(access, rng_.uniform_int(options_.servers.size()));
         return;
       }
       ManagerRound round;
+      round.seq = seq;
       round.access = access;
       round.deadline = access.started_at + options_.manager_timeout;
-      manager_rounds_.emplace(seq, round);
+      manager_rounds_.push_back(round);
       break;
     }
     case PolicyKind::kBroadcast: {
-      const ServerId index = pick_least_loaded(broadcast_table_, rng_);
+      broadcast_table_->snapshot(load_scratch_);
+      const ServerId index = pick_least_loaded(load_scratch_, rng_);
       if (options_.policy.optimistic_increment) {
-        ++broadcast_table_[static_cast<std::size_t>(index)].queue_length;
+        ServerLoad entry =
+            broadcast_table_->load(static_cast<std::size_t>(index));
+        ++entry.queue_length;
+        broadcast_table_->store(static_cast<std::size_t>(index), entry);
       }
       dispatch(access, static_cast<std::size_t>(index));
       break;
@@ -315,7 +333,16 @@ void ClientNode::begin_access(const Access& access) {
 
 void ClientNode::start_poll_round(const Access& access) {
   const std::uint64_t seq = next_seq_++;
+  // Recycle a retired round so its targets/replies capacity carries over;
+  // after warm-up every round runs without touching the allocator.
   PollRound round;
+  if (!poll_round_pool_.empty()) {
+    round = std::move(poll_round_pool_.back());
+    poll_round_pool_.pop_back();
+    round.targets.clear();
+    round.replies.clear();
+  }
+  round.seq = seq;
   round.access = access;
   round.sent_at = access.started_at;
   const SimDuration wait = options_.policy.discard_timeout > 0
@@ -326,24 +353,27 @@ void ClientNode::start_poll_round(const Access& access) {
   // Choose poll targets as indices into the endpoint table, restricted to
   // endpoints currently believed live (mapping + blacklist).
   const auto index_pool = candidate_indices(access.started_at);
-  const auto chosen = choose_poll_set(
-      index_pool, static_cast<std::size_t>(options_.policy.poll_size), rng_);
-  round.targets.assign(chosen.begin(), chosen.end());
+  choose_poll_set_into(index_pool,
+                       static_cast<std::size_t>(options_.policy.poll_size),
+                       rng_, round.targets);
 
   net::LoadInquiry inquiry;
   inquiry.seq = seq;
-  const auto payload = inquiry.encode();
-  for (const std::size_t target : round.targets) {
-    if (poll_sockets_[target].send(payload)) {
+  std::array<std::uint8_t, net::kMaxFixedMsgSize> buf;
+  const std::size_t n = inquiry.encode_into(buf);
+  const std::span<const std::uint8_t> payload(buf.data(), n);
+  for (const ServerId target : round.targets) {
+    if (poll_sockets_[static_cast<std::size_t>(target)].send(payload)) {
       ++stats_.polls_sent;
     } else {
       ++stats_.send_failures;
     }
   }
-  poll_rounds_.emplace(seq, std::move(round));
+  poll_rounds_.push_back(std::move(round));
 }
 
-void ClientNode::finish_poll_round(std::uint64_t seq, PollRound& round) {
+void ClientNode::finish_poll_round(std::size_t index) {
+  PollRound& round = poll_rounds_[index];
   const SimTime now = net::monotonic_now();
   if (should_record(round.access)) {
     stats_.poll_time_ms.add(to_ms(now - round.access.started_at));
@@ -365,7 +395,11 @@ void ClientNode::finish_poll_round(std::uint64_t seq, PollRound& round) {
         static_cast<std::int64_t>(round.replies.size());
   }
   const Access access = round.access;
-  poll_rounds_.erase(seq);
+  // Swap-remove and retire to the pool (keeps the inner vectors' capacity)
+  // before dispatch(), which may itself touch the round containers.
+  poll_round_pool_.push_back(std::move(poll_rounds_[index]));
+  poll_rounds_[index] = std::move(poll_rounds_.back());
+  poll_rounds_.pop_back();
   dispatch(access, target);
 }
 
@@ -378,8 +412,9 @@ void ClientNode::dispatch(const Access& access, std::size_t server_index,
   request.request_id = request_id;
   request.service_us = access.service_us;
   request.partition = 0;
-  if (!service_socket_.send_to(request.encode(),
-                               options_.servers[server_index].service_addr)) {
+  const auto dest = options_.servers[server_index].service_addr;
+  if (!send_fixed(request,
+                  [&](auto p) { return service_socket_.send_to(p, dest); })) {
     ++stats_.send_failures;
     ++stats_.response_timeouts;  // counts as a failed access
     ++resolved_;
@@ -388,25 +423,31 @@ void ClientNode::dispatch(const Access& access, std::size_t server_index,
     return;
   }
   Outstanding out;
+  out.request_id = request_id;
   out.access = access;
   out.server_index = server_index;
   out.deadline = net::monotonic_now() + options_.response_timeout;
   out.manager_acquired = manager_acquired;
-  outstanding_.emplace(request_id, out);
+  outstanding_.push_back(out);
 }
 
 void ClientNode::drain_service_socket() {
   while (service_socket_.recv_batch(recv_batch_) > 0) {
     for (std::size_t d = 0; d < recv_batch_.size(); ++d) {
       net::ServiceResponse response;
-      try {
-        response = net::ServiceResponse::decode(recv_batch_.payload(d));
-      } catch (const InvariantError&) {
+      if (!net::ServiceResponse::try_decode(recv_batch_.payload(d),
+                                            response)) {
         continue;
       }
-      const auto it = outstanding_.find(response.request_id);
-      if (it == outstanding_.end()) continue;  // answered after timeout
-      const Outstanding& out = it->second;
+      std::size_t idx = outstanding_.size();
+      for (std::size_t i = 0; i < outstanding_.size(); ++i) {
+        if (outstanding_[i].request_id == response.request_id) {
+          idx = i;
+          break;
+        }
+      }
+      if (idx == outstanding_.size()) continue;  // answered after timeout
+      const Outstanding& out = outstanding_[idx];
       const SimTime now = net::monotonic_now();
       const double rt_ms = to_ms(now - out.access.started_at);
       if (should_record(out.access)) {
@@ -420,7 +461,8 @@ void ClientNode::drain_service_socket() {
       ++stats_.completed;
       ++resolved_;
       if (out.manager_acquired) release_manager_slot(out.server_index);
-      outstanding_.erase(it);
+      outstanding_[idx] = outstanding_.back();
+      outstanding_.pop_back();
     }
   }
 }
@@ -429,15 +471,20 @@ void ClientNode::drain_manager_socket() {
   std::array<std::uint8_t, 64> buf{};
   while (auto size = manager_socket_->recv(buf)) {
     net::AcquireReply reply;
-    try {
-      reply = net::AcquireReply::decode(std::span(buf.data(), *size));
-    } catch (const InvariantError&) {
+    if (!net::AcquireReply::try_decode(std::span(buf.data(), *size), reply)) {
       continue;
     }
-    const auto it = manager_rounds_.find(reply.seq);
-    if (it == manager_rounds_.end()) continue;  // fallback already taken
-    const Access access = it->second.access;
-    manager_rounds_.erase(it);
+    std::size_t idx = manager_rounds_.size();
+    for (std::size_t i = 0; i < manager_rounds_.size(); ++i) {
+      if (manager_rounds_[i].seq == reply.seq) {
+        idx = i;
+        break;
+      }
+    }
+    if (idx == manager_rounds_.size()) continue;  // fallback already taken
+    const Access access = manager_rounds_[idx].access;
+    manager_rounds_[idx] = manager_rounds_.back();
+    manager_rounds_.pop_back();
     // Map the manager's server id back to an endpoint index.
     std::size_t index = options_.servers.size();
     for (std::size_t i = 0; i < options_.servers.size(); ++i) {
@@ -462,17 +509,15 @@ void ClientNode::drain_broadcast_socket() {
   std::array<std::uint8_t, 64> buf{};
   while (auto size = broadcast_socket_->recv(buf)) {
     net::LoadAnnounce announcement;
-    try {
-      announcement =
-          net::LoadAnnounce::decode(std::span(buf.data(), *size));
-    } catch (const InvariantError&) {
+    if (!net::LoadAnnounce::try_decode(std::span(buf.data(), *size),
+                                       announcement)) {
       continue;
     }
     for (std::size_t i = 0; i < options_.servers.size(); ++i) {
       if (options_.servers[i].id == announcement.server) {
-        broadcast_table_[i] = {static_cast<ServerId>(i),
-                               announcement.queue_length,
-                               net::monotonic_now()};
+        broadcast_table_->store(i, {static_cast<ServerId>(i),
+                                    announcement.queue_length,
+                                    net::monotonic_now()});
         ++stats_.broadcasts_received;
         break;
       }
@@ -484,17 +529,21 @@ void ClientNode::drain_poll_socket(std::size_t server_index) {
   while (poll_sockets_[server_index].recv_batch(recv_batch_) > 0) {
     for (std::size_t d = 0; d < recv_batch_.size(); ++d) {
       net::LoadReply reply;
-      try {
-        reply = net::LoadReply::decode(recv_batch_.payload(d));
-      } catch (const InvariantError&) {
+      if (!net::LoadReply::try_decode(recv_batch_.payload(d), reply)) {
         continue;
       }
-      const auto it = poll_rounds_.find(reply.seq);
-      if (it == poll_rounds_.end()) {
+      std::size_t idx = poll_rounds_.size();
+      for (std::size_t i = 0; i < poll_rounds_.size(); ++i) {
+        if (poll_rounds_[i].seq == reply.seq) {
+          idx = i;
+          break;
+        }
+      }
+      if (idx == poll_rounds_.size()) {
         ++stats_.polls_discarded;  // reply arrived after the round was decided
         continue;
       }
-      PollRound& round = it->second;
+      PollRound& round = poll_rounds_[idx];
       if (should_record(round.access)) {
         stats_.poll_rtt_ms.add(to_ms(net::monotonic_now() - round.sent_at));
       }
@@ -504,52 +553,57 @@ void ClientNode::drain_poll_socket(std::size_t server_index) {
       round.replies.push_back({static_cast<ServerId>(server_index),
                                reply.queue_length, net::monotonic_now()});
       if (round.replies.size() == round.targets.size()) {
-        finish_poll_round(it->first, round);
+        finish_poll_round(idx);
       }
     }
   }
 }
 
 void ClientNode::fire_deadlines(SimTime now) {
+  // All three scans swap-remove while iterating: on removal the back
+  // element lands at the current index and is re-examined, so the index
+  // only advances when the current entry survives.
+
   // Poll rounds past their deadline: decide with whatever arrived.
-  for (auto it = poll_rounds_.begin(); it != poll_rounds_.end();) {
-    if (it->second.deadline <= now) {
-      const std::uint64_t seq = it->first;
-      ++it;  // finish_poll_round erases; advance first
+  for (std::size_t i = 0; i < poll_rounds_.size();) {
+    if (poll_rounds_[i].deadline <= now) {
       ++stats_.polls_timed_out;
-      finish_poll_round(seq, poll_rounds_.at(seq));
+      finish_poll_round(i);  // swap-removes index i
     } else {
-      ++it;
+      ++i;
     }
   }
   // Manager rounds past their deadline: fall back to a random server.
-  for (auto it = manager_rounds_.begin(); it != manager_rounds_.end();) {
-    if (it->second.deadline <= now) {
-      const Access access = it->second.access;
-      it = manager_rounds_.erase(it);
+  for (std::size_t i = 0; i < manager_rounds_.size();) {
+    if (manager_rounds_[i].deadline <= now) {
+      const Access access = manager_rounds_[i].access;
+      manager_rounds_[i] = manager_rounds_.back();
+      manager_rounds_.pop_back();
       ++stats_.manager_timeouts;
       dispatch(access, rng_.uniform_int(options_.servers.size()));
     } else {
-      ++it;
+      ++i;
     }
   }
   // Accesses the servers never answered. A manager-granted slot must be
   // handed back even though the access failed, or the IDEAL manager's
   // queue counts would drift upward forever.
-  for (auto it = outstanding_.begin(); it != outstanding_.end();) {
-    if (it->second.deadline <= now) {
-      if (it->second.manager_acquired) {
-        release_manager_slot(it->second.server_index);
-      }
-      mark_failed(it->second.server_index, now);
-      Access access = it->second.access;
-      it = outstanding_.erase(it);
+  for (std::size_t i = 0; i < outstanding_.size();) {
+    if (outstanding_[i].deadline <= now) {
+      const std::size_t server_index = outstanding_[i].server_index;
+      const bool manager_acquired = outstanding_[i].manager_acquired;
+      Access access = outstanding_[i].access;
+      outstanding_[i] = outstanding_.back();
+      outstanding_.pop_back();
+      if (manager_acquired) release_manager_slot(server_index);
+      mark_failed(server_index, now);
       if (access.attempt < options_.max_access_retries) {
         // Re-dispatch to a fresh candidate (the failing server was just
         // blacklisted). started_at is kept, so a retried access's response
         // time honestly includes the timeout it waited through; the request
         // id is reused, so a late answer from the first attempt still
-        // completes the access.
+        // completes the access. The retry appends to outstanding_ with a
+        // future deadline, so this scan skips it if it swaps into reach.
         ++access.attempt;
         ++stats_.access_retries;
         dispatch(access, static_cast<std::size_t>(
@@ -560,7 +614,7 @@ void ClientNode::fire_deadlines(SimTime now) {
         ++resolved_;
       }
     } else {
-      ++it;
+      ++i;
     }
   }
 }
@@ -568,7 +622,9 @@ void ClientNode::fire_deadlines(SimTime now) {
 void ClientNode::release_manager_slot(std::size_t server_index) {
   net::Release release;
   release.server = options_.servers[server_index].id;
-  if (!manager_socket_->send(release.encode())) ++stats_.send_failures;
+  if (!send_fixed(release, [&](auto p) { return manager_socket_->send(p); })) {
+    ++stats_.send_failures;
+  }
 }
 
 std::optional<SimTime> ClientNode::next_deadline(SimTime next_arrival) const {
@@ -577,18 +633,9 @@ std::optional<SimTime> ClientNode::next_deadline(SimTime next_arrival) const {
     if (!best || t < *best) best = t;
   };
   if (next_arrival >= 0) consider(next_arrival);
-  for (const auto& [seq, round] : poll_rounds_) {
-    (void)seq;
-    consider(round.deadline);
-  }
-  for (const auto& [seq, round] : manager_rounds_) {
-    (void)seq;
-    consider(round.deadline);
-  }
-  for (const auto& [id, out] : outstanding_) {
-    (void)id;
-    consider(out.deadline);
-  }
+  for (const PollRound& round : poll_rounds_) consider(round.deadline);
+  for (const ManagerRound& round : manager_rounds_) consider(round.deadline);
+  for (const Outstanding& out : outstanding_) consider(out.deadline);
   return best;
 }
 

@@ -27,14 +27,15 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "cluster/directory.h"
 #include "common/rng.h"
+#include "core/load_cache.h"
 #include "core/policy.h"
 #include "core/selection.h"
 #include "fault/fault.h"
@@ -170,20 +171,29 @@ class ClientNode {
     int attempt = 0;  // retry count so far (max_access_retries bound)
   };
 
+  // Round/outstanding records live in flat unordered vectors (swap-remove
+  // on completion) instead of std::map: the active sets are small (bounded
+  // by in-flight accesses), deadline scans are O(n) either way, and flat
+  // storage makes the steady state allocation-free — map insert/erase
+  // costs a node allocation per access. Each record carries its own key.
+
   struct PollRound {
+    std::uint64_t seq = 0;             // inquiry sequence (lookup key)
     Access access;
-    std::vector<std::size_t> targets;  // indices into options_.servers
+    std::vector<ServerId> targets;     // indices into options_.servers
     std::vector<ServerLoad> replies;
     SimTime sent_at = 0;
     SimTime deadline = 0;
   };
 
   struct ManagerRound {
+    std::uint64_t seq = 0;  // acquire sequence (lookup key)
     Access access;
     SimTime deadline = 0;
   };
 
   struct Outstanding {
+    std::uint64_t request_id = 0;  // lookup key
     Access access;
     std::size_t server_index = 0;
     SimTime deadline = 0;
@@ -194,7 +204,9 @@ class ClientNode {
 
   void begin_access(const Access& access);
   void start_poll_round(const Access& access);
-  void finish_poll_round(std::uint64_t seq, PollRound& round);
+  /// Decides poll round `index` (of poll_rounds_) and retires it to the
+  /// pool so its target/reply capacity is reused by later rounds.
+  void finish_poll_round(std::size_t index);
   void dispatch(const Access& access, std::size_t server_index,
                 bool manager_acquired = false);
   void release_manager_slot(std::size_t server_index);
@@ -208,8 +220,9 @@ class ClientNode {
     return access.index >= options_.warmup_requests;
   }
   /// Endpoint indices usable for new work: mapping-live minus blacklisted,
-  /// falling back to every endpoint when that leaves nothing.
-  std::vector<ServerId> candidate_indices(SimTime now);
+  /// falling back to every endpoint when that leaves nothing. The span
+  /// views candidate_scratch_, valid until the next call.
+  std::span<const ServerId> candidate_indices(SimTime now);
   void refresh_mapping(SimTime now);
   void record_outcome(SimTime now, bool completed, double response_ms);
   void mark_failed(std::size_t server_index, SimTime now);
@@ -228,15 +241,22 @@ class ClientNode {
   std::unique_ptr<net::UdpSocket> manager_socket_;
   std::unique_ptr<net::UdpSocket> broadcast_socket_;
   /// Broadcast policy's local load table, indexed like options_.servers.
-  std::vector<ServerLoad> broadcast_table_;
+  /// Seqlock-backed: updates from the drain loop never contend with the
+  /// dispatch path's snapshot reads (core/load_cache.h).
+  std::unique_ptr<LoadCache> broadcast_table_;
   SimTime subscribe_refresh_at_ = 0;
   net::Poller poller_;
 
-  std::map<std::uint64_t, PollRound> poll_rounds_;      // by inquiry seq
-  std::map<std::uint64_t, ManagerRound> manager_rounds_;  // by acquire seq
-  std::map<std::uint64_t, Outstanding> outstanding_;    // by request id
+  std::vector<PollRound> poll_rounds_;        // active, unordered
+  std::vector<PollRound> poll_round_pool_;    // retired; capacity reused
+  std::vector<ManagerRound> manager_rounds_;  // active, unordered
+  std::vector<Outstanding> outstanding_;      // active, unordered
   std::uint64_t next_seq_ = 1;
   std::int64_t resolved_ = 0;
+
+  // Reused scratch (see candidate_indices / the broadcast dispatch path).
+  std::vector<ServerId> candidate_scratch_;
+  std::vector<ServerLoad> load_scratch_;
 
   // Failure hardening (see ClientOptions).
   Blacklist blacklist_;

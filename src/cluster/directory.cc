@@ -28,21 +28,63 @@ net::Address DirectoryServer::address() const {
   return socket_.local_address();
 }
 
-std::vector<net::Publish> DirectoryServer::live_entries(
-    const std::string& service) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return snapshot_locked(service, net::monotonic_now());
+std::shared_ptr<const DirectoryServer::Snapshot>
+DirectoryServer::load_snapshot() const {
+  // Lock-free read path; protocol documented at the member declarations.
+  // The pin / re-check pair is seq_cst to close the Dekker race against
+  // the writer's flip / drain pair: if the writer's drain loop missed this
+  // pin, the total seq_cst order forces the re-check below to observe the
+  // flipped version, so the reader retries instead of touching a slot the
+  // writer is rewriting.
+  for (;;) {
+    const std::uint64_t v = version_.load(std::memory_order_acquire);
+    const Slot& slot = slots_[v & 1];
+    slot.readers.fetch_add(1, std::memory_order_seq_cst);
+    if (version_.load(std::memory_order_seq_cst) == v) {
+      std::shared_ptr<const Snapshot> snap = slot.snap;
+      slot.readers.fetch_sub(1, std::memory_order_release);
+      return snap;
+    }
+    // The writer advanced past v between our load and our pin; it may be
+    // rewriting this slot already (it only drains readers that pinned
+    // before its flip). Unpin and retry against the new active slot.
+    slot.readers.fetch_sub(1, std::memory_order_release);
+  }
 }
 
-std::vector<net::Publish> DirectoryServer::snapshot_locked(
-    const std::string& service, SimTime now) const {
+std::vector<net::Publish> DirectoryServer::live_entries(
+    const std::string& service) const {
+  // Lock-free read: grab the current immutable snapshot and filter. See
+  // the guard-discipline comment in the header.
+  const std::shared_ptr<const Snapshot> snap = load_snapshot();
+  const SimTime now = net::monotonic_now();
   std::vector<net::Publish> out;
-  for (const auto& [key, entry] : entries_) {
+  for (const Entry& entry : *snap) {
     if (entry.expires_at <= now) continue;  // expired soft state
     if (!service.empty() && entry.publish.service != service) continue;
     out.push_back(entry.publish);
   }
   return out;
+}
+
+void DirectoryServer::republish_locked() {
+  auto next = std::make_shared<Snapshot>();
+  next->reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) next->push_back(entry);
+  // Install into the inactive slot, then flip. Writers are serialised by
+  // mutex_ (we hold it here), so only readers contend. Draining waits for
+  // readers that pinned this slot at least two flips ago — each is mid
+  // shared_ptr copy, so the spin is bounded by that copy, not by how long
+  // callers keep the returned snapshot alive.
+  const std::uint64_t v = version_.load(std::memory_order_relaxed);
+  Slot& slot = slots_[(v + 1) & 1];
+  while (slot.readers.load(std::memory_order_seq_cst) != 0) {
+    // A stale reader is still unpinning; its fetch_sub(release) below
+    // synchronises with this acquire-or-stronger load, so the write to
+    // slot.snap cannot race the reader's copy.
+  }
+  slot.snap = std::shared_ptr<const Snapshot>(std::move(next));
+  version_.store(v + 1, std::memory_order_seq_cst);
 }
 
 void DirectoryServer::recv_loop() {
@@ -53,37 +95,41 @@ void DirectoryServer::recv_loop() {
     if (poller.wait(50 * kMillisecond).empty()) continue;
     while (auto dgram = socket_.recv_from(buf)) {
       const std::span<const std::uint8_t> data(buf.data(), dgram->size);
-      try {
-        switch (net::peek_type(data)) {
-          case net::MsgType::kPublish: {
-            const auto publish = net::Publish::decode(data);
-            const SimTime now = net::monotonic_now();
-            std::lock_guard<std::mutex> lock(mutex_);
-            Entry& entry = entries_[Key{publish.service, publish.server,
-                                        publish.partition}];
-            entry.publish = publish;
-            entry.expires_at =
-                now + static_cast<SimDuration>(publish.ttl_ms) * kMillisecond;
-            publishes_.fetch_add(1, std::memory_order_relaxed);
+      if (data.empty()) continue;  // peek_type throws on empty datagrams
+      switch (net::peek_type(data)) {
+        case net::MsgType::kPublish: {
+          net::Publish publish;
+          if (!net::Publish::try_decode(data, publish)) {
+            FINELB_LOG(kWarn, "directory") << "dropping malformed publish";
             break;
           }
-          case net::MsgType::kSnapshotRequest: {
-            const auto request = net::SnapshotRequest::decode(data);
-            net::SnapshotReply reply;
-            reply.seq = request.seq;
-            {
-              std::lock_guard<std::mutex> lock(mutex_);
-              reply.entries =
-                  snapshot_locked(request.service, net::monotonic_now());
-            }
-            socket_.send_to(reply.encode(), dgram->from);
-            break;
-          }
-          default:
-            FINELB_LOG(kWarn, "directory") << "unexpected message type";
+          const SimTime now = net::monotonic_now();
+          std::lock_guard<std::mutex> lock(mutex_);
+          Entry& entry = entries_[Key{publish.service, publish.server,
+                                      publish.partition}];
+          entry.publish = std::move(publish);
+          entry.expires_at =
+              now +
+              static_cast<SimDuration>(entry.publish.ttl_ms) * kMillisecond;
+          republish_locked();
+          publishes_.fetch_add(1, std::memory_order_relaxed);
+          break;
         }
-      } catch (const InvariantError&) {
-        FINELB_LOG(kWarn, "directory") << "dropping malformed datagram";
+        case net::MsgType::kSnapshotRequest: {
+          net::SnapshotRequest request;
+          if (!net::SnapshotRequest::try_decode(data, request)) {
+            FINELB_LOG(kWarn, "directory") << "dropping malformed snapshot "
+                                              "request";
+            break;
+          }
+          net::SnapshotReply reply;
+          reply.seq = request.seq;
+          reply.entries = live_entries(request.service);
+          socket_.send_to(reply.encode(), dgram->from);
+          break;
+        }
+        default:
+          FINELB_LOG(kWarn, "directory") << "unexpected message type";
       }
     }
   }
@@ -127,22 +173,20 @@ std::vector<ServiceEndpoint> DirectoryClient::fetch(const std::string& service,
     while (net::monotonic_now() < retry_at) {
       poller.wait(retry_at - net::monotonic_now());
       while (auto size = socket_.recv(buf)) {
-        try {
-          const auto reply =
-              net::SnapshotReply::decode(std::span(buf.data(), *size));
-          if (reply.seq != request.seq) continue;  // stale reply
-          std::vector<ServiceEndpoint> endpoints;
-          endpoints.reserve(reply.entries.size());
-          for (const auto& entry : reply.entries) {
-            endpoints.push_back(
-                {entry.server, entry.partition,
-                 net::Address::loopback(entry.service_port),
-                 net::Address::loopback(entry.load_port)});
-          }
-          return endpoints;
-        } catch (const InvariantError&) {
-          // malformed; keep waiting
+        net::SnapshotReply reply;
+        if (!net::SnapshotReply::try_decode(std::span(buf.data(), *size),
+                                            reply)) {
+          continue;  // malformed; keep waiting
         }
+        if (reply.seq != request.seq) continue;  // stale reply
+        std::vector<ServiceEndpoint> endpoints;
+        endpoints.reserve(reply.entries.size());
+        for (const auto& entry : reply.entries) {
+          endpoints.push_back({entry.server, entry.partition,
+                               net::Address::loopback(entry.service_port),
+                               net::Address::loopback(entry.load_port)});
+        }
+        return endpoints;
       }
     }
   }

@@ -14,6 +14,7 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -60,16 +61,54 @@ class DirectoryServer {
     SimTime expires_at = 0;
   };
   using Key = std::tuple<std::string, std::int32_t, std::uint32_t>;
+  using Snapshot = std::vector<Entry>;
 
   void recv_loop();
-  std::vector<net::Publish> snapshot_locked(const std::string& service,
-                                            SimTime now) const;
+  /// Rebuilds snapshot_ from entries_; caller must hold mutex_.
+  void republish_locked();
 
   net::UdpSocket socket_;
   std::atomic<bool> running_{false};
   std::thread thread_;
+
+  /// Acquires a reference to the current snapshot without taking mutex_.
+  std::shared_ptr<const Snapshot> load_snapshot() const;
+
+  // Guard discipline (do not relax without updating this comment and the
+  // directory concurrency regression test):
+  //   * mutex_ guards entries_, the mutable soft-state table. Only write
+  //     paths (the Publish handler) take it; every mutation must finish by
+  //     calling republish_locked() before releasing the lock.
+  //   * slots_/version_ hold an RCU-style immutable copy of entries_,
+  //     double-buffered so publication is lock-free for readers. Readers
+  //     (live_entries, the SnapshotRequest handler) call load_snapshot()
+  //     and never take mutex_ — a reader observes a coherent table from
+  //     some recent instant, and a concurrent publish installs a fresh
+  //     vector in the *other* slot rather than mutating the one being
+  //     read. Expiry is applied at read time by filtering expires_at, so
+  //     an idle directory ages entries out without a writer running.
+  //     (A hand-rolled scheme rather than std::atomic<std::shared_ptr>:
+  //     libstdc++'s lock-based _Sp_atomic unlocks with relaxed ordering,
+  //     which ThreadSanitizer cannot prove race-free. Here every edge is
+  //     an explicit acquire/release on version_ and the per-slot reader
+  //     counts, so the protocol is TSan-checkable.)
+  //     Protocol: a reader loads version_, pins slot version_ & 1 by
+  //     incrementing its reader count, then re-checks version_ is
+  //     unchanged (else unpins and retries — the writer may have moved
+  //     on between the load and the pin). The writer, serialised by
+  //     mutex_, prepares the inactive slot: it waits for that slot's
+  //     readers to drain (they pinned a version at least two
+  //     publications old, so the wait is bounded by one snapshot copy),
+  //     installs the new vector, and advances version_ to flip slots.
+  //   * publishes_ is a plain atomic counter, read without either guard.
   mutable std::mutex mutex_;
   std::map<Key, Entry> entries_;
+  struct Slot {
+    std::shared_ptr<const Snapshot> snap = std::make_shared<const Snapshot>();
+    mutable std::atomic<std::uint32_t> readers{0};
+  };
+  Slot slots_[2];
+  std::atomic<std::uint64_t> version_{0};
   std::atomic<std::int64_t> publishes_{0};
 };
 

@@ -95,9 +95,7 @@ void ServerNode::service_recv_loop() {
     while (service_socket_.recv_batch(batch) > 0) {
       for (std::size_t i = 0; i < batch.size(); ++i) {
         WorkItem item;
-        try {
-          item.request = net::ServiceRequest::decode(batch.payload(i));
-        } catch (const InvariantError&) {
+        if (!net::ServiceRequest::try_decode(batch.payload(i), item.request)) {
           FINELB_LOG(kWarn, "server") << "dropping malformed service request";
           continue;
         }
@@ -143,7 +141,9 @@ void ServerNode::load_recv_loop() {
     // Queue length at *reply* time: the paper's slow replies carry stale
     // indexes precisely because the queue moved while they waited.
     reply.queue_length = qlen_.load(std::memory_order_relaxed);
-    if (!load_socket_.send_to(reply.encode(), to)) {
+    std::array<std::uint8_t, net::kMaxFixedMsgSize> buf;
+    const std::size_t n = reply.encode_into(buf);
+    if (!load_socket_.send_to({buf.data(), n}, to)) {
       send_failures_.fetch_add(1, std::memory_order_relaxed);
     }
     inquiries_.fetch_add(1, std::memory_order_relaxed);
@@ -161,9 +161,7 @@ void ServerNode::load_recv_loop() {
       replies.clear();
       for (std::size_t i = 0; i < inquiries.size(); ++i) {
         net::LoadInquiry inquiry;
-        try {
-          inquiry = net::LoadInquiry::decode(inquiries.payload(i));
-        } catch (const InvariantError&) {
+        if (!net::LoadInquiry::try_decode(inquiries.payload(i), inquiry)) {
           continue;
         }
         const std::int32_t qlen = qlen_.load(std::memory_order_relaxed);
@@ -193,7 +191,12 @@ void ServerNode::load_recv_loop() {
           net::LoadReply reply;
           reply.seq = inquiry.seq;
           reply.queue_length = qlen;
-          if (!replies.append(reply.encode(), inquiries.address(i))) {
+          // Encode straight into the batch slot (no intermediate vector or
+          // memcpy); fall back to an immediate send when the batch is full.
+          const auto slot = replies.stage();
+          if (const std::size_t n = reply.encode_into(slot); n > 0) {
+            replies.commit(n, inquiries.address(i));
+          } else {
             send_reply(inquiry.seq, inquiries.address(i));
           }
         }
@@ -221,27 +224,40 @@ void ServerNode::load_recv_loop() {
 }
 
 void ServerNode::worker_loop() {
+  WorkItem item;
   while (true) {
     // Fast path for bursts: grab a queued item without touching the
     // condition variable; only block when the queue is momentarily empty.
-    auto item = queue_->try_pop();
-    if (!item) {
-      item = queue_->pop();
-      if (!item) return;  // queue closed and drained
+    // try_pop's tri-state result distinguishes "empty, fall back to the
+    // blocking pop" from "closed and drained, exit" — the old optional
+    // API conflated the two and relied on pop() to notice shutdown.
+    switch (queue_->try_pop(item)) {
+      case PopResult::kItem:
+        break;
+      case PopResult::kClosed:
+        return;
+      case PopResult::kEmpty: {
+        auto blocked = queue_->pop();
+        if (!blocked) return;  // queue closed and drained
+        item = std::move(*blocked);
+        break;
+      }
     }
     const SimTime deadline =
         net::monotonic_now() +
-        static_cast<SimDuration>(item->request.service_us) * kMicrosecond;
+        static_cast<SimDuration>(item.request.service_us) * kMicrosecond;
     if (options_.spin_service) {
       net::spin_until(deadline);
     } else {
       net::sleep_until(deadline);
     }
     net::ServiceResponse response;
-    response.request_id = item->request.request_id;
+    response.request_id = item.request.request_id;
     response.server = options_.id;
-    response.queue_at_arrival = item->queue_at_arrival;
-    if (!service_socket_.send_to(response.encode(), item->reply_to)) {
+    response.queue_at_arrival = item.queue_at_arrival;
+    std::array<std::uint8_t, net::kMaxFixedMsgSize> buf;
+    const std::size_t n = response.encode_into(buf);
+    if (!service_socket_.send_to({buf.data(), n}, item.reply_to)) {
       send_failures_.fetch_add(1, std::memory_order_relaxed);
     }
     qlen_.fetch_sub(1, std::memory_order_relaxed);
@@ -280,7 +296,9 @@ void ServerNode::broadcast_loop() {
     net::LoadAnnounce announcement;
     announcement.server = options_.id;
     announcement.queue_length = qlen_.load(std::memory_order_relaxed);
-    broadcast_socket.send_to(announcement.encode(), broadcast_channel_);
+    std::array<std::uint8_t, net::kMaxFixedMsgSize> buf;
+    const std::size_t n = announcement.encode_into(buf);
+    broadcast_socket.send_to({buf.data(), n}, broadcast_channel_);
     const SimDuration interval =
         broadcast_jitter_
             ? static_cast<SimDuration>(rng.uniform(0.5 * mean, 1.5 * mean))

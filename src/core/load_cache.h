@@ -1,0 +1,62 @@
+// Contention-free per-server load-index cache.
+//
+// The broadcast policy (paper §2.2's periodic-broadcast alternative) keeps a
+// local table of every server's last announced queue length. Each table
+// entry is a Seqlock<ServerLoad>: a single writer (the socket drain loop)
+// publishes updates without blocking, and any number of readers snapshot
+// entries wait-free — no mutex on the request hot path, and no torn reads
+// when the cache is shared across threads (the prototype's client is
+// single-threaded today, but the Neptune runtime reads sibling caches from
+// worker threads, and a mutex here would serialise every dispatch).
+//
+// The single-writer constraint is per *cache*, not per entry: exactly one
+// thread may call store() (see Seqlock). Readers are unrestricted.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "common/seqlock.h"
+#include "core/load_index.h"
+
+namespace finelb {
+
+class LoadCache {
+ public:
+  explicit LoadCache(std::size_t size)
+      : size_(size), entries_(std::make_unique<Seqlock<ServerLoad>[]>(size)) {
+    FINELB_CHECK(size > 0, "load cache needs at least one entry");
+  }
+
+  std::size_t size() const { return size_; }
+
+  /// Publishes one server's load observation. Single writer only.
+  void store(std::size_t index, const ServerLoad& load) {
+    FINELB_CHECK(index < size_, "load cache index out of range");
+    entries_[index].store(load);
+  }
+
+  /// Wait-free consistent read of one entry.
+  ServerLoad load(std::size_t index) const {
+    FINELB_CHECK(index < size_, "load cache index out of range");
+    return entries_[index].load();
+  }
+
+  /// Copies every entry into `out` (resized to size()). Each entry is
+  /// individually consistent; the table as a whole is as coherent as any
+  /// moment-in-time read of independently-updated counters can be — the
+  /// same semantics a mutex-per-entry table would give. Reuses `out`'s
+  /// capacity, so steady-state callers never allocate.
+  void snapshot(std::vector<ServerLoad>& out) const {
+    out.resize(size_);
+    for (std::size_t i = 0; i < size_; ++i) out[i] = entries_[i].load();
+  }
+
+ private:
+  std::size_t size_;
+  std::unique_ptr<Seqlock<ServerLoad>[]> entries_;
+};
+
+}  // namespace finelb

@@ -34,16 +34,22 @@ ServerId pick_least_loaded(std::span<const ServerLoad> loads, Rng& rng) {
 
 std::vector<ServerId> choose_poll_set(std::span<const ServerId> candidates,
                                       std::size_t d, Rng& rng) {
+  std::vector<ServerId> out;
+  choose_poll_set_into(candidates, d, rng, out);
+  return out;
+}
+
+void choose_poll_set_into(std::span<const ServerId> candidates, std::size_t d,
+                          Rng& rng, std::vector<ServerId>& out) {
   FINELB_CHECK(!candidates.empty(), "no candidate servers");
   const std::size_t n = candidates.size();
   const std::size_t k = std::min(d, n);
-  std::vector<ServerId> scratch(candidates.begin(), candidates.end());
+  out.assign(candidates.begin(), candidates.end());
   for (std::size_t i = 0; i < k; ++i) {
     const std::size_t j = i + rng.uniform_int(n - i);
-    std::swap(scratch[i], scratch[j]);
+    std::swap(out[i], out[j]);
   }
-  scratch.resize(k);
-  return scratch;
+  out.resize(k);
 }
 
 ServerId RoundRobinCursor::next(std::span<const ServerId> candidates) {
@@ -71,6 +77,26 @@ std::vector<ServerId> Blacklist::filter(std::span<const ServerId> candidates,
   if (live.empty()) return {candidates.begin(), candidates.end()};
   hits_ += static_cast<std::int64_t>(candidates.size() - live.size());
   return live;
+}
+
+void Blacklist::filter_in_place(std::vector<ServerId>& candidates,
+                                SimTime now) {
+  // First pass decides whether the fallback applies; only then compact, so
+  // an all-blacklisted set survives unmodified.
+  bool any_live = false;
+  for (const ServerId id : candidates) {
+    if (!contains(static_cast<std::size_t>(id), now)) {
+      any_live = true;
+      break;
+    }
+  }
+  if (!any_live) return;
+  std::size_t kept = 0;
+  for (const ServerId id : candidates) {
+    if (!contains(static_cast<std::size_t>(id), now)) candidates[kept++] = id;
+  }
+  hits_ += static_cast<std::int64_t>(candidates.size() - kept);
+  candidates.resize(kept);
 }
 
 }  // namespace finelb

@@ -31,6 +31,11 @@ ServerId pick_least_loaded(std::span<const ServerLoad> loads, Rng& rng);
 std::vector<ServerId> choose_poll_set(std::span<const ServerId> candidates,
                                       std::size_t d, Rng& rng);
 
+/// Allocation-free variant for hot paths: fills `out` (reusing its
+/// capacity) with the chosen poll set. `out` must not alias `candidates`.
+void choose_poll_set_into(std::span<const ServerId> candidates, std::size_t d,
+                          Rng& rng, std::vector<ServerId>& out);
+
 /// Round-robin cursor with a stable candidate ordering; used as a baseline
 /// policy beyond the paper's set.
 class RoundRobinCursor {
@@ -61,6 +66,11 @@ class Blacklist {
   /// Each excluded candidate counts as one blacklist hit.
   std::vector<ServerId> filter(std::span<const ServerId> candidates,
                                SimTime now);
+
+  /// Allocation-free variant: removes blacklisted entries from `candidates`
+  /// in place (order preserved), with the same all-blacklisted fallback
+  /// (the vector is then left untouched and no hits are counted).
+  void filter_in_place(std::vector<ServerId>& candidates, SimTime now);
 
   std::int64_t insertions() const { return insertions_; }
   std::int64_t hits() const { return hits_; }

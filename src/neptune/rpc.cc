@@ -8,53 +8,88 @@ namespace {
 constexpr std::size_t kMaxPayload = 60 * 1024;
 }  // namespace
 
-std::vector<std::uint8_t> RpcRequest::encode() const {
+std::size_t RpcRequest::encoded_size() const {
+  return 1 + 8 + 2 + 4 + 4 + args.size();
+}
+
+std::size_t RpcRequest::encode_into(std::span<std::uint8_t> out) const {
   FINELB_CHECK(args.size() <= kMaxPayload, "RPC args exceed datagram limit");
-  net::Writer w;
+  net::SpanWriter w(out);
   w.u8(kRpcRequestTag);
   w.u64(request_id);
   w.u16(method);
   w.u32(partition);
   w.blob(args);
-  return std::move(w).take();
+  return w.ok() ? w.size() : 0;
+}
+
+bool RpcRequest::try_decode(std::span<const std::uint8_t> data,
+                            RpcRequest& out) {
+  net::TryReader r(data);
+  if (r.u8() != kRpcRequestTag || !r.ok()) return false;
+  out.request_id = r.u64();
+  out.method = r.u16();
+  out.partition = r.u32();
+  r.blob(out.args);
+  return r.ok();
+}
+
+std::vector<std::uint8_t> RpcRequest::encode() const {
+  std::vector<std::uint8_t> out(encoded_size());
+  const std::size_t n = encode_into(out);
+  FINELB_CHECK(n == out.size(), "encoded_size/encode_into disagree");
+  return out;
 }
 
 RpcRequest RpcRequest::decode(std::span<const std::uint8_t> data) {
-  net::Reader r(data);
-  FINELB_CHECK(r.u8() == kRpcRequestTag, "not an RPC request");
   RpcRequest m;
-  m.request_id = r.u64();
-  m.method = r.u16();
-  m.partition = r.u32();
-  m.args = r.blob();
+  FINELB_CHECK(try_decode(data, m), "malformed RPC request");
   return m;
 }
 
-std::vector<std::uint8_t> RpcResponse::encode() const {
+std::size_t RpcResponse::encoded_size() const {
+  return 1 + 8 + 1 + 4 + 4 + 4 + result.size();
+}
+
+std::size_t RpcResponse::encode_into(std::span<std::uint8_t> out) const {
   FINELB_CHECK(result.size() <= kMaxPayload,
                "RPC result exceeds datagram limit");
-  net::Writer w;
+  net::SpanWriter w(out);
   w.u8(kRpcResponseTag);
   w.u64(request_id);
   w.u8(static_cast<std::uint8_t>(status));
   w.i32(server);
   w.i32(queue_at_arrival);
   w.blob(result);
-  return std::move(w).take();
+  return w.ok() ? w.size() : 0;
+}
+
+bool RpcResponse::try_decode(std::span<const std::uint8_t> data,
+                             RpcResponse& out) {
+  net::TryReader r(data);
+  if (r.u8() != kRpcResponseTag || !r.ok()) return false;
+  out.request_id = r.u64();
+  const std::uint8_t status = r.u8();
+  if (!r.ok() || status > static_cast<std::uint8_t>(RpcStatus::kAppError)) {
+    return false;
+  }
+  out.status = static_cast<RpcStatus>(status);
+  out.server = r.i32();
+  out.queue_at_arrival = r.i32();
+  r.blob(out.result);
+  return r.ok();
+}
+
+std::vector<std::uint8_t> RpcResponse::encode() const {
+  std::vector<std::uint8_t> out(encoded_size());
+  const std::size_t n = encode_into(out);
+  FINELB_CHECK(n == out.size(), "encoded_size/encode_into disagree");
+  return out;
 }
 
 RpcResponse RpcResponse::decode(std::span<const std::uint8_t> data) {
-  net::Reader r(data);
-  FINELB_CHECK(r.u8() == kRpcResponseTag, "not an RPC response");
   RpcResponse m;
-  m.request_id = r.u64();
-  const std::uint8_t status = r.u8();
-  FINELB_CHECK(status <= static_cast<std::uint8_t>(RpcStatus::kAppError),
-               "unknown RPC status on the wire");
-  m.status = static_cast<RpcStatus>(status);
-  m.server = r.i32();
-  m.queue_at_arrival = r.i32();
-  m.result = r.blob();
+  FINELB_CHECK(try_decode(data, m), "malformed RPC response");
   return m;
 }
 

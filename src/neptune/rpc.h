@@ -39,6 +39,13 @@ struct RpcRequest {
   std::uint32_t partition = 0;
   std::vector<std::uint8_t> args;
 
+  std::size_t encoded_size() const;
+  /// Serializes into `out`; returns bytes written, 0 if `out` is too small.
+  /// The header is heap-free; only the args blob copy touches `out`.
+  std::size_t encode_into(std::span<std::uint8_t> out) const;
+  /// Non-throwing decode; reuses out.args capacity across calls.
+  static bool try_decode(std::span<const std::uint8_t> data, RpcRequest& out);
+
   std::vector<std::uint8_t> encode() const;
   static RpcRequest decode(std::span<const std::uint8_t> data);
 };
@@ -49,6 +56,10 @@ struct RpcResponse {
   std::int32_t server = 0;
   std::int32_t queue_at_arrival = 0;
   std::vector<std::uint8_t> result;
+
+  std::size_t encoded_size() const;
+  std::size_t encode_into(std::span<std::uint8_t> out) const;
+  static bool try_decode(std::span<const std::uint8_t> data, RpcResponse& out);
 
   std::vector<std::uint8_t> encode() const;
   static RpcResponse decode(std::span<const std::uint8_t> data);

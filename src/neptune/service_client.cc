@@ -26,6 +26,7 @@ ServiceClient::ServiceClient(ServiceClientOptions options)
                    options_.policy.kind == PolicyKind::kRoundRobin ||
                    options_.policy.kind == PolicyKind::kPolling,
                "service client supports random, round-robin, and polling");
+  rpc_poller_.add(rpc_socket_.fd(), 0);
   refresh_mapping(/*force=*/true);
 }
 
@@ -64,10 +65,10 @@ void ServiceClient::refresh_mapping(bool force) {
   ++stats_.mapping_refreshes;
 }
 
-std::vector<std::size_t> ServiceClient::live_indices(
+std::span<const std::size_t> ServiceClient::live_indices(
     const std::vector<cluster::ServiceEndpoint>& group, SimTime now) {
-  std::vector<std::size_t> live;
-  live.reserve(group.size());
+  std::vector<std::size_t>& live = live_scratch_;
+  live.clear();
   if (options_.blacklist_cooldown > 0) {
     for (std::size_t i = 0; i < group.size(); ++i) {
       const auto it = blacklist_until_.find(group[i].server);
@@ -111,66 +112,84 @@ std::size_t ServiceClient::choose(
   if (group.size() == 1) return 0;
   // Replica choice runs over the group minus blacklisted (recently timed
   // out) replicas; ids may be sparse so cycle group positions, not ids.
-  const std::vector<std::size_t> live =
+  const std::span<const std::size_t> live =
       live_indices(group, net::monotonic_now());
   if (live.size() == 1) return live.front();
-  std::vector<ServerId> positions(live.size());
+  position_scratch_.resize(live.size());
   for (std::size_t i = 0; i < live.size(); ++i) {
-    positions[i] = static_cast<ServerId>(live[i]);
+    position_scratch_[i] = static_cast<ServerId>(live[i]);
   }
   switch (options_.policy.kind) {
     case PolicyKind::kRandom:
       return live[rng_.uniform_int(live.size())];
     case PolicyKind::kRoundRobin:
-      return static_cast<std::size_t>(rr_.next(positions));
+      return static_cast<std::size_t>(rr_.next(position_scratch_));
     case PolicyKind::kPolling:
       break;
     default:
       FINELB_CHECK(false, "unreachable: policy validated in constructor");
   }
 
-  // Random polling over the live replica positions.
-  const auto targets = choose_poll_set(
-      positions, static_cast<std::size_t>(options_.policy.poll_size), rng_);
+  // Random polling over the live replica positions: partial Fisher-Yates
+  // in place on position_scratch_ (it already holds the candidates, so the
+  // copying choose_poll_set_into would be a wasted pass).
+  std::vector<ServerId>& targets = position_scratch_;
+  {
+    const std::size_t n = targets.size();
+    const std::size_t k =
+        std::min(static_cast<std::size_t>(options_.policy.poll_size), n);
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j = i + rng_.uniform_int(n - i);
+      std::swap(targets[i], targets[j]);
+    }
+    targets.resize(k);
+  }
 
-  net::Poller poller;
-  std::map<std::uint64_t, std::size_t> seq_to_index;
+  poll_poller_.clear();
+  seq_to_index_.clear();
   for (const ServerId position : targets) {
     const auto index = static_cast<std::size_t>(position);
     net::UdpSocket& socket = poll_socket_for(group[index].load_addr);
     net::LoadInquiry inquiry;
     inquiry.seq = next_id_++;
-    if (!socket.send(inquiry.encode())) continue;
+    std::array<std::uint8_t, net::kMaxFixedMsgSize> inquiry_buf;
+    const std::size_t inquiry_len = inquiry.encode_into(inquiry_buf);
+    if (!socket.send({inquiry_buf.data(), inquiry_len})) continue;
     ++stats_.polls_sent;
-    seq_to_index[inquiry.seq] = index;
-    poller.add(socket.fd(), inquiry.seq);
+    seq_to_index_.emplace_back(inquiry.seq, index);
+    poll_poller_.add(socket.fd(), inquiry.seq);
   }
-  if (seq_to_index.empty()) return live[rng_.uniform_int(live.size())];
+  if (seq_to_index_.empty()) return live[rng_.uniform_int(live.size())];
 
   const SimDuration wait = options_.policy.discard_timeout > 0
                                ? options_.policy.discard_timeout
                                : options_.max_poll_wait;
   const SimTime deadline = net::monotonic_now() + wait;
-  std::vector<ServerLoad> replies;
+  std::vector<ServerLoad>& replies = reply_scratch_;
+  replies.clear();
   std::array<std::uint8_t, 64> buf{};
-  while (replies.size() < seq_to_index.size()) {
+  while (replies.size() < seq_to_index_.size()) {
     const SimDuration left = deadline - net::monotonic_now();
     if (left <= 0) break;  // discard outstanding slow polls
-    for (const net::Ready& ready : poller.wait(left)) {
+    for (const net::Ready& ready : poll_poller_.wait(left)) {
       if (!ready.readable) continue;
-      const auto entry = seq_to_index.find(ready.tag);
-      if (entry == seq_to_index.end()) continue;
-      net::UdpSocket& socket =
-          poll_socket_for(group[entry->second].load_addr);
-      while (auto size = socket.recv(buf)) {
-        try {
-          const auto reply =
-              net::LoadReply::decode(std::span(buf.data(), *size));
-          if (reply.seq != entry->first) continue;  // stale reply
-          replies.push_back({static_cast<ServerId>(entry->second),
-                             reply.queue_length, net::monotonic_now()});
-        } catch (const InvariantError&) {
+      const std::pair<std::uint64_t, std::size_t>* entry = nullptr;
+      for (const auto& candidate : seq_to_index_) {
+        if (candidate.first == ready.tag) {
+          entry = &candidate;
+          break;
         }
+      }
+      if (entry == nullptr) continue;
+      net::UdpSocket& socket = poll_socket_for(group[entry->second].load_addr);
+      while (auto size = socket.recv(buf)) {
+        net::LoadReply reply;
+        if (!net::LoadReply::try_decode(std::span(buf.data(), *size), reply)) {
+          continue;
+        }
+        if (reply.seq != entry->first) continue;  // stale reply
+        replies.push_back({static_cast<ServerId>(entry->second),
+                           reply.queue_length, net::monotonic_now()});
       }
     }
   }
@@ -204,26 +223,32 @@ CallResult ServiceClient::call(std::uint16_t method, std::uint32_t partition,
     const auto& group = group_it->second;
     const std::size_t target = choose(group);
 
-    RpcRequest request;
+    // request_scratch_.args reuses its capacity across calls; the encoded
+    // datagram goes through the per-thread scratch buffer, so a warmed-up
+    // client issues RPCs without touching the allocator.
+    RpcRequest& request = request_scratch_;
     request.request_id = next_id_++;
     request.method = method;
     request.partition = partition;
     request.args.assign(args.begin(), args.end());
-    if (!rpc_socket_.send_to(request.encode(), group[target].service_addr)) {
-      continue;
+    {
+      const std::span<std::uint8_t> out =
+          net::thread_scratch(request.encoded_size());
+      const std::size_t n = request.encode_into(out);
+      if (!rpc_socket_.send_to(out.subspan(0, n),
+                               group[target].service_addr)) {
+        continue;
+      }
     }
 
-    net::Poller poller;
-    poller.add(rpc_socket_.fd(), 0);
-    std::vector<std::uint8_t> buf(64 * 1024);
+    const std::span<std::uint8_t> buf = net::thread_scratch(64 * 1024);
     const SimTime deadline = net::monotonic_now() + options_.rpc_timeout;
     while (net::monotonic_now() < deadline) {
-      poller.wait(deadline - net::monotonic_now());
+      rpc_poller_.wait(deadline - net::monotonic_now());
       while (auto dgram = rpc_socket_.recv_from(buf)) {
         RpcResponse response;
-        try {
-          response = RpcResponse::decode(std::span(buf.data(), dgram->size));
-        } catch (const InvariantError&) {
+        if (!RpcResponse::try_decode(std::span(buf.data(), dgram->size),
+                                     response)) {
           continue;
         }
         if (response.request_id != request.request_id) continue;  // stale

@@ -101,8 +101,9 @@ class ServiceClient {
   std::size_t choose(const std::vector<cluster::ServiceEndpoint>& group);
   net::UdpSocket& poll_socket_for(const net::Address& addr);
   /// Group indices not under blacklist cooldown (all of them if every
-  /// replica is blacklisted — a blind pick beats not dispatching).
-  std::vector<std::size_t> live_indices(
+  /// replica is blacklisted — a blind pick beats not dispatching). The
+  /// span views live_scratch_, valid until the next call.
+  std::span<const std::size_t> live_indices(
       const std::vector<cluster::ServiceEndpoint>& group, SimTime now);
   void mark_timed_out(ServerId server, SimTime now);
 
@@ -118,6 +119,18 @@ class ServiceClient {
   std::map<ServerId, SimTime> blacklist_until_;
   SimTime refresh_backoff_until_ = 0;
   SimDuration refresh_backoff_ = 0;
+
+  // Reused across calls so the steady-state RPC path stays off the
+  // allocator: pollers keep their registration arrays, the scratch vectors
+  // keep their capacity, and request_scratch_.args keeps the arg buffer.
+  net::Poller rpc_poller_;   // watches rpc_socket_ only (registered once)
+  net::Poller poll_poller_;  // rebuilt (clear()) per polling round
+  std::vector<std::size_t> live_scratch_;
+  std::vector<ServerId> position_scratch_;
+  std::vector<std::pair<std::uint64_t, std::size_t>> seq_to_index_;
+  std::vector<ServerLoad> reply_scratch_;
+  RpcRequest request_scratch_;
+
   ServiceClientStats stats_;
 };
 

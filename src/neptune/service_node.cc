@@ -75,15 +75,13 @@ net::Address ServiceNode::load_address() const {
 void ServiceNode::service_recv_loop() {
   net::Poller poller;
   poller.add(service_socket_.fd(), 0);
-  std::vector<std::uint8_t> buf(64 * 1024);
+  const std::span<std::uint8_t> buf = net::thread_scratch(64 * 1024);
   while (running_.load(std::memory_order_relaxed)) {
     if (poller.wait(50 * kMillisecond).empty()) continue;
     while (auto dgram = service_socket_.recv_from(buf)) {
       WorkItem item;
-      try {
-        item.request =
-            RpcRequest::decode(std::span(buf.data(), dgram->size));
-      } catch (const InvariantError&) {
+      if (!RpcRequest::try_decode(std::span(buf.data(), dgram->size),
+                                  item.request)) {
         FINELB_LOG(kWarn, "neptune") << "dropping malformed RPC datagram";
         continue;
       }
@@ -97,20 +95,34 @@ void ServiceNode::service_recv_loop() {
 void ServiceNode::load_recv_loop() {
   net::Poller poller;
   poller.add(load_socket_.fd(), 0);
-  std::array<std::uint8_t, 64> buf{};
+  // Inquiries arrive in bursts (each polling client fans out d at once):
+  // drain and answer them batched, encoding replies straight into the
+  // send batch's slots.
+  net::DatagramBatch inquiries(32, 64);
+  net::DatagramBatch replies(32, 64);
   while (running_.load(std::memory_order_relaxed)) {
     if (poller.wait(50 * kMillisecond).empty()) continue;
-    while (auto dgram = load_socket_.recv_from(buf)) {
-      try {
-        const auto inquiry =
-            net::LoadInquiry::decode(std::span(buf.data(), dgram->size));
+    while (load_socket_.recv_batch(inquiries) > 0) {
+      replies.clear();
+      for (std::size_t i = 0; i < inquiries.size(); ++i) {
+        net::LoadInquiry inquiry;
+        if (!net::LoadInquiry::try_decode(inquiries.payload(i), inquiry)) {
+          continue;  // ignore malformed inquiries
+        }
         net::LoadReply reply;
         reply.seq = inquiry.seq;
         reply.queue_length = qlen_.load(std::memory_order_relaxed);
-        load_socket_.send_to(reply.encode(), dgram->from);
-      } catch (const InvariantError&) {
-        // ignore malformed inquiries
+        const auto slot = replies.stage();
+        if (const std::size_t n = reply.encode_into(slot); n > 0) {
+          replies.commit(n, inquiries.address(i));
+        } else {
+          // Batch full: answer this one immediately off a stack buffer.
+          std::array<std::uint8_t, net::kMaxFixedMsgSize> buf;
+          const std::size_t len = reply.encode_into(buf);
+          load_socket_.send_to({buf.data(), len}, inquiries.address(i));
+        }
       }
+      load_socket_.send_batch(replies);
     }
   }
 }
@@ -148,7 +160,12 @@ void ServiceNode::worker_loop() {
     auto item = queue_.pop();
     if (!item) return;
     const RpcResponse response = execute(*item);
-    service_socket_.send_to(response.encode(), item->reply_to);
+    // Encode through the worker's thread-local scratch: no per-response
+    // heap vector, whatever the result payload size.
+    const std::span<std::uint8_t> out =
+        net::thread_scratch(response.encoded_size());
+    const std::size_t n = response.encode_into(out);
+    service_socket_.send_to(out.subspan(0, n), item->reply_to);
     qlen_.fetch_sub(1, std::memory_order_relaxed);
     served_.fetch_add(1, std::memory_order_relaxed);
   }

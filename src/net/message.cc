@@ -3,12 +3,15 @@
 namespace finelb::net {
 namespace {
 
-void expect_type(Reader& r, MsgType want) {
+/// Consumes the type tag; false when it is missing or not `want`.
+bool expect_type(TryReader& r, MsgType want) {
   const auto got = static_cast<MsgType>(r.u8());
-  FINELB_CHECK(got == want, "unexpected message type on the wire");
+  return r.ok() && got == want;
 }
 
-void encode_publish_body(Writer& w, const Publish& p) {
+// Every encode path (including the compat encode() vectors) routes through
+// SpanWriter, so there is a single source of wire bytes per message type.
+void put_publish_body(SpanWriter& w, const Publish& p) {
   w.str(p.service);
   w.u32(p.partition);
   w.i32(p.server);
@@ -17,15 +20,36 @@ void encode_publish_body(Writer& w, const Publish& p) {
   w.u32(p.ttl_ms);
 }
 
-Publish decode_publish_body(Reader& r) {
-  Publish p;
-  p.service = r.str();
+bool read_publish_body(TryReader& r, Publish& p) {
+  r.str(p.service);
   p.partition = r.u32();
   p.server = r.i32();
   p.service_port = r.u16();
   p.load_port = r.u16();
   p.ttl_ms = r.u32();
-  return p;
+  return r.ok();
+}
+
+std::size_t publish_body_size(const Publish& p) {
+  return 2 + p.service.size() + 4 + 4 + 2 + 2 + 4;
+}
+
+/// Shared encode() wrapper: size the vector exactly, serialize in place.
+/// Byte-identical to encode_into by construction.
+template <class Msg>
+std::vector<std::uint8_t> encode_via(const Msg& m) {
+  std::vector<std::uint8_t> out(m.encoded_size());
+  const std::size_t n = m.encode_into(out);
+  FINELB_CHECK(n == out.size(), "encoded_size/encode_into disagree");
+  return out;
+}
+
+/// Shared decode() wrapper: throwing facade over try_decode.
+template <class Msg>
+Msg decode_via(std::span<const std::uint8_t> data, const char* what) {
+  Msg m;
+  FINELB_CHECK(Msg::try_decode(data, m), what);
+  return m;
 }
 
 }  // namespace
@@ -35,205 +59,331 @@ MsgType peek_type(std::span<const std::uint8_t> data) {
   return static_cast<MsgType>(data[0]);
 }
 
-std::vector<std::uint8_t> LoadInquiry::encode() const {
-  Writer w;
+std::size_t LoadInquiry::encoded_size() const { return 1 + 8; }
+
+std::size_t LoadInquiry::encode_into(std::span<std::uint8_t> out) const {
+  SpanWriter w(out);
   w.u8(static_cast<std::uint8_t>(MsgType::kLoadInquiry));
   w.u64(seq);
-  return std::move(w).take();
+  return w.ok() ? w.size() : 0;
+}
+
+bool LoadInquiry::try_decode(std::span<const std::uint8_t> data,
+                             LoadInquiry& out) {
+  TryReader r(data);
+  if (!expect_type(r, MsgType::kLoadInquiry)) return false;
+  out.seq = r.u64();
+  return r.ok();
+}
+
+std::vector<std::uint8_t> LoadInquiry::encode() const {
+  return encode_via(*this);
 }
 
 LoadInquiry LoadInquiry::decode(std::span<const std::uint8_t> data) {
-  Reader r(data);
-  expect_type(r, MsgType::kLoadInquiry);
-  LoadInquiry m;
-  m.seq = r.u64();
-  return m;
+  return decode_via<LoadInquiry>(data, "malformed LoadInquiry");
 }
 
-std::vector<std::uint8_t> LoadReply::encode() const {
-  Writer w;
+std::size_t LoadReply::encoded_size() const { return 1 + 8 + 4; }
+
+std::size_t LoadReply::encode_into(std::span<std::uint8_t> out) const {
+  SpanWriter w(out);
   w.u8(static_cast<std::uint8_t>(MsgType::kLoadReply));
   w.u64(seq);
   w.i32(queue_length);
-  return std::move(w).take();
+  return w.ok() ? w.size() : 0;
 }
+
+bool LoadReply::try_decode(std::span<const std::uint8_t> data,
+                           LoadReply& out) {
+  TryReader r(data);
+  if (!expect_type(r, MsgType::kLoadReply)) return false;
+  out.seq = r.u64();
+  out.queue_length = r.i32();
+  return r.ok();
+}
+
+std::vector<std::uint8_t> LoadReply::encode() const { return encode_via(*this); }
 
 LoadReply LoadReply::decode(std::span<const std::uint8_t> data) {
-  Reader r(data);
-  expect_type(r, MsgType::kLoadReply);
-  LoadReply m;
-  m.seq = r.u64();
-  m.queue_length = r.i32();
-  return m;
+  return decode_via<LoadReply>(data, "malformed LoadReply");
 }
 
-std::vector<std::uint8_t> ServiceRequest::encode() const {
-  Writer w;
+std::size_t ServiceRequest::encoded_size() const { return 1 + 8 + 4 + 4; }
+
+std::size_t ServiceRequest::encode_into(std::span<std::uint8_t> out) const {
+  SpanWriter w(out);
   w.u8(static_cast<std::uint8_t>(MsgType::kServiceRequest));
   w.u64(request_id);
   w.u32(service_us);
   w.u32(partition);
-  return std::move(w).take();
+  return w.ok() ? w.size() : 0;
+}
+
+bool ServiceRequest::try_decode(std::span<const std::uint8_t> data,
+                                ServiceRequest& out) {
+  TryReader r(data);
+  if (!expect_type(r, MsgType::kServiceRequest)) return false;
+  out.request_id = r.u64();
+  out.service_us = r.u32();
+  out.partition = r.u32();
+  return r.ok();
+}
+
+std::vector<std::uint8_t> ServiceRequest::encode() const {
+  return encode_via(*this);
 }
 
 ServiceRequest ServiceRequest::decode(std::span<const std::uint8_t> data) {
-  Reader r(data);
-  expect_type(r, MsgType::kServiceRequest);
-  ServiceRequest m;
-  m.request_id = r.u64();
-  m.service_us = r.u32();
-  m.partition = r.u32();
-  return m;
+  return decode_via<ServiceRequest>(data, "malformed ServiceRequest");
 }
 
-std::vector<std::uint8_t> ServiceResponse::encode() const {
-  Writer w;
+std::size_t ServiceResponse::encoded_size() const { return 1 + 8 + 4 + 4; }
+
+std::size_t ServiceResponse::encode_into(std::span<std::uint8_t> out) const {
+  SpanWriter w(out);
   w.u8(static_cast<std::uint8_t>(MsgType::kServiceResponse));
   w.u64(request_id);
   w.i32(server);
   w.i32(queue_at_arrival);
-  return std::move(w).take();
+  return w.ok() ? w.size() : 0;
+}
+
+bool ServiceResponse::try_decode(std::span<const std::uint8_t> data,
+                                 ServiceResponse& out) {
+  TryReader r(data);
+  if (!expect_type(r, MsgType::kServiceResponse)) return false;
+  out.request_id = r.u64();
+  out.server = r.i32();
+  out.queue_at_arrival = r.i32();
+  return r.ok();
+}
+
+std::vector<std::uint8_t> ServiceResponse::encode() const {
+  return encode_via(*this);
 }
 
 ServiceResponse ServiceResponse::decode(std::span<const std::uint8_t> data) {
-  Reader r(data);
-  expect_type(r, MsgType::kServiceResponse);
-  ServiceResponse m;
-  m.request_id = r.u64();
-  m.server = r.i32();
-  m.queue_at_arrival = r.i32();
-  return m;
+  return decode_via<ServiceResponse>(data, "malformed ServiceResponse");
 }
 
-std::vector<std::uint8_t> Acquire::encode() const {
-  Writer w;
+std::size_t Acquire::encoded_size() const { return 1 + 8; }
+
+std::size_t Acquire::encode_into(std::span<std::uint8_t> out) const {
+  SpanWriter w(out);
   w.u8(static_cast<std::uint8_t>(MsgType::kAcquire));
   w.u64(seq);
-  return std::move(w).take();
+  return w.ok() ? w.size() : 0;
 }
+
+bool Acquire::try_decode(std::span<const std::uint8_t> data, Acquire& out) {
+  TryReader r(data);
+  if (!expect_type(r, MsgType::kAcquire)) return false;
+  out.seq = r.u64();
+  return r.ok();
+}
+
+std::vector<std::uint8_t> Acquire::encode() const { return encode_via(*this); }
 
 Acquire Acquire::decode(std::span<const std::uint8_t> data) {
-  Reader r(data);
-  expect_type(r, MsgType::kAcquire);
-  Acquire m;
-  m.seq = r.u64();
-  return m;
+  return decode_via<Acquire>(data, "malformed Acquire");
 }
 
-std::vector<std::uint8_t> AcquireReply::encode() const {
-  Writer w;
+std::size_t AcquireReply::encoded_size() const { return 1 + 8 + 4; }
+
+std::size_t AcquireReply::encode_into(std::span<std::uint8_t> out) const {
+  SpanWriter w(out);
   w.u8(static_cast<std::uint8_t>(MsgType::kAcquireReply));
   w.u64(seq);
   w.i32(server);
-  return std::move(w).take();
+  return w.ok() ? w.size() : 0;
+}
+
+bool AcquireReply::try_decode(std::span<const std::uint8_t> data,
+                              AcquireReply& out) {
+  TryReader r(data);
+  if (!expect_type(r, MsgType::kAcquireReply)) return false;
+  out.seq = r.u64();
+  out.server = r.i32();
+  return r.ok();
+}
+
+std::vector<std::uint8_t> AcquireReply::encode() const {
+  return encode_via(*this);
 }
 
 AcquireReply AcquireReply::decode(std::span<const std::uint8_t> data) {
-  Reader r(data);
-  expect_type(r, MsgType::kAcquireReply);
-  AcquireReply m;
-  m.seq = r.u64();
-  m.server = r.i32();
-  return m;
+  return decode_via<AcquireReply>(data, "malformed AcquireReply");
 }
 
-std::vector<std::uint8_t> Release::encode() const {
-  Writer w;
+std::size_t Release::encoded_size() const { return 1 + 4; }
+
+std::size_t Release::encode_into(std::span<std::uint8_t> out) const {
+  SpanWriter w(out);
   w.u8(static_cast<std::uint8_t>(MsgType::kRelease));
   w.i32(server);
-  return std::move(w).take();
+  return w.ok() ? w.size() : 0;
 }
+
+bool Release::try_decode(std::span<const std::uint8_t> data, Release& out) {
+  TryReader r(data);
+  if (!expect_type(r, MsgType::kRelease)) return false;
+  out.server = r.i32();
+  return r.ok();
+}
+
+std::vector<std::uint8_t> Release::encode() const { return encode_via(*this); }
 
 Release Release::decode(std::span<const std::uint8_t> data) {
-  Reader r(data);
-  expect_type(r, MsgType::kRelease);
-  Release m;
-  m.server = r.i32();
-  return m;
+  return decode_via<Release>(data, "malformed Release");
 }
 
-std::vector<std::uint8_t> Publish::encode() const {
-  Writer w;
-  w.u8(static_cast<std::uint8_t>(MsgType::kPublish));
-  encode_publish_body(w, *this);
-  return std::move(w).take();
+std::size_t Publish::encoded_size() const {
+  return 1 + publish_body_size(*this);
 }
+
+std::size_t Publish::encode_into(std::span<std::uint8_t> out) const {
+  SpanWriter w(out);
+  w.u8(static_cast<std::uint8_t>(MsgType::kPublish));
+  put_publish_body(w, *this);
+  return w.ok() ? w.size() : 0;
+}
+
+bool Publish::try_decode(std::span<const std::uint8_t> data, Publish& out) {
+  TryReader r(data);
+  if (!expect_type(r, MsgType::kPublish)) return false;
+  return read_publish_body(r, out);
+}
+
+std::vector<std::uint8_t> Publish::encode() const { return encode_via(*this); }
 
 Publish Publish::decode(std::span<const std::uint8_t> data) {
-  Reader r(data);
-  expect_type(r, MsgType::kPublish);
-  return decode_publish_body(r);
+  return decode_via<Publish>(data, "malformed Publish");
 }
 
-std::vector<std::uint8_t> SnapshotRequest::encode() const {
-  Writer w;
+std::size_t SnapshotRequest::encoded_size() const {
+  return 1 + 8 + 2 + service.size();
+}
+
+std::size_t SnapshotRequest::encode_into(std::span<std::uint8_t> out) const {
+  SpanWriter w(out);
   w.u8(static_cast<std::uint8_t>(MsgType::kSnapshotRequest));
   w.u64(seq);
   w.str(service);
-  return std::move(w).take();
+  return w.ok() ? w.size() : 0;
+}
+
+bool SnapshotRequest::try_decode(std::span<const std::uint8_t> data,
+                                 SnapshotRequest& out) {
+  TryReader r(data);
+  if (!expect_type(r, MsgType::kSnapshotRequest)) return false;
+  out.seq = r.u64();
+  r.str(out.service);
+  return r.ok();
+}
+
+std::vector<std::uint8_t> SnapshotRequest::encode() const {
+  return encode_via(*this);
 }
 
 SnapshotRequest SnapshotRequest::decode(std::span<const std::uint8_t> data) {
-  Reader r(data);
-  expect_type(r, MsgType::kSnapshotRequest);
-  SnapshotRequest m;
-  m.seq = r.u64();
-  m.service = r.str();
-  return m;
+  return decode_via<SnapshotRequest>(data, "malformed SnapshotRequest");
 }
 
-std::vector<std::uint8_t> SnapshotReply::encode() const {
-  Writer w;
+std::size_t SnapshotReply::encoded_size() const {
+  std::size_t size = 1 + 8 + 4;
+  for (const auto& entry : entries) size += publish_body_size(entry);
+  return size;
+}
+
+std::size_t SnapshotReply::encode_into(std::span<std::uint8_t> out) const {
+  SpanWriter w(out);
   w.u8(static_cast<std::uint8_t>(MsgType::kSnapshotReply));
   w.u64(seq);
   w.u32(static_cast<std::uint32_t>(entries.size()));
-  for (const auto& entry : entries) encode_publish_body(w, entry);
-  return std::move(w).take();
+  for (const auto& entry : entries) put_publish_body(w, entry);
+  return w.ok() ? w.size() : 0;
+}
+
+bool SnapshotReply::try_decode(std::span<const std::uint8_t> data,
+                               SnapshotReply& out) {
+  TryReader r(data);
+  if (!expect_type(r, MsgType::kSnapshotReply)) return false;
+  out.seq = r.u64();
+  const std::uint32_t count = r.u32();
+  if (!r.ok()) return false;
+  // The smallest possible entry (empty service string) is 18 bytes; a count
+  // the remaining bytes cannot hold is garbage — reject it before reserving
+  // storage rather than letting a corrupted count force a giant allocation.
+  constexpr std::size_t kMinEntryBytes = 18;
+  if (static_cast<std::size_t>(count) > r.remaining() / kMinEntryBytes) {
+    return false;
+  }
+  out.entries.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (!read_publish_body(r, out.entries[i])) return false;
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> SnapshotReply::encode() const {
+  return encode_via(*this);
 }
 
 SnapshotReply SnapshotReply::decode(std::span<const std::uint8_t> data) {
-  Reader r(data);
-  expect_type(r, MsgType::kSnapshotReply);
-  SnapshotReply m;
-  m.seq = r.u64();
-  const std::uint32_t count = r.u32();
-  m.entries.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    m.entries.push_back(decode_publish_body(r));
-  }
-  return m;
+  return decode_via<SnapshotReply>(data, "malformed SnapshotReply");
 }
 
-std::vector<std::uint8_t> LoadAnnounce::encode() const {
-  Writer w;
+std::size_t LoadAnnounce::encoded_size() const { return 1 + 4 + 4; }
+
+std::size_t LoadAnnounce::encode_into(std::span<std::uint8_t> out) const {
+  SpanWriter w(out);
   w.u8(static_cast<std::uint8_t>(MsgType::kLoadAnnounce));
   w.i32(server);
   w.i32(queue_length);
-  return std::move(w).take();
+  return w.ok() ? w.size() : 0;
+}
+
+bool LoadAnnounce::try_decode(std::span<const std::uint8_t> data,
+                              LoadAnnounce& out) {
+  TryReader r(data);
+  if (!expect_type(r, MsgType::kLoadAnnounce)) return false;
+  out.server = r.i32();
+  out.queue_length = r.i32();
+  return r.ok();
+}
+
+std::vector<std::uint8_t> LoadAnnounce::encode() const {
+  return encode_via(*this);
 }
 
 LoadAnnounce LoadAnnounce::decode(std::span<const std::uint8_t> data) {
-  Reader r(data);
-  expect_type(r, MsgType::kLoadAnnounce);
-  LoadAnnounce m;
-  m.server = r.i32();
-  m.queue_length = r.i32();
-  return m;
+  return decode_via<LoadAnnounce>(data, "malformed LoadAnnounce");
+}
+
+std::size_t Subscribe::encoded_size() const { return 1 + 4; }
+
+std::size_t Subscribe::encode_into(std::span<std::uint8_t> out) const {
+  SpanWriter w(out);
+  w.u8(static_cast<std::uint8_t>(MsgType::kSubscribe));
+  w.u32(ttl_ms);
+  return w.ok() ? w.size() : 0;
+}
+
+bool Subscribe::try_decode(std::span<const std::uint8_t> data,
+                           Subscribe& out) {
+  TryReader r(data);
+  if (!expect_type(r, MsgType::kSubscribe)) return false;
+  out.ttl_ms = r.u32();
+  return r.ok();
 }
 
 std::vector<std::uint8_t> Subscribe::encode() const {
-  Writer w;
-  w.u8(static_cast<std::uint8_t>(MsgType::kSubscribe));
-  w.u32(ttl_ms);
-  return std::move(w).take();
+  return encode_via(*this);
 }
 
 Subscribe Subscribe::decode(std::span<const std::uint8_t> data) {
-  Reader r(data);
-  expect_type(r, MsgType::kSubscribe);
-  Subscribe m;
-  m.ttl_ms = r.u32();
-  return m;
+  return decode_via<Subscribe>(data, "malformed Subscribe");
 }
 
 }  // namespace finelb::net

@@ -10,7 +10,14 @@
 //                                soft-state publish/subscribe channel.
 //
 // Every message starts with a one-byte type tag followed by little-endian
-// fields. decode() functions throw InvariantError on malformed input.
+// fields. Each type offers two codec surfaces with byte-identical wire
+// output:
+//   * hot path  — encode_into() serializes into a caller buffer (a
+//     DatagramBatch slot or a stack array) and try_decode() parses without
+//     throwing; neither touches the heap for the fixed-size message types.
+//   * compat    — encode() returns a fresh vector and decode() throws
+//     InvariantError on malformed input; thin wrappers over the hot path,
+//     kept for tests and cold control-plane code.
 #pragma once
 
 #include <cstdint>
@@ -43,6 +50,14 @@ MsgType peek_type(std::span<const std::uint8_t> data);
 struct LoadInquiry {
   std::uint64_t seq = 0;
 
+  std::size_t encoded_size() const;
+  /// Serializes into `out`; returns bytes written, 0 if `out` is too small
+  /// (nothing usable is written in that case). Never allocates or throws.
+  std::size_t encode_into(std::span<std::uint8_t> out) const;
+  /// Non-throwing decode; returns false on malformed input, leaving `out`
+  /// unspecified. Never allocates for fixed-size message types.
+  static bool try_decode(std::span<const std::uint8_t> data, LoadInquiry& out);
+
   std::vector<std::uint8_t> encode() const;
   static LoadInquiry decode(std::span<const std::uint8_t> data);
 };
@@ -50,6 +65,10 @@ struct LoadInquiry {
 struct LoadReply {
   std::uint64_t seq = 0;
   std::int32_t queue_length = 0;
+
+  std::size_t encoded_size() const;
+  std::size_t encode_into(std::span<std::uint8_t> out) const;
+  static bool try_decode(std::span<const std::uint8_t> data, LoadReply& out);
 
   std::vector<std::uint8_t> encode() const;
   static LoadReply decode(std::span<const std::uint8_t> data);
@@ -63,6 +82,11 @@ struct ServiceRequest {
   /// Data partition addressed by the access (Neptune semantics).
   std::uint32_t partition = 0;
 
+  std::size_t encoded_size() const;
+  std::size_t encode_into(std::span<std::uint8_t> out) const;
+  static bool try_decode(std::span<const std::uint8_t> data,
+                         ServiceRequest& out);
+
   std::vector<std::uint8_t> encode() const;
   static ServiceRequest decode(std::span<const std::uint8_t> data);
 };
@@ -73,12 +97,21 @@ struct ServiceResponse {
   /// Queue length observed when the request entered the server (diagnostic).
   std::int32_t queue_at_arrival = 0;
 
+  std::size_t encoded_size() const;
+  std::size_t encode_into(std::span<std::uint8_t> out) const;
+  static bool try_decode(std::span<const std::uint8_t> data,
+                         ServiceResponse& out);
+
   std::vector<std::uint8_t> encode() const;
   static ServiceResponse decode(std::span<const std::uint8_t> data);
 };
 
 struct Acquire {
   std::uint64_t seq = 0;
+
+  std::size_t encoded_size() const;
+  std::size_t encode_into(std::span<std::uint8_t> out) const;
+  static bool try_decode(std::span<const std::uint8_t> data, Acquire& out);
 
   std::vector<std::uint8_t> encode() const;
   static Acquire decode(std::span<const std::uint8_t> data);
@@ -88,12 +121,21 @@ struct AcquireReply {
   std::uint64_t seq = 0;
   std::int32_t server = 0;
 
+  std::size_t encoded_size() const;
+  std::size_t encode_into(std::span<std::uint8_t> out) const;
+  static bool try_decode(std::span<const std::uint8_t> data,
+                         AcquireReply& out);
+
   std::vector<std::uint8_t> encode() const;
   static AcquireReply decode(std::span<const std::uint8_t> data);
 };
 
 struct Release {
   std::int32_t server = 0;
+
+  std::size_t encoded_size() const;
+  std::size_t encode_into(std::span<std::uint8_t> out) const;
+  static bool try_decode(std::span<const std::uint8_t> data, Release& out);
 
   std::vector<std::uint8_t> encode() const;
   static Release decode(std::span<const std::uint8_t> data);
@@ -108,6 +150,11 @@ struct Publish {
   std::uint16_t load_port = 0;
   std::uint32_t ttl_ms = 0;   // entry expires unless refreshed within ttl
 
+  std::size_t encoded_size() const;
+  std::size_t encode_into(std::span<std::uint8_t> out) const;
+  /// try_decode assigns into out.service, reusing its capacity across calls.
+  static bool try_decode(std::span<const std::uint8_t> data, Publish& out);
+
   std::vector<std::uint8_t> encode() const;
   static Publish decode(std::span<const std::uint8_t> data);
 };
@@ -116,6 +163,11 @@ struct SnapshotRequest {
   std::uint64_t seq = 0;
   std::string service;  // empty = all services
 
+  std::size_t encoded_size() const;
+  std::size_t encode_into(std::span<std::uint8_t> out) const;
+  static bool try_decode(std::span<const std::uint8_t> data,
+                         SnapshotRequest& out);
+
   std::vector<std::uint8_t> encode() const;
   static SnapshotRequest decode(std::span<const std::uint8_t> data);
 };
@@ -123,6 +175,13 @@ struct SnapshotRequest {
 struct SnapshotReply {
   std::uint64_t seq = 0;
   std::vector<Publish> entries;
+
+  std::size_t encoded_size() const;
+  std::size_t encode_into(std::span<std::uint8_t> out) const;
+  /// Rejects entry counts that cannot fit the remaining bytes before
+  /// reserving storage, so a garbage count cannot force a huge allocation.
+  static bool try_decode(std::span<const std::uint8_t> data,
+                         SnapshotReply& out);
 
   std::vector<std::uint8_t> encode() const;
   static SnapshotReply decode(std::span<const std::uint8_t> data);
@@ -134,6 +193,11 @@ struct LoadAnnounce {
   std::int32_t server = 0;
   std::int32_t queue_length = 0;
 
+  std::size_t encoded_size() const;
+  std::size_t encode_into(std::span<std::uint8_t> out) const;
+  static bool try_decode(std::span<const std::uint8_t> data,
+                         LoadAnnounce& out);
+
   std::vector<std::uint8_t> encode() const;
   static LoadAnnounce decode(std::span<const std::uint8_t> data);
 };
@@ -142,8 +206,17 @@ struct LoadAnnounce {
 struct Subscribe {
   std::uint32_t ttl_ms = 0;
 
+  std::size_t encoded_size() const;
+  std::size_t encode_into(std::span<std::uint8_t> out) const;
+  static bool try_decode(std::span<const std::uint8_t> data, Subscribe& out);
+
   std::vector<std::uint8_t> encode() const;
   static Subscribe decode(std::span<const std::uint8_t> data);
 };
+
+/// Generous stack-buffer size for every fixed-size message type's
+/// encode_into (the string-bearing publish/snapshot types need
+/// encoded_size()).
+constexpr std::size_t kMaxFixedMsgSize = 32;
 
 }  // namespace finelb::net

@@ -27,7 +27,12 @@ void Poller::remove(int fd) {
   FINELB_CHECK(false, "fd not registered with poller");
 }
 
-std::vector<Ready> Poller::wait(SimDuration timeout) {
+void Poller::clear() {
+  fds_.clear();
+  tags_.clear();
+}
+
+std::span<const Ready> Poller::wait(SimDuration timeout) {
   timespec ts{};
   timespec* ts_ptr = nullptr;
   if (timeout >= 0) {
@@ -36,13 +41,12 @@ std::vector<Ready> Poller::wait(SimDuration timeout) {
     ts_ptr = &ts;
   }
   const int n = ::ppoll(fds_.data(), fds_.size(), ts_ptr, nullptr);
-  std::vector<Ready> ready;
+  ready_.clear();
   if (n < 0) {
-    if (errno == EINTR) return ready;
+    if (errno == EINTR) return ready_;
     FINELB_THROW_ERRNO("ppoll");
   }
-  if (n == 0) return ready;
-  ready.reserve(static_cast<std::size_t>(n));
+  if (n == 0) return ready_;
   for (std::size_t i = 0; i < fds_.size(); ++i) {
     if (fds_[i].revents == 0) continue;
     Ready r;
@@ -50,10 +54,10 @@ std::vector<Ready> Poller::wait(SimDuration timeout) {
     r.tag = tags_[i];
     r.readable = (fds_[i].revents & POLLIN) != 0;
     r.error = (fds_[i].revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
-    ready.push_back(r);
+    ready_.push_back(r);
     fds_[i].revents = 0;
   }
-  return ready;
+  return ready_;
 }
 
 }  // namespace finelb::net

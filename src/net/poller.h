@@ -12,6 +12,7 @@
 #include <poll.h>
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/time.h"
@@ -30,15 +31,20 @@ class Poller {
   /// Watches `fd` for readability; `tag` is returned with readiness events.
   void add(int fd, std::uint64_t tag);
   void remove(int fd);
+  /// Forgets every registered fd (for pollers reused across rounds).
+  void clear();
   std::size_t size() const { return fds_.size(); }
 
   /// Waits up to `timeout` nanoseconds (negative blocks indefinitely, 0
-  /// polls). Returns ready fds; empty on timeout or signal.
-  std::vector<Ready> wait(SimDuration timeout);
+  /// polls). Returns ready fds; empty on timeout or signal. The span views
+  /// an internal buffer reused across calls — consume it before the next
+  /// wait() — so steady-state event loops never allocate here.
+  std::span<const Ready> wait(SimDuration timeout);
 
  private:
   std::vector<pollfd> fds_;
   std::vector<std::uint64_t> tags_;
+  std::vector<Ready> ready_;  // reused result buffer
 };
 
 }  // namespace finelb::net

@@ -125,7 +125,33 @@ bool DatagramBatch::append(std::span<const std::uint8_t> payload,
   return true;
 }
 
+std::span<std::uint8_t> DatagramBatch::stage() {
+  if (impl_->count >= impl_->capacity) return {};
+  return {impl_->slot(impl_->count), impl_->buffer_bytes};
+}
+
+void DatagramBatch::commit(std::size_t payload_bytes, const Address& dest) {
+  FINELB_CHECK(impl_->count < impl_->capacity, "commit on a full batch");
+  FINELB_CHECK(payload_bytes <= impl_->buffer_bytes,
+               "committed payload exceeds slot buffer");
+  impl_->sizes[impl_->count] = payload_bytes;
+  impl_->addresses[impl_->count] = dest;
+  ++impl_->count;
+}
+
 void DatagramBatch::clear() { impl_->count = 0; }
+
+std::span<std::uint8_t> thread_scratch(std::size_t bytes) {
+  thread_local std::vector<std::uint8_t> scratch;
+  if (scratch.size() < bytes) {
+    // Geometric growth with a floor keeps the reallocation count O(log n)
+    // over a thread's lifetime regardless of request order.
+    std::size_t size = std::max<std::size_t>(scratch.capacity() * 2, 4096);
+    while (size < bytes) size *= 2;
+    scratch.resize(size);
+  }
+  return {scratch.data(), scratch.size()};
+}
 
 FdHandle::~FdHandle() { reset(); }
 

@@ -82,6 +82,15 @@ class DatagramBatch {
   /// Stages a datagram for send_batch. Returns false when the batch is
   /// full or the payload exceeds the per-slot buffer.
   bool append(std::span<const std::uint8_t> payload, const Address& dest);
+
+  /// Zero-copy staging: the writable buffer of the next free slot (empty
+  /// when the batch is full). Encode directly into it (encode_into), then
+  /// commit() the byte count — this skips the append() memcpy entirely.
+  std::span<std::uint8_t> stage();
+  /// Marks the slot returned by the last stage() as holding `payload_bytes`
+  /// bytes destined for `dest`.
+  void commit(std::size_t payload_bytes, const Address& dest);
+
   void clear();
 
  private:
@@ -89,6 +98,14 @@ class DatagramBatch {
   struct Impl;  // mmsghdr/iovec/sockaddr arrays (socket.cc)
   std::unique_ptr<Impl> impl_;
 };
+
+/// Per-thread reusable scratch buffer of at least `bytes` bytes, for recv
+/// staging and in-place message encoding on hot paths. The buffer grows
+/// geometrically and is then reused for the life of the thread, so
+/// steady-state callers never allocate. Contents are undefined between
+/// calls; each call may return the same storage, so a caller must finish
+/// with one scratch span before requesting another on the same thread.
+std::span<std::uint8_t> thread_scratch(std::size_t bytes);
 
 /// A UDP socket bound to loopback. Non-blocking by default: all prototype
 /// I/O goes through poll()-driven event loops and blocking would deadlock a

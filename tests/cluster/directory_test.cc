@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "common/check.h"
 #include "net/clock.h"
 
@@ -94,6 +98,54 @@ TEST(DirectoryTest, PartitionedServiceKeepsDistinctEntries) {
   publisher.send_to(p1.encode(), directory.address());
   net::sleep_for(30 * kMillisecond);
   EXPECT_EQ(directory.live_entries("image-store").size(), 2u);
+  directory.stop();
+}
+
+// Regression for the RCU-style snapshot read path: live_entries() must be
+// safe (and see only complete entry sets) while the recv loop keeps
+// republishing. Runs under TSan via the "runtime" label — this is the test
+// that would flag a return to unguarded shared state.
+TEST(DirectoryTest, ConcurrentPublishAndLookup) {
+  DirectoryServer directory;
+  directory.start();
+  constexpr int kServers = 6;
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::int64_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto entries = directory.live_entries("search");
+        // Entries are keyed by (service, server, partition): duplicates in
+        // one snapshot would mean a lookup observed a half-applied publish.
+        std::vector<bool> seen(kServers, false);
+        for (const auto& entry : entries) {
+          ASSERT_GE(entry.server, 0);
+          ASSERT_LT(entry.server, kServers);
+          ASSERT_FALSE(seen[static_cast<std::size_t>(entry.server)])
+              << "duplicate server " << entry.server << " in one snapshot";
+          seen[static_cast<std::size_t>(entry.server)] = true;
+        }
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  net::UdpSocket publisher;
+  for (int round = 0; round < 200; ++round) {
+    for (int server = 0; server < kServers; ++server) {
+      publisher.send_to(make_publish("search", server).encode(),
+                        directory.address());
+    }
+    net::sleep_for(kMillisecond);
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  EXPECT_GT(reads.load(), 0);
+  const auto entries = directory.live_entries("search");
+  EXPECT_EQ(entries.size(), static_cast<std::size_t>(kServers));
   directory.stop();
 }
 

@@ -68,6 +68,12 @@ TEST(ServerNodeTest, ServesRequestAndDecrementsQueue) {
   EXPECT_EQ(response.server, 5);
   EXPECT_EQ(response.queue_at_arrival, 0);
   EXPECT_GE(elapsed, 5 * kMillisecond) << "service time must be honoured";
+  // The worker sends the response before decrementing the queue counter,
+  // so poll briefly instead of asserting the instant the reply lands.
+  const SimTime drain_deadline = net::monotonic_now() + kSecond;
+  while (server.queue_length() != 0 && net::monotonic_now() < drain_deadline) {
+    net::sleep_for(kMillisecond);
+  }
   EXPECT_EQ(server.queue_length(), 0) << "queue drains after response";
   server.stop();
   EXPECT_EQ(server.counters().requests_served, 1);

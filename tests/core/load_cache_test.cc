@@ -1,0 +1,121 @@
+#include "core/load_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/seqlock.h"
+
+namespace finelb {
+namespace {
+
+TEST(SeqlockTest, SingleThreadedStoreLoad) {
+  struct Pair {
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+  };
+  Seqlock<Pair> cell;
+  EXPECT_EQ(cell.load().a, 0u);
+  cell.store({7, 9});
+  const Pair out = cell.load();
+  EXPECT_EQ(out.a, 7u);
+  EXPECT_EQ(out.b, 9u);
+}
+
+// The seqlock's whole point: readers never observe a half-written payload,
+// no matter how hard one writer and several readers race. The payload is
+// two words that the writer always keeps equal-and-opposite, so any torn
+// read is detectable. Labeled RUNTIME so it runs under TSan, which must
+// see no data race in the fence-based protocol.
+TEST(SeqlockTest, ConcurrentReadersSeeConsistentSnapshots) {
+  struct Mirrored {
+    std::uint64_t value = 0;
+    std::uint64_t negated = ~0ull;
+  };
+  Seqlock<Mirrored> cell;
+  cell.store({0, ~0ull});
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::int64_t> torn{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Mirrored snapshot = cell.load();
+        if (snapshot.negated != ~snapshot.value) {
+          torn.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::uint64_t i = 1; i <= 200'000; ++i) {
+    cell.store({i, ~i});
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(torn.load(), 0);
+
+  const Mirrored last = cell.load();
+  EXPECT_EQ(last.value, 200'000u);
+  EXPECT_EQ(last.negated, ~200'000ull);
+}
+
+TEST(LoadCacheTest, StoreLoadAndSnapshot) {
+  LoadCache cache(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    cache.store(i, {static_cast<ServerId>(i), static_cast<std::int32_t>(10 * i),
+                    static_cast<SimTime>(i)});
+  }
+  EXPECT_EQ(cache.load(2).queue_length, 20);
+  std::vector<ServerLoad> out;
+  cache.snapshot(out);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[3].server, 3);
+  EXPECT_EQ(out[3].queue_length, 30);
+
+  // snapshot() reuses the caller's capacity instead of reallocating.
+  const auto* data_before = out.data();
+  cache.snapshot(out);
+  EXPECT_EQ(out.data(), data_before);
+}
+
+// One writer (the drain loop's role) updating entries while a reader (the
+// dispatch path's role) snapshots: every observed entry must be internally
+// consistent — the writer keeps measured_at equal to queue_length so a torn
+// entry is detectable.
+TEST(LoadCacheTest, ConcurrentWriterAndSnapshotReaders) {
+  constexpr std::size_t kServers = 8;
+  LoadCache cache(kServers);
+  for (std::size_t i = 0; i < kServers; ++i) {
+    cache.store(i, {static_cast<ServerId>(i), 0, 0});
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::int64_t> torn{0};
+  std::thread reader([&] {
+    std::vector<ServerLoad> out;
+    while (!stop.load(std::memory_order_relaxed)) {
+      cache.snapshot(out);
+      for (const ServerLoad& load : out) {
+        if (load.measured_at != static_cast<SimTime>(load.queue_length)) {
+          torn.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  });
+  for (std::int32_t round = 1; round <= 50'000; ++round) {
+    for (std::size_t i = 0; i < kServers; ++i) {
+      cache.store(i, {static_cast<ServerId>(i), round,
+                      static_cast<SimTime>(round)});
+    }
+  }
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(torn.load(), 0);
+}
+
+}  // namespace
+}  // namespace finelb

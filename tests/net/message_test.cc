@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "common/check.h"
 
 namespace finelb::net {
@@ -189,6 +193,291 @@ TEST_P(MessageTruncation, AllPrefixesRejected) {
 
 INSTANTIATE_TEST_SUITE_P(AllMessageTypes, MessageTruncation,
                          ::testing::Range(0, 5));
+
+// ---------------------------------------------------------------------------
+// Hot-path codec surfaces: for every one of the 12 message types,
+// encode_into must be byte-identical to encode(), refuse too-small buffers
+// without writing past them, and try_decode must accept exactly what
+// decode() accepts while rejecting every truncation and a wrong type tag
+// without throwing.
+
+template <class Msg>
+void CheckWireSurfaces(const Msg& msg) {
+  const std::vector<std::uint8_t> legacy = msg.encode();
+  ASSERT_FALSE(legacy.empty());
+  EXPECT_EQ(legacy.size(), msg.encoded_size());
+
+  // Byte-identical hot-path encoding; guard bytes past the end untouched.
+  std::vector<std::uint8_t> hot(legacy.size() + 8, 0xab);
+  const std::size_t n = msg.encode_into(hot);
+  ASSERT_EQ(n, legacy.size());
+  EXPECT_TRUE(std::equal(legacy.begin(), legacy.end(), hot.begin()));
+  for (std::size_t i = n; i < hot.size(); ++i) {
+    ASSERT_EQ(hot[i], 0xab) << "guard byte " << i << " clobbered";
+  }
+
+  // Every too-small output buffer is refused with 0 bytes written.
+  std::vector<std::uint8_t> small(legacy.size());
+  for (std::size_t len = 0; len < legacy.size(); ++len) {
+    EXPECT_EQ(msg.encode_into(std::span(small.data(), len)), 0u)
+        << "buffer of " << len << " accepted";
+  }
+
+  // Both decode surfaces accept the full encoding...
+  Msg accepted;
+  EXPECT_TRUE(Msg::try_decode(legacy, accepted));
+  EXPECT_NO_THROW(Msg::decode(legacy));
+
+  // ...and reject every proper prefix (truncated datagram).
+  for (std::size_t len = 0; len < legacy.size(); ++len) {
+    const std::span<const std::uint8_t> prefix(legacy.data(), len);
+    Msg scratch;
+    EXPECT_FALSE(Msg::try_decode(prefix, scratch)) << "prefix " << len;
+    EXPECT_THROW(Msg::decode(prefix), InvariantError) << "prefix " << len;
+  }
+
+  // A wrong type tag is rejected, not misparsed.
+  std::vector<std::uint8_t> wrong_tag = legacy;
+  wrong_tag[0] = 0xee;
+  Msg scratch;
+  EXPECT_FALSE(Msg::try_decode(wrong_tag, scratch));
+  EXPECT_THROW(Msg::decode(wrong_tag), InvariantError);
+}
+
+TEST(MessageHotPath, FixedTypesRoundTrip) {
+  LoadInquiry inquiry;
+  inquiry.seq = ~0ull;
+  CheckWireSurfaces(inquiry);
+  LoadInquiry inquiry_out;
+  ASSERT_TRUE(LoadInquiry::try_decode(inquiry.encode(), inquiry_out));
+  EXPECT_EQ(inquiry_out.seq, ~0ull);
+
+  LoadReply reply;
+  reply.seq = 0x0102030405060708ull;
+  reply.queue_length = -3;  // sign must survive the u32 cast
+  CheckWireSurfaces(reply);
+  LoadReply reply_out;
+  ASSERT_TRUE(LoadReply::try_decode(reply.encode(), reply_out));
+  EXPECT_EQ(reply_out.seq, reply.seq);
+  EXPECT_EQ(reply_out.queue_length, -3);
+
+  ServiceRequest request;
+  request.request_id = 0xfeedface12345678ull;
+  request.service_us = 0xffffffffu;
+  request.partition = 7;
+  CheckWireSurfaces(request);
+  ServiceRequest request_out;
+  ASSERT_TRUE(ServiceRequest::try_decode(request.encode(), request_out));
+  EXPECT_EQ(request_out.request_id, request.request_id);
+  EXPECT_EQ(request_out.service_us, request.service_us);
+  EXPECT_EQ(request_out.partition, 7u);
+
+  ServiceResponse response;
+  response.request_id = 1;
+  response.server = -1;
+  response.queue_at_arrival = 0x7fffffff;
+  CheckWireSurfaces(response);
+  ServiceResponse response_out;
+  ASSERT_TRUE(ServiceResponse::try_decode(response.encode(), response_out));
+  EXPECT_EQ(response_out.request_id, 1u);
+  EXPECT_EQ(response_out.server, -1);
+  EXPECT_EQ(response_out.queue_at_arrival, 0x7fffffff);
+
+  Acquire acquire;
+  acquire.seq = 0;  // all-zero fields still carry the tag
+  CheckWireSurfaces(acquire);
+  Acquire acquire_out;
+  ASSERT_TRUE(Acquire::try_decode(acquire.encode(), acquire_out));
+  EXPECT_EQ(acquire_out.seq, 0u);
+
+  AcquireReply acquire_reply;
+  acquire_reply.seq = 55;
+  acquire_reply.server = 1000;
+  CheckWireSurfaces(acquire_reply);
+  AcquireReply acquire_reply_out;
+  ASSERT_TRUE(
+      AcquireReply::try_decode(acquire_reply.encode(), acquire_reply_out));
+  EXPECT_EQ(acquire_reply_out.seq, 55u);
+  EXPECT_EQ(acquire_reply_out.server, 1000);
+
+  Release release;
+  release.server = -2147483647;
+  CheckWireSurfaces(release);
+  Release release_out;
+  ASSERT_TRUE(Release::try_decode(release.encode(), release_out));
+  EXPECT_EQ(release_out.server, -2147483647);
+
+  LoadAnnounce announce;
+  announce.server = 12;
+  announce.queue_length = 34;
+  CheckWireSurfaces(announce);
+  LoadAnnounce announce_out;
+  ASSERT_TRUE(LoadAnnounce::try_decode(announce.encode(), announce_out));
+  EXPECT_EQ(announce_out.server, 12);
+  EXPECT_EQ(announce_out.queue_length, 34);
+
+  Subscribe subscribe;
+  subscribe.ttl_ms = 0xdeadbeefu;
+  CheckWireSurfaces(subscribe);
+  Subscribe subscribe_out;
+  ASSERT_TRUE(Subscribe::try_decode(subscribe.encode(), subscribe_out));
+  EXPECT_EQ(subscribe_out.ttl_ms, 0xdeadbeefu);
+}
+
+TEST(MessageHotPath, StringTypesRoundTrip) {
+  Publish publish;
+  publish.service = "image-store";
+  publish.partition = 9;
+  publish.server = 3;
+  publish.service_port = 65535;
+  publish.load_port = 1;
+  publish.ttl_ms = 123456;
+  CheckWireSurfaces(publish);
+  Publish publish_out;
+  ASSERT_TRUE(Publish::try_decode(publish.encode(), publish_out));
+  EXPECT_EQ(publish_out.service, "image-store");
+  EXPECT_EQ(publish_out.partition, 9u);
+  EXPECT_EQ(publish_out.server, 3);
+  EXPECT_EQ(publish_out.service_port, 65535);
+  EXPECT_EQ(publish_out.load_port, 1);
+  EXPECT_EQ(publish_out.ttl_ms, 123456u);
+
+  SnapshotRequest request;
+  request.seq = 77;
+  request.service = "photo-album";
+  CheckWireSurfaces(request);
+  SnapshotRequest request_out;
+  ASSERT_TRUE(SnapshotRequest::try_decode(request.encode(), request_out));
+  EXPECT_EQ(request_out.seq, 77u);
+  EXPECT_EQ(request_out.service, "photo-album");
+
+  SnapshotReply reply;
+  reply.seq = 78;
+  for (int i = 0; i < 3; ++i) {
+    Publish entry = publish;
+    entry.server = i;
+    reply.entries.push_back(entry);
+  }
+  CheckWireSurfaces(reply);
+  SnapshotReply reply_out;
+  ASSERT_TRUE(SnapshotReply::try_decode(reply.encode(), reply_out));
+  EXPECT_EQ(reply_out.seq, 78u);
+  ASSERT_EQ(reply_out.entries.size(), 3u);
+  EXPECT_EQ(reply_out.entries[2].server, 2);
+  EXPECT_EQ(reply_out.entries[2].service, "image-store");
+}
+
+TEST(MessageHotPath, MaxLengthServiceString) {
+  // The wire format length-prefixes strings with a u16: 65535 is the
+  // longest service name that can exist on the wire.
+  const std::string longest(0xffff, 's');
+
+  Publish publish;
+  publish.service = longest;
+  CheckWireSurfaces(publish);
+  Publish publish_out;
+  ASSERT_TRUE(Publish::try_decode(publish.encode(), publish_out));
+  EXPECT_EQ(publish_out.service, longest);
+
+  SnapshotRequest request;
+  request.service = longest;
+  CheckWireSurfaces(request);
+  SnapshotRequest request_out;
+  ASSERT_TRUE(SnapshotRequest::try_decode(request.encode(), request_out));
+  EXPECT_EQ(request_out.service, longest);
+
+  // One byte longer cannot be encoded on either surface.
+  request.service.push_back('s');
+  std::vector<std::uint8_t> buf(request.service.size() + 64);
+  EXPECT_EQ(request.encode_into(buf), 0u);
+}
+
+TEST(MessageHotPath, ZeroLengthPayloads) {
+  Publish publish;  // empty service string
+  CheckWireSurfaces(publish);
+  Publish publish_out;
+  publish_out.service = "stale";  // must be overwritten, not appended to
+  ASSERT_TRUE(Publish::try_decode(publish.encode(), publish_out));
+  EXPECT_TRUE(publish_out.service.empty());
+
+  SnapshotRequest request;  // empty service = "all services"
+  CheckWireSurfaces(request);
+
+  SnapshotReply reply;  // zero entries
+  reply.seq = 9;
+  CheckWireSurfaces(reply);
+  SnapshotReply reply_out;
+  reply_out.entries.resize(4);  // must shrink to the decoded count
+  ASSERT_TRUE(SnapshotReply::try_decode(reply.encode(), reply_out));
+  EXPECT_EQ(reply_out.seq, 9u);
+  EXPECT_TRUE(reply_out.entries.empty());
+
+  // An entry whose service string is empty round-trips too.
+  reply.entries.emplace_back();
+  CheckWireSurfaces(reply);
+  ASSERT_TRUE(SnapshotReply::try_decode(reply.encode(), reply_out));
+  ASSERT_EQ(reply_out.entries.size(), 1u);
+  EXPECT_TRUE(reply_out.entries[0].service.empty());
+}
+
+TEST(MessageHotPath, GarbageRejectedWithoutThrowing) {
+  // A corrupted string length pointing past the datagram.
+  Publish publish;
+  publish.service = "abc";
+  std::vector<std::uint8_t> bytes = publish.encode();
+  bytes[1] = 0xff;  // string length low byte (u16 right after the tag)
+  bytes[2] = 0xff;
+  Publish publish_out;
+  EXPECT_FALSE(Publish::try_decode(bytes, publish_out));
+  EXPECT_THROW(Publish::decode(bytes), InvariantError);
+
+  // A corrupted SnapshotReply entry count that the remaining bytes cannot
+  // possibly hold must be rejected before any storage is reserved.
+  SnapshotReply reply;
+  reply.seq = 1;
+  std::vector<std::uint8_t> reply_bytes = reply.encode();
+  reply_bytes[9] = 0xff;  // count u32 lives after tag + u64 seq
+  reply_bytes[10] = 0xff;
+  reply_bytes[11] = 0xff;
+  reply_bytes[12] = 0xff;
+  SnapshotReply reply_out;
+  EXPECT_FALSE(SnapshotReply::try_decode(reply_bytes, reply_out));
+  EXPECT_THROW(SnapshotReply::decode(reply_bytes), InvariantError);
+
+  // Random-looking bytes under every valid tag: try_decode must say false
+  // or succeed, never throw or crash.
+  std::vector<std::uint8_t> junk(11);
+  for (std::size_t i = 0; i < junk.size(); ++i) {
+    junk[i] = static_cast<std::uint8_t>(0x9e * (i + 1));
+  }
+  for (std::uint8_t tag = 1; tag <= 12; ++tag) {
+    junk[0] = tag;
+    LoadInquiry a;
+    LoadReply b;
+    ServiceRequest c;
+    ServiceResponse d;
+    Acquire e;
+    AcquireReply f;
+    Release g;
+    Publish h;
+    SnapshotRequest i2;
+    SnapshotReply j;
+    LoadAnnounce k;
+    Subscribe l;
+    EXPECT_NO_THROW(LoadInquiry::try_decode(junk, a));
+    EXPECT_NO_THROW(LoadReply::try_decode(junk, b));
+    EXPECT_NO_THROW(ServiceRequest::try_decode(junk, c));
+    EXPECT_NO_THROW(ServiceResponse::try_decode(junk, d));
+    EXPECT_NO_THROW(Acquire::try_decode(junk, e));
+    EXPECT_NO_THROW(AcquireReply::try_decode(junk, f));
+    EXPECT_NO_THROW(Release::try_decode(junk, g));
+    EXPECT_NO_THROW(Publish::try_decode(junk, h));
+    EXPECT_NO_THROW(SnapshotRequest::try_decode(junk, i2));
+    EXPECT_NO_THROW(SnapshotReply::try_decode(junk, j));
+    EXPECT_NO_THROW(LoadAnnounce::try_decode(junk, k));
+    EXPECT_NO_THROW(Subscribe::try_decode(junk, l));
+  }
+}
 
 }  // namespace
 }  // namespace finelb::net
