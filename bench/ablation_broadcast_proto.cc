@@ -13,12 +13,14 @@
 #include "bench_util.h"
 #include "cluster/experiment.h"
 #include "common/flags.h"
+#include "common/log.h"
 #include "workload/catalog.h"
 
 using namespace finelb;
 
 int main(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
+  init_log_level(flags);
   const std::int64_t requests = flags.get_int("requests", 6000);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const double load = flags.get_double("load", 0.9);

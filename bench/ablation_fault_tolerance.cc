@@ -26,6 +26,7 @@
 #include "bench_util.h"
 #include "cluster/experiment.h"
 #include "common/flags.h"
+#include "common/log.h"
 #include "fault/fault.h"
 #include "sim/config.h"
 #include "workload/catalog.h"
@@ -243,6 +244,7 @@ void run_proto_phase(std::uint64_t seed, double load, double loss, int kills) {
 
 int main(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
+  init_log_level(flags);
   const std::int64_t requests = flags.get_int("requests", 40'000);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const double load = flags.get_double("load", 0.7);

@@ -12,6 +12,7 @@
 
 #include "bench_util.h"
 #include "common/flags.h"
+#include "common/log.h"
 #include "sim/inaccuracy.h"
 #include "stats/queueing.h"
 #include "workload/catalog.h"
@@ -20,6 +21,7 @@ using namespace finelb;
 
 int main(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
+  init_log_level(flags);
   const std::int64_t requests = flags.get_int("requests", 400'000);
   const std::int64_t samples = flags.get_int("samples", 40'000);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));

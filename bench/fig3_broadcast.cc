@@ -12,6 +12,7 @@
 
 #include "bench_util.h"
 #include "common/flags.h"
+#include "common/log.h"
 #include "sim/config.h"
 #include "workload/catalog.h"
 
@@ -19,6 +20,7 @@ using namespace finelb;
 
 int main(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
+  init_log_level(flags);
   const std::int64_t requests = flags.get_int("requests", 150'000);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const auto loads = flags.get_double_list("loads", {0.9, 0.5});

@@ -17,6 +17,7 @@
 #include "bench_util.h"
 #include "cluster/experiment.h"
 #include "common/flags.h"
+#include "common/log.h"
 #include "net/pingpong.h"
 #include "net/tcp.h"
 #include "workload/catalog.h"
@@ -25,6 +26,7 @@ using namespace finelb;
 
 int main(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
+  init_log_level(flags);
   const bool paper = flags.get_bool("paper", false);
   const std::int64_t requests =
       flags.get_int("requests", paper ? 8000 : 4000);

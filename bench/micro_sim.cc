@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/log.h"
 #include "common/rng.h"
 #include "core/selection.h"
 #include "sim/config.h"
@@ -318,6 +319,9 @@ int run_trajectory(const std::string& json_path, bool smoke) {
 }  // namespace finelb
 
 int main(int argc, char** argv) {
+  // Manual parsing here (not common/flags) because unrecognized args pass
+  // through to google-benchmark; --log-level still overrides FINELB_LOG.
+  finelb::init_log_level();
   std::string json_path;
   bool smoke = false;
   std::vector<char*> passthrough;
@@ -327,6 +331,8 @@ int main(int argc, char** argv) {
       json_path = argv[i] + 7;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strncmp(argv[i], "--log-level=", 12) == 0) {
+      finelb::set_log_level(finelb::parse_log_level(argv[i] + 12));
     } else {
       passthrough.push_back(argv[i]);
     }

@@ -1,0 +1,128 @@
+// Observability harness: stand up a 16-server prototype cluster, drive it
+// with a polling client, and scrape every node's telemetry over the
+// STATS_INQUIRY pull channel *while the run is live* — the operator's view
+// of a production cluster, not a post-mortem. The merged cluster document
+// goes to stdout (and optionally a file), and the run finishes with each
+// node's final snapshot so the two can be compared.
+//
+//   stats_snapshot [--servers=16] [--requests=4000] [--load=0.7]
+//                  [--poll_size=3] [--trace_period=64] [--seed=1]
+//                  [--json=PATH]
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "cluster/client_node.h"
+#include "cluster/server_node.h"
+#include "common/flags.h"
+#include "common/log.h"
+#include "net/clock.h"
+#include "telemetry/export.h"
+#include "telemetry/scrape.h"
+#include "workload/catalog.h"
+
+using namespace finelb;
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  init_log_level(flags);
+  const int servers = static_cast<int>(flags.get_int("servers", 16));
+  const std::int64_t requests = flags.get_int("requests", 4000);
+  const double load = flags.get_double("load", 0.7);
+  const int poll_size = static_cast<int>(flags.get_int("poll_size", 3));
+  const auto trace_period =
+      static_cast<std::uint32_t>(flags.get_int("trace_period", 64));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const std::string json_path = flags.get_string("json", "");
+
+  const Workload workload = make_poisson_exp(0.005);  // 5 ms mean service
+
+  // --- cluster ---------------------------------------------------------------
+  std::vector<std::unique_ptr<cluster::ServerNode>> nodes;
+  std::vector<cluster::ServerEndpoints> endpoints;
+  for (int s = 0; s < servers; ++s) {
+    cluster::ServerOptions opts;
+    opts.id = s;
+    opts.inject_busy_reply_delay = false;
+    opts.trace_sample_period = trace_period;
+    opts.seed = seed + static_cast<std::uint64_t>(s) * 7919;
+    nodes.push_back(std::make_unique<cluster::ServerNode>(opts));
+    nodes.back()->start();
+    endpoints.push_back({nodes.back()->id(), nodes.back()->service_address(),
+                         nodes.back()->load_address()});
+  }
+
+  cluster::ClientOptions copts;
+  copts.id = 0;
+  copts.policy = PolicyConfig::polling(poll_size);
+  copts.servers = endpoints;
+  copts.total_requests = requests;
+  copts.warmup_requests = requests / 10;
+  copts.trace_sample_period = trace_period;
+  copts.seed = seed + 31;
+  const double scale = workload.arrival_scale_for_load(load, servers);
+  cluster::ClientNode client(std::move(copts),
+                             workload.make_source(scale, seed + 211));
+
+  std::thread driver([&client] { client.run(); });
+
+  // --- live scrape -----------------------------------------------------------
+  // Let the cluster absorb some traffic, then pull every server's snapshot
+  // over the wire mid-run. A node that missed the (UDP) inquiry is retried
+  // once; persistent silence is reported rather than fatal.
+  net::sleep_for(300 * kMillisecond);
+  std::vector<std::string> docs;
+  int unreachable = 0;
+  for (const auto& node : nodes) {
+    auto doc = telemetry::scrape_stats(node->load_address());
+    if (!doc) doc = telemetry::scrape_stats(node->load_address());
+    if (doc) {
+      docs.push_back(std::move(*doc));
+    } else {
+      ++unreachable;
+    }
+  }
+  const std::string live = telemetry::cluster_to_json(docs);
+  const std::size_t live_answered = docs.size();
+
+  driver.join();
+  for (auto& node : nodes) node->stop();
+
+  // --- final snapshots -------------------------------------------------------
+  docs.clear();
+  for (const auto& node : nodes) docs.push_back(node->stats_json());
+  docs.push_back(client.stats_json());
+  const std::string final_doc = telemetry::cluster_to_json(docs);
+
+  bench::print_header(
+      "Cluster stats snapshot (STATS_INQUIRY pull channel)",
+      std::to_string(servers) + " servers, polling(" +
+          std::to_string(poll_size) + "), Poisson/Exp 5 ms, " +
+          bench::Table::pct(load, 0) + " load, " + std::to_string(requests) +
+          " accesses; scraped live over UDP, then again after the run");
+  std::printf("live scrape: %zu/%d servers answered (%d unreachable)\n",
+              live_answered, servers, unreachable);
+  std::printf("%s\n", live.c_str());
+
+  if (!json_path.empty()) {
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+      std::fprintf(f, "%s\n", final_doc.c_str());
+      std::fclose(f);
+      std::printf("final cluster document written to %s\n",
+                  json_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  const cluster::ClientStats& stats = client.stats();
+  std::printf("completed %lld/%lld accesses, %lld polls, %lld discarded\n",
+              static_cast<long long>(stats.completed),
+              static_cast<long long>(stats.issued),
+              static_cast<long long>(stats.polls_sent),
+              static_cast<long long>(stats.polls_discarded));
+  return 0;
+}

@@ -16,6 +16,7 @@
 
 #include "bench_util.h"
 #include "common/flags.h"
+#include "common/log.h"
 #include "workload/catalog.h"
 
 using namespace finelb;
@@ -37,6 +38,7 @@ void report(const char* label, const Trace& full, const Trace& peak) {
 
 int main(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
+  init_log_level(flags);
   const auto fine_total =
       static_cast<std::size_t>(flags.get_int("fine-total", 1'171'838));
   const auto medium_total =

@@ -3,9 +3,15 @@
 #   1. tier-1 verify  — default build, entire ctest suite;
 #   2. bench smoke    — perf-trajectory smoke runs, including the
 #                       steady-state allocation gate (micro_net --smoke
-#                       fails if the request/poll hot loop allocates);
-#   3. sanitizers     — ASan+UBSan and TSan builds running the threaded
-#                       runtime tests (ctest -L runtime).
+#                       fails if the request/poll hot loop allocates) and
+#                       the telemetry-overhead gate (alloc-free with
+#                       tracing live, poll RTT p50 within 5% of bare);
+#   3. telemetry off  — -DFINELB_TELEMETRY=OFF build, full test suite:
+#                       the escape hatch must stay a working configuration;
+#   4. sanitizers     — ASan+UBSan and TSan builds running the threaded
+#                       runtime tests (ctest -L runtime), which cover the
+#                       lock-free registry/trace-ring record paths and the
+#                       scrape-during-write protocol.
 #
 # Usage: ci/run_ci.sh [build-root]     (default: <repo>/build-ci)
 # Each stage uses its own build tree under the build root, so a warm tree
@@ -33,8 +39,12 @@ stage "tier-1: default build + full test suite"
 configure_and_build "${build_root}/default"
 ctest --test-dir "${build_root}/default" -j"${jobs}" --output-on-failure
 
-stage "bench smoke (allocation gate included)"
+stage "bench smoke (allocation + telemetry-overhead gates included)"
 ctest --test-dir "${build_root}/default" -L bench-smoke --output-on-failure
+
+stage "telemetry escape hatch: -DFINELB_TELEMETRY=OFF build + full suite"
+configure_and_build "${build_root}/notelemetry" -DFINELB_TELEMETRY=OFF
+ctest --test-dir "${build_root}/notelemetry" -j"${jobs}" --output-on-failure
 
 stage "address sanitizer: runtime tests"
 configure_and_build "${build_root}/asan" -DFINELB_SANITIZE=address

@@ -25,6 +25,8 @@
 
 #include "cluster/directory.h"
 #include "cluster/server_node.h"
+#include "common/flags.h"
+#include "common/log.h"
 #include "common/rng.h"
 #include "core/selection.h"
 #include "net/clock.h"
@@ -137,7 +139,9 @@ std::unique_ptr<cluster::ServerNode> make_store_node(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  init_log_level(flags);
   // --- assemble the Figure 1 cluster ---------------------------------------
   cluster::DirectoryServer directory;
   directory.start();

@@ -17,6 +17,7 @@
 #include <cstdio>
 
 #include "common/flags.h"
+#include "common/log.h"
 #include "sim/config.h"
 #include "workload/catalog.h"
 
@@ -24,6 +25,7 @@ int main(int argc, char** argv) {
   using namespace finelb;
 
   const Flags flags = Flags::parse(argc, argv);
+  init_log_level(flags);
   const std::string policy_spec = flags.get_string("policy", "polling:2");
   const std::string workload_name = flags.get_string("workload", "poisson");
   const double load = flags.get_double("load", 0.9);

@@ -10,11 +10,15 @@
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 
+#include "common/flags.h"
+#include "common/log.h"
 #include "sim/config.h"
 #include "workload/catalog.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace finelb;
+  const Flags flags = Flags::parse(argc, argv);
+  init_log_level(flags);
 
   // The paper's synthetic workload: Poisson arrivals, exponential service
   // times with a 50 ms mean.

@@ -14,12 +14,14 @@
 
 #include "cluster/experiment.h"
 #include "common/flags.h"
+#include "common/log.h"
 #include "workload/catalog.h"
 
 int main(int argc, char** argv) {
   using namespace finelb;
 
   const Flags flags = Flags::parse(argc, argv);
+  init_log_level(flags);
   const double load = flags.get_double("load", 0.85);
   const std::int64_t requests = flags.get_int("requests", 1500);
   const int servers = static_cast<int>(flags.get_int("servers", 8));

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "common/log.h"
 #include "common/rng.h"
 #include "cluster/directory.h"
 #include "net/clock.h"
@@ -88,6 +89,7 @@ std::unique_ptr<neptune::ServiceNode> make_node(
 
 int main(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
+  init_log_level(flags);
   const std::int64_t queries = flags.get_int("queries", 300);
 
   cluster::DirectoryServer directory;

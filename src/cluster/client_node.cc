@@ -7,6 +7,7 @@
 #include "common/log.h"
 #include "net/clock.h"
 #include "net/message.h"
+#include "telemetry/export.h"
 
 namespace finelb::cluster {
 namespace {
@@ -64,7 +65,9 @@ ClientNode::ClientNode(ClientOptions options,
                        std::unique_ptr<RequestSource> source)
     : options_(std::move(options)),
       source_(std::move(source)),
-      rng_(options_.seed) {
+      rng_(options_.seed),
+      trace_(options_.trace_capacity == 0 ? 1 : options_.trace_capacity,
+             options_.trace_sample_period) {
   FINELB_CHECK(!options_.servers.empty(), "client needs at least one server");
   FINELB_CHECK(options_.total_requests > 0, "nothing to do");
   FINELB_CHECK(source_ != nullptr, "client needs a request source");
@@ -76,6 +79,27 @@ ClientNode::ClientNode(ClientOptions options,
     FINELB_CHECK(options_.broadcast_channel.has_value(),
                  "broadcast policy requires a broadcast channel address");
   }
+
+  m_issued_ = metrics_.counter("requests_issued");
+  m_completed_ = metrics_.counter("requests_completed");
+  m_polls_sent_ = metrics_.counter("polls_sent");
+  m_polls_discarded_ = metrics_.counter("polls_discarded");
+  m_polls_timed_out_ = metrics_.counter("polls_timed_out");
+  m_fallback_dispatches_ = metrics_.counter("fallback_dispatches");
+  m_response_timeouts_ = metrics_.counter("response_timeouts");
+  m_send_failures_ = metrics_.counter("send_failures");
+  m_blacklist_insertions_ = metrics_.counter("blacklist_insertions");
+  m_blacklist_hits_ = metrics_.counter("blacklist_hits");
+  m_poll_rtt_ms_ = metrics_.histogram("poll_rtt_ms");
+  m_response_time_ms_ = metrics_.histogram("response_time_ms");
+  m_poll_time_ms_ = metrics_.histogram("poll_time_ms");
+  // In-flight depth as a plain gauge (issued - resolved), not a probe into
+  // the event loop's vectors: probes run on the scraping thread, and the
+  // round/outstanding containers are loop-private. Counter subtraction keeps
+  // the scrape race-free.
+  metrics_.probe("requests_in_flight", [this] {
+    return m_in_flight_.load(std::memory_order_relaxed);
+  });
 
   server_ids_.reserve(options_.servers.size());
   for (const auto& server : options_.servers) {
@@ -250,7 +274,9 @@ std::span<const ServerId> ClientNode::candidate_indices(SimTime now) {
   if (options_.blacklist_cooldown > 0) {
     const std::int64_t hits_before = blacklist_.hits();
     blacklist_.filter_in_place(live, now);
-    stats_.blacklist_hits += blacklist_.hits() - hits_before;
+    const std::int64_t hits = blacklist_.hits() - hits_before;
+    stats_.blacklist_hits += hits;
+    if (hits > 0) m_blacklist_hits_.add(hits);
   }
   return live;
 }
@@ -260,6 +286,7 @@ void ClientNode::mark_failed(std::size_t server_index, SimTime now) {
   if (++consecutive_timeouts_[server_index] >= options_.blacklist_after) {
     blacklist_.add(server_index, now + options_.blacklist_cooldown);
     ++stats_.blacklist_insertions;
+    m_blacklist_insertions_.inc();
   }
 }
 
@@ -278,6 +305,13 @@ void ClientNode::record_outcome(SimTime now, bool completed,
 }
 
 void ClientNode::begin_access(const Access& access) {
+  m_issued_.inc();
+  m_in_flight_.fetch_add(1, std::memory_order_relaxed);
+  if (trace_.sampled(static_cast<std::uint64_t>(access.index))) {
+    trace_.record(static_cast<std::uint64_t>(access.index),
+                  telemetry::TracePoint::kClientEnqueue, /*node=*/-1,
+                  access.started_at, access.service_us);
+  }
   switch (options_.policy.kind) {
     case PolicyKind::kRandom: {
       const auto candidates = candidate_indices(access.started_at);
@@ -365,9 +399,17 @@ void ClientNode::start_poll_round(const Access& access) {
   for (const ServerId target : round.targets) {
     if (poll_sockets_[static_cast<std::size_t>(target)].send(payload)) {
       ++stats_.polls_sent;
+      m_polls_sent_.inc();
     } else {
       ++stats_.send_failures;
+      m_send_failures_.inc();
     }
+  }
+  if (trace_.sampled(static_cast<std::uint64_t>(access.index))) {
+    trace_.record(static_cast<std::uint64_t>(access.index),
+                  telemetry::TracePoint::kPollSent, /*node=*/-1,
+                  access.started_at,
+                  static_cast<std::int64_t>(round.targets.size()));
   }
   poll_rounds_.push_back(std::move(round));
 }
@@ -376,7 +418,9 @@ void ClientNode::finish_poll_round(std::size_t index) {
   PollRound& round = poll_rounds_[index];
   const SimTime now = net::monotonic_now();
   if (should_record(round.access)) {
-    stats_.poll_time_ms.add(to_ms(now - round.access.started_at));
+    const double ms = to_ms(now - round.access.started_at);
+    stats_.poll_time_ms.add(ms);
+    m_poll_time_ms_.record(ms);
   }
   std::size_t target = 0;
   if (round.replies.empty()) {
@@ -385,6 +429,7 @@ void ClientNode::finish_poll_round(std::size_t index) {
     // since blacklisted or dropped from the mapping, re-picking among them
     // would just hit the same dead servers again.
     ++stats_.fallback_dispatches;
+    m_fallback_dispatches_.inc();
     const auto candidates = candidate_indices(now);
     target = static_cast<std::size_t>(pick_random(candidates, rng_));
   } else {
@@ -395,6 +440,12 @@ void ClientNode::finish_poll_round(std::size_t index) {
         static_cast<std::int64_t>(round.replies.size());
   }
   const Access access = round.access;
+  if (trace_.sampled(static_cast<std::uint64_t>(access.index))) {
+    trace_.record(static_cast<std::uint64_t>(access.index),
+                  telemetry::TracePoint::kServerPick,
+                  static_cast<std::int32_t>(target), now,
+                  static_cast<std::int64_t>(round.replies.size()));
+  }
   // Swap-remove and retire to the pool (keeps the inner vectors' capacity)
   // before dispatch(), which may itself touch the round containers.
   poll_round_pool_.push_back(std::move(poll_rounds_[index]));
@@ -413,11 +464,20 @@ void ClientNode::dispatch(const Access& access, std::size_t server_index,
   request.service_us = access.service_us;
   request.partition = 0;
   const auto dest = options_.servers[server_index].service_addr;
+  if (trace_.sampled(static_cast<std::uint64_t>(access.index))) {
+    trace_.record(static_cast<std::uint64_t>(access.index),
+                  telemetry::TracePoint::kDispatch,
+                  static_cast<std::int32_t>(server_index),
+                  net::monotonic_now(), access.attempt);
+  }
   if (!send_fixed(request,
                   [&](auto p) { return service_socket_.send_to(p, dest); })) {
     ++stats_.send_failures;
+    m_send_failures_.inc();
     ++stats_.response_timeouts;  // counts as a failed access
+    m_response_timeouts_.inc();
     ++resolved_;
+    m_in_flight_.fetch_sub(1, std::memory_order_relaxed);
     record_outcome(net::monotonic_now(), /*completed=*/false, 0.0);
     if (manager_acquired) release_manager_slot(server_index);
     return;
@@ -455,11 +515,20 @@ void ClientNode::drain_service_socket() {
         stats_.response_hist_ms.add(rt_ms);
         stats_.queue_at_arrival.add(response.queue_at_arrival);
         ++stats_.recorded;
+        m_response_time_ms_.record(rt_ms);
+      }
+      if (trace_.sampled(static_cast<std::uint64_t>(out.access.index))) {
+        trace_.record(static_cast<std::uint64_t>(out.access.index),
+                      telemetry::TracePoint::kResponse,
+                      static_cast<std::int32_t>(out.server_index), now,
+                      response.queue_at_arrival);
       }
       record_outcome(now, /*completed=*/true, rt_ms);
       consecutive_timeouts_[out.server_index] = 0;
       ++stats_.completed;
+      m_completed_.inc();
       ++resolved_;
+      m_in_flight_.fetch_sub(1, std::memory_order_relaxed);
       if (out.manager_acquired) release_manager_slot(out.server_index);
       outstanding_[idx] = outstanding_.back();
       outstanding_.pop_back();
@@ -541,11 +610,27 @@ void ClientNode::drain_poll_socket(std::size_t server_index) {
       }
       if (idx == poll_rounds_.size()) {
         ++stats_.polls_discarded;  // reply arrived after the round was decided
+        m_polls_discarded_.inc();
+        // The owning access is gone, so the discard is traced under the
+        // inquiry sequence instead of the access index.
+        if (trace_.sampled(reply.seq)) {
+          trace_.record(reply.seq, telemetry::TracePoint::kPollDiscard,
+                        static_cast<std::int32_t>(server_index),
+                        net::monotonic_now(), reply.queue_length);
+        }
         continue;
       }
       PollRound& round = poll_rounds_[idx];
       if (should_record(round.access)) {
-        stats_.poll_rtt_ms.add(to_ms(net::monotonic_now() - round.sent_at));
+        const double rtt_ms = to_ms(net::monotonic_now() - round.sent_at);
+        stats_.poll_rtt_ms.add(rtt_ms);
+        m_poll_rtt_ms_.record(rtt_ms);
+      }
+      if (trace_.sampled(static_cast<std::uint64_t>(round.access.index))) {
+        trace_.record(static_cast<std::uint64_t>(round.access.index),
+                      telemetry::TracePoint::kPollReply,
+                      static_cast<std::int32_t>(server_index),
+                      net::monotonic_now(), reply.queue_length);
       }
       // Store the endpoint *index* in the server field so the least-loaded
       // pick can be used directly (ids and indices coincide in experiments,
@@ -568,6 +653,7 @@ void ClientNode::fire_deadlines(SimTime now) {
   for (std::size_t i = 0; i < poll_rounds_.size();) {
     if (poll_rounds_[i].deadline <= now) {
       ++stats_.polls_timed_out;
+      m_polls_timed_out_.inc();
       finish_poll_round(i);  // swap-removes index i
     } else {
       ++i;
@@ -611,7 +697,9 @@ void ClientNode::fire_deadlines(SimTime now) {
       } else {
         record_outcome(now, /*completed=*/false, 0.0);
         ++stats_.response_timeouts;
+        m_response_timeouts_.inc();
         ++resolved_;
+        m_in_flight_.fetch_sub(1, std::memory_order_relaxed);
       }
     } else {
       ++i;
@@ -625,6 +713,12 @@ void ClientNode::release_manager_slot(std::size_t server_index) {
   if (!send_fixed(release, [&](auto p) { return manager_socket_->send(p); })) {
     ++stats_.send_failures;
   }
+}
+
+std::string ClientNode::stats_json() const {
+  return telemetry::to_json(
+      metrics_.snapshot("client." + std::to_string(options_.id)),
+      trace_.snapshot());
 }
 
 std::optional<SimTime> ClientNode::next_deadline(SimTime next_arrival) const {

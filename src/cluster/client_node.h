@@ -26,6 +26,7 @@
 //                          Release on completion.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -43,6 +44,8 @@
 #include "net/socket.h"
 #include "stats/accumulator.h"
 #include "stats/histogram.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "workload/workload.h"
 
 namespace finelb::cluster {
@@ -104,6 +107,13 @@ struct ClientOptions {
   /// as failed. 0 = fail on first timeout, the paper's behavior.
   int max_access_retries = 0;
 
+  /// Lifecycle tracing: every Nth access (by access index) leaves its full
+  /// enqueue → poll → pick → dispatch → response path in the client's trace
+  /// ring; 0 = off. Discarded poll replies are traced by inquiry sequence
+  /// (the owning access is already gone when the late reply lands).
+  std::uint32_t trace_sample_period = 0;
+  std::size_t trace_capacity = 256;
+
   std::uint64_t seed = 1;
 };
 
@@ -162,6 +172,16 @@ class ClientNode {
   void run();
 
   const ClientStats& stats() const { return stats_; }
+
+  /// Telemetry registry (metric naming: DESIGN.md §10). ClientStats stays
+  /// the authoritative experiment record; the registry mirrors the headline
+  /// counters/latencies in exporter form. Safe to scrape from another
+  /// thread while run() is live (every cell and probe reads atomics).
+  const telemetry::Registry& metrics() const { return metrics_; }
+  const telemetry::TraceRing& trace() const { return trace_; }
+
+  /// The node's snapshot (+ sampled trace) as JSON.
+  std::string stats_json() const;
 
  private:
   struct Access {
@@ -268,6 +288,27 @@ class ClientNode {
   SimTime run_started_at_ = 0;
 
   ClientStats stats_;
+
+  // Telemetry mirrors (handles into metrics_, created once in the
+  // constructor; recording is lock- and allocation-free).
+  telemetry::Registry metrics_;
+  telemetry::TraceRing trace_;
+  telemetry::Counter m_issued_;
+  telemetry::Counter m_completed_;
+  telemetry::Counter m_polls_sent_;
+  telemetry::Counter m_polls_discarded_;
+  telemetry::Counter m_polls_timed_out_;
+  telemetry::Counter m_fallback_dispatches_;
+  telemetry::Counter m_response_timeouts_;
+  telemetry::Counter m_send_failures_;
+  telemetry::Counter m_blacklist_insertions_;
+  telemetry::Counter m_blacklist_hits_;
+  telemetry::Histogram m_poll_rtt_ms_;
+  telemetry::Histogram m_response_time_ms_;
+  telemetry::Histogram m_poll_time_ms_;
+  /// Issued-minus-resolved accesses, kept as an atomic so the
+  /// requests_in_flight probe can run from a scraping thread.
+  std::atomic<std::int64_t> m_in_flight_{0};
 };
 
 }  // namespace finelb::cluster

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
+#include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -12,6 +14,7 @@
 #include "cluster/directory.h"
 #include "cluster/ideal_manager.h"
 #include "net/clock.h"
+#include "telemetry/export.h"
 
 namespace finelb::cluster {
 namespace {
@@ -74,6 +77,7 @@ PrototypeResult run_prototype(const PrototypeConfig& config,
     opts.busy_reply_xm = config.busy_reply_xm;
     opts.busy_slow_prob = config.busy_slow_prob;
     opts.fault = make_injector(static_cast<std::uint64_t>(s) + 1);
+    opts.trace_sample_period = config.trace_sample_period;
     opts.seed = config.seed + static_cast<std::uint64_t>(s) * 7919;
     servers.push_back(std::make_unique<ServerNode>(opts));
   }
@@ -156,6 +160,7 @@ PrototypeResult run_prototype(const PrototypeConfig& config,
     opts.blacklist_after = config.blacklist_after;
     opts.timeline_bucket = config.timeline_bucket;
     opts.max_access_retries = config.max_access_retries;
+    opts.trace_sample_period = config.trace_sample_period;
     if (directory && config.client_mapping_refresh > 0) {
       opts.directory = directory->address();
       opts.directory_service = kExperimentService;
@@ -166,6 +171,23 @@ PrototypeResult run_prototype(const PrototypeConfig& config,
         std::move(opts),
         workload.make_source(scale, config.seed + 211 +
                                         static_cast<std::uint64_t>(c) * 53)));
+  }
+
+  // --- observability ---------------------------------------------------------
+  const auto collect_cluster_stats = [&servers, &clients] {
+    std::vector<std::string> docs;
+    docs.reserve(servers.size() + clients.size());
+    for (const auto& server : servers) docs.push_back(server->stats_json());
+    for (const auto& client : clients) docs.push_back(client->stats_json());
+    return telemetry::cluster_to_json(docs);
+  };
+  if (config.stats_on_sigusr1) telemetry::install_sigusr1_dump_handler();
+  // The reporter polls every node registry from its own thread — safe while
+  // the run is live because every cell and probe reads atomics. Scoped so
+  // its thread joins before the nodes are torn down.
+  std::optional<telemetry::StderrReporter> reporter;
+  if (config.stats_report_interval > 0 || config.stats_on_sigusr1) {
+    reporter.emplace(collect_cluster_stats, config.stats_report_interval);
   }
 
   const SimTime started = net::monotonic_now();
@@ -208,6 +230,7 @@ PrototypeResult run_prototype(const PrototypeConfig& config,
   for (auto& thread : client_threads) thread.join();
   clients_done.store(true, std::memory_order_relaxed);
   if (killer.joinable()) killer.join();
+  reporter.reset();  // joins the reporter thread before nodes wind down
   const SimTime finished = net::monotonic_now();
 
   // --- collect ---------------------------------------------------------------
@@ -225,6 +248,14 @@ PrototypeResult run_prototype(const PrototypeConfig& config,
     result.faults.merge(injector->counters());
   }
   result.servers_killed = killed.load();
+  if (config.collect_node_stats) {
+    for (const auto& server : servers) {
+      result.node_stats_json.push_back(server->stats_json());
+    }
+    for (const auto& client : clients) {
+      result.node_stats_json.push_back(client->stats_json());
+    }
+  }
   result.offered_load = offered_load;
   result.wall_sec = to_sec(finished - started);
   result.throughput = result.wall_sec > 0.0

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "cluster/client_node.h"
@@ -80,6 +81,21 @@ struct PrototypeConfig {
   SimDuration timeline_bucket = 0;
   int max_access_retries = 0;
 
+  // --- observability (all off by default) ----------------------------------
+
+  /// Every Nth request leaves lifecycle records in its node's trace ring
+  /// (servers key on request id, clients on access index); 0 = off.
+  std::uint32_t trace_sample_period = 0;
+  /// Dump the merged cluster stats document to stderr this often while the
+  /// experiment runs (0 = never). SIGUSR1 forces a dump at any time.
+  SimDuration stats_report_interval = 0;
+  /// Install the process-wide SIGUSR1 handler so an operator can request a
+  /// stderr stats dump of a long run (`kill -USR1 <pid>`).
+  bool stats_on_sigusr1 = false;
+  /// Collect every node's final JSON stats document into
+  /// PrototypeResult::node_stats_json after the run.
+  bool collect_node_stats = false;
+
   std::uint64_t seed = 1;
 };
 
@@ -97,6 +113,10 @@ struct PrototypeResult {
   fault::FaultCounters faults;
   /// Servers actually stopped by the kill schedule.
   int servers_killed = 0;
+  /// Per-node exporter documents (servers then clients), populated when
+  /// PrototypeConfig::collect_node_stats is set. Merge with
+  /// telemetry::cluster_to_json for one cluster-wide document.
+  std::vector<std::string> node_stats_json;
 };
 
 /// Runs one full prototype experiment; blocking.

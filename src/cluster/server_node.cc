@@ -9,18 +9,33 @@
 #include "cluster/blocking_queue.h"
 #include "net/clock.h"
 #include "net/poller.h"
+#include "telemetry/export.h"
 
 namespace finelb::cluster {
 
 class ServerNode::Queue : public BlockingQueue<WorkItem> {};
 
 ServerNode::ServerNode(ServerOptions options)
-    : options_(options), queue_(std::make_unique<Queue>()) {
+    : options_(options),
+      trace_(options_.trace_capacity == 0 ? 1 : options_.trace_capacity,
+             options_.trace_sample_period),
+      queue_(std::make_unique<Queue>()) {
   FINELB_CHECK(options_.worker_threads >= 1, "need at least one worker");
   service_socket_.set_buffer_sizes(1 << 21);
   load_socket_.set_buffer_sizes(1 << 21);
   service_socket_.attach_fault_injector(options_.fault);
   load_socket_.attach_fault_injector(options_.fault);
+  m_served_ = metrics_.counter("requests_served");
+  m_inquiries_ = metrics_.counter("inquiries_answered");
+  m_send_failures_ = metrics_.counter("send_failures");
+  m_stats_scrapes_ = metrics_.counter("stats_scrapes");
+  m_service_time_ms_ = metrics_.histogram("service_time_ms");
+  m_queue_wait_ms_ = metrics_.histogram("queue_wait_ms");
+  metrics_.probe("queue_depth",
+                 [this] { return qlen_.load(std::memory_order_relaxed); });
+  metrics_.probe("max_queue_depth", [this] {
+    return max_qlen_.load(std::memory_order_relaxed);
+  });
 }
 
 ServerNode::~ServerNode() { stop(); }
@@ -100,6 +115,7 @@ void ServerNode::service_recv_loop() {
           continue;
         }
         item.reply_to = batch.address(i);
+        item.enqueued_at = net::monotonic_now();
         // Load index covers queued + in-service accesses: increment on
         // acceptance, decrement after the response is sent (worker_loop).
         item.queue_at_arrival = qlen_.fetch_add(1, std::memory_order_relaxed);
@@ -145,8 +161,10 @@ void ServerNode::load_recv_loop() {
     const std::size_t n = reply.encode_into(buf);
     if (!load_socket_.send_to({buf.data(), n}, to)) {
       send_failures_.fetch_add(1, std::memory_order_relaxed);
+      m_send_failures_.inc();
     }
     inquiries_.fetch_add(1, std::memory_order_relaxed);
+    m_inquiries_.inc();
   };
 
   while (running_.load(std::memory_order_relaxed)) {
@@ -162,6 +180,13 @@ void ServerNode::load_recv_loop() {
       for (std::size_t i = 0; i < inquiries.size(); ++i) {
         net::LoadInquiry inquiry;
         if (!net::LoadInquiry::try_decode(inquiries.payload(i), inquiry)) {
+          // Not a load inquiry: the observability pull channel shares this
+          // socket, so check for a stats scrape before dropping (cold path —
+          // answering allocates, which is fine off the polling fast path).
+          net::StatsInquiry stats;
+          if (net::StatsInquiry::try_decode(inquiries.payload(i), stats)) {
+            answer_stats_inquiry(stats.seq, inquiries.address(i));
+          }
           continue;
         }
         const std::int32_t qlen = qlen_.load(std::memory_order_relaxed);
@@ -205,8 +230,10 @@ void ServerNode::load_recv_loop() {
       send_failures_.fetch_add(
           static_cast<std::int64_t>(replies.size() - sent),
           std::memory_order_relaxed);
+      m_send_failures_.add(static_cast<std::int64_t>(replies.size() - sent));
       inquiries_.fetch_add(static_cast<std::int64_t>(replies.size()),
                            std::memory_order_relaxed);
+      m_inquiries_.add(static_cast<std::int64_t>(replies.size()));
     }
     if (!delayed.empty()) {
       const SimTime now = net::monotonic_now();
@@ -243,9 +270,16 @@ void ServerNode::worker_loop() {
         break;
       }
     }
+    const SimTime start = net::monotonic_now();
+    const SimDuration queue_wait = start - item.enqueued_at;
+    m_queue_wait_ms_.record(static_cast<double>(queue_wait) / 1e6);
+    const bool traced = trace_.sampled(item.request.request_id);
+    if (traced) {
+      trace_.record(item.request.request_id, telemetry::TracePoint::kServiceStart,
+                    options_.id, start, queue_wait);
+    }
     const SimTime deadline =
-        net::monotonic_now() +
-        static_cast<SimDuration>(item.request.service_us) * kMicrosecond;
+        start + static_cast<SimDuration>(item.request.service_us) * kMicrosecond;
     if (options_.spin_service) {
       net::spin_until(deadline);
     } else {
@@ -259,8 +293,18 @@ void ServerNode::worker_loop() {
     const std::size_t n = response.encode_into(buf);
     if (!service_socket_.send_to({buf.data(), n}, item.reply_to)) {
       send_failures_.fetch_add(1, std::memory_order_relaxed);
+      m_send_failures_.inc();
+    }
+    const SimTime done = net::monotonic_now();
+    m_service_time_ms_.record(static_cast<double>(done - start) / 1e6);
+    if (traced) {
+      trace_.record(item.request.request_id, telemetry::TracePoint::kResponse,
+                    options_.id, done, item.queue_at_arrival);
     }
     qlen_.fetch_sub(1, std::memory_order_relaxed);
+    // Telemetry first: anyone polling counters() for completion then
+    // scraping the registry sees the served count already mirrored.
+    m_served_.inc();
     served_.fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -310,6 +354,28 @@ void ServerNode::broadcast_loop() {
       net::sleep_for(std::min<SimDuration>(until - net::monotonic_now(),
                                            20 * kMillisecond));
     }
+  }
+}
+
+std::string ServerNode::stats_json() const {
+  return telemetry::to_json(
+      metrics_.snapshot("server." + std::to_string(options_.id)),
+      trace_.snapshot());
+}
+
+void ServerNode::answer_stats_inquiry(std::uint64_t seq,
+                                      const net::Address& to) {
+  m_stats_scrapes_.inc();
+  net::StatsReply reply;
+  reply.seq = seq;
+  reply.payload = stats_json();
+  std::vector<std::uint8_t> buf(reply.encoded_size());
+  const std::size_t n = reply.encode_into(buf);
+  // n == 0 means the snapshot outgrew the wire format's 64 KiB string cap;
+  // treat it like a kernel-refused send rather than crashing the node.
+  if (n == 0 || !load_socket_.send_to({buf.data(), n}, to)) {
+    send_failures_.fetch_add(1, std::memory_order_relaxed);
+    m_send_failures_.inc();
   }
 }
 

@@ -45,6 +45,8 @@
 #include "fault/fault.h"
 #include "net/message.h"
 #include "net/socket.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace finelb::cluster {
 
@@ -70,6 +72,11 @@ struct ServerOptions {
   /// Fault injector attached to the service and load-index sockets
   /// (loss/dup/delay per fault/fault.h). Null = no injection.
   std::shared_ptr<fault::FaultInjector> fault;
+
+  /// Lifecycle tracing: every Nth request (by request id) leaves
+  /// kServiceStart/kResponse records in the node's trace ring; 0 = off.
+  std::uint32_t trace_sample_period = 0;
+  std::size_t trace_capacity = 256;
 
   std::uint64_t seed = 1;
 };
@@ -121,15 +128,26 @@ class ServerNode {
 
   ServerCounters counters() const;
 
+  /// Telemetry registry (metric naming: DESIGN.md §10). Scraping via
+  /// metrics().snapshot() is safe while the node is running.
+  const telemetry::Registry& metrics() const { return metrics_; }
+  const telemetry::TraceRing& trace() const { return trace_; }
+
+  /// The node's snapshot (+ sampled trace) as JSON — what a STATS_INQUIRY
+  /// on the load socket answers with.
+  std::string stats_json() const;
+
  private:
   struct WorkItem {
     net::ServiceRequest request;
     net::Address reply_to;
     std::int32_t queue_at_arrival = 0;
+    SimTime enqueued_at = 0;
   };
 
   void service_recv_loop();
   void load_recv_loop();
+  void answer_stats_inquiry(std::uint64_t seq, const net::Address& to);
   void publish_loop();
   void broadcast_loop();
   void worker_loop();
@@ -145,6 +163,18 @@ class ServerNode {
   std::atomic<std::int64_t> inquiries_{0};
   std::atomic<std::int32_t> max_qlen_{0};
   std::atomic<std::int64_t> send_failures_{0};
+
+  // Telemetry: counters/histograms are handles into metrics_ (created once
+  // in the constructor; recording is lock- and allocation-free), queue depth
+  // is exposed as a probe gauge reading qlen_ at scrape time.
+  telemetry::Registry metrics_;
+  telemetry::TraceRing trace_;
+  telemetry::Counter m_served_;
+  telemetry::Counter m_inquiries_;
+  telemetry::Counter m_send_failures_;
+  telemetry::Counter m_stats_scrapes_;
+  telemetry::Histogram m_service_time_ms_;
+  telemetry::Histogram m_queue_wait_ms_;
 
   // Worker pool + request queue (defined in server_node.cc to keep the
   // header light).

@@ -2,8 +2,11 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 #include <string>
+
+#include "common/flags.h"
 
 namespace finelb {
 namespace {
@@ -35,6 +38,18 @@ LogLevel parse_log_level(std::string_view name) {
   if (name == "info") return LogLevel::kInfo;
   if (name == "error") return LogLevel::kError;
   return LogLevel::kWarn;
+}
+
+void init_log_level() {
+  if (const char* env = std::getenv("FINELB_LOG")) {
+    set_log_level(parse_log_level(env));
+  }
+}
+
+void init_log_level(const Flags& flags) {
+  init_log_level();
+  const std::string flag = flags.get_string("log-level", "");
+  if (!flag.empty()) set_log_level(parse_log_level(flag));
 }
 
 namespace detail {

@@ -21,6 +21,17 @@ LogLevel log_level();
 /// Parses "debug"/"info"/"warn"/"error"; returns kWarn for unknown names.
 LogLevel parse_log_level(std::string_view name);
 
+class Flags;
+
+/// Initializes the global log level from the FINELB_LOG environment
+/// variable ("debug"/"info"/"warn"/"error"); leaves the default untouched
+/// when unset. Call once at the top of main().
+void init_log_level();
+
+/// As above, then lets an explicit --log-level=<level> flag override the
+/// environment — the convention every bench and example follows.
+void init_log_level(const Flags& flags);
+
 namespace detail {
 void log_line(LogLevel level, std::string_view component,
               std::string_view message);

@@ -7,6 +7,7 @@
 #include "net/clock.h"
 #include "net/message.h"
 #include "net/poller.h"
+#include "telemetry/export.h"
 
 namespace finelb::neptune {
 
@@ -18,6 +19,13 @@ ServiceNode::ServiceNode(ServiceNodeOptions options)
   FINELB_CHECK(options_.worker_threads >= 1, "need at least one worker");
   service_socket_.set_buffer_sizes(1 << 21);
   load_socket_.set_buffer_sizes(1 << 20);
+  m_served_ = metrics_.counter("requests_served");
+  m_app_errors_ = metrics_.counter("app_errors");
+  m_stats_scrapes_ = metrics_.counter("stats_scrapes");
+  m_send_failures_ = metrics_.counter("send_failures");
+  m_handler_time_ms_ = metrics_.histogram("service_time_ms");
+  metrics_.probe("queue_depth",
+                 [this] { return qlen_.load(std::memory_order_relaxed); });
 }
 
 ServiceNode::~ServiceNode() { stop(); }
@@ -107,7 +115,14 @@ void ServiceNode::load_recv_loop() {
       for (std::size_t i = 0; i < inquiries.size(); ++i) {
         net::LoadInquiry inquiry;
         if (!net::LoadInquiry::try_decode(inquiries.payload(i), inquiry)) {
-          continue;  // ignore malformed inquiries
+          // Not a load inquiry: the observability pull channel shares this
+          // socket, so check for a stats scrape before dropping (cold path —
+          // answering allocates, which is fine off the polling fast path).
+          net::StatsInquiry stats;
+          if (net::StatsInquiry::try_decode(inquiries.payload(i), stats)) {
+            answer_stats_inquiry(stats.seq, inquiries.address(i));
+          }
+          continue;
         }
         net::LoadReply reply;
         reply.seq = inquiry.seq;
@@ -124,6 +139,26 @@ void ServiceNode::load_recv_loop() {
       }
       load_socket_.send_batch(replies);
     }
+  }
+}
+
+std::string ServiceNode::stats_json() const {
+  return telemetry::to_json(metrics_.snapshot(
+      "neptune." + options_.service_name + "." + std::to_string(options_.id)));
+}
+
+void ServiceNode::answer_stats_inquiry(std::uint64_t seq,
+                                       const net::Address& to) {
+  m_stats_scrapes_.inc();
+  net::StatsReply reply;
+  reply.seq = seq;
+  reply.payload = stats_json();
+  std::vector<std::uint8_t> buf(reply.encoded_size());
+  const std::size_t n = reply.encode_into(buf);
+  // n == 0 means the snapshot outgrew the wire format's 64 KiB string cap;
+  // treat it like a kernel-refused send rather than crashing the node.
+  if (n == 0 || !load_socket_.send_to({buf.data(), n}, to)) {
+    m_send_failures_.inc();
   }
 }
 
@@ -151,6 +186,7 @@ RpcResponse ServiceNode::execute(const WorkItem& item) {
         << " failed: " << e.what();
     response.status = RpcStatus::kAppError;
     app_errors_.fetch_add(1, std::memory_order_relaxed);
+    m_app_errors_.inc();
   }
   return response;
 }
@@ -159,14 +195,22 @@ void ServiceNode::worker_loop() {
   while (true) {
     auto item = queue_.pop();
     if (!item) return;
+    const SimTime start = net::monotonic_now();
     const RpcResponse response = execute(*item);
+    m_handler_time_ms_.record(
+        static_cast<double>(net::monotonic_now() - start) / 1e6);
     // Encode through the worker's thread-local scratch: no per-response
     // heap vector, whatever the result payload size.
     const std::span<std::uint8_t> out =
         net::thread_scratch(response.encoded_size());
     const std::size_t n = response.encode_into(out);
-    service_socket_.send_to(out.subspan(0, n), item->reply_to);
+    if (!service_socket_.send_to(out.subspan(0, n), item->reply_to)) {
+      m_send_failures_.inc();
+    }
     qlen_.fetch_sub(1, std::memory_order_relaxed);
+    // Telemetry first: anyone polling accesses_served() for completion then
+    // scraping the registry sees the served count already mirrored.
+    m_served_.inc();
     served_.fetch_add(1, std::memory_order_relaxed);
   }
 }

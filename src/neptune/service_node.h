@@ -27,6 +27,7 @@
 #include "core/load_index.h"
 #include "net/socket.h"
 #include "neptune/rpc.h"
+#include "telemetry/metrics.h"
 
 namespace finelb::neptune {
 
@@ -72,6 +73,14 @@ class ServiceNode {
   std::int64_t accesses_served() const { return served_.load(); }
   std::int64_t app_errors() const { return app_errors_.load(); }
 
+  /// Telemetry registry (metric naming: DESIGN.md §10). Scraping via
+  /// metrics().snapshot() is safe while the node is running; remote scrapes
+  /// arrive as STATS_INQUIRY datagrams on the load socket.
+  const telemetry::Registry& metrics() const { return metrics_; }
+
+  /// The node's snapshot as JSON — what a STATS_INQUIRY answers with.
+  std::string stats_json() const;
+
  private:
   struct WorkItem {
     RpcRequest request;
@@ -81,6 +90,7 @@ class ServiceNode {
 
   void service_recv_loop();
   void load_recv_loop();
+  void answer_stats_inquiry(std::uint64_t seq, const net::Address& to);
   void publish_loop();
   void worker_loop();
   RpcResponse execute(const WorkItem& item);
@@ -95,6 +105,15 @@ class ServiceNode {
   std::atomic<std::int32_t> qlen_{0};
   std::atomic<std::int64_t> served_{0};
   std::atomic<std::int64_t> app_errors_{0};
+
+  // Telemetry (handles into metrics_, created once in the constructor;
+  // recording is lock- and allocation-free).
+  telemetry::Registry metrics_;
+  telemetry::Counter m_served_;
+  telemetry::Counter m_app_errors_;
+  telemetry::Counter m_stats_scrapes_;
+  telemetry::Counter m_send_failures_;
+  telemetry::Histogram m_handler_time_ms_;
 
   cluster::BlockingQueue<WorkItem> queue_;
   std::vector<std::thread> threads_;

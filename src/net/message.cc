@@ -386,4 +386,58 @@ Subscribe Subscribe::decode(std::span<const std::uint8_t> data) {
   return decode_via<Subscribe>(data, "malformed Subscribe");
 }
 
+std::size_t StatsInquiry::encoded_size() const { return 1 + 8; }
+
+std::size_t StatsInquiry::encode_into(std::span<std::uint8_t> out) const {
+  SpanWriter w(out);
+  w.u8(static_cast<std::uint8_t>(MsgType::kStatsInquiry));
+  w.u64(seq);
+  return w.ok() ? w.size() : 0;
+}
+
+bool StatsInquiry::try_decode(std::span<const std::uint8_t> data,
+                              StatsInquiry& out) {
+  TryReader r(data);
+  if (!expect_type(r, MsgType::kStatsInquiry)) return false;
+  out.seq = r.u64();
+  return r.ok();
+}
+
+std::vector<std::uint8_t> StatsInquiry::encode() const {
+  return encode_via(*this);
+}
+
+StatsInquiry StatsInquiry::decode(std::span<const std::uint8_t> data) {
+  return decode_via<StatsInquiry>(data, "malformed StatsInquiry");
+}
+
+std::size_t StatsReply::encoded_size() const {
+  return 1 + 8 + 2 + payload.size();
+}
+
+std::size_t StatsReply::encode_into(std::span<std::uint8_t> out) const {
+  SpanWriter w(out);
+  w.u8(static_cast<std::uint8_t>(MsgType::kStatsReply));
+  w.u64(seq);
+  w.str(payload);
+  return w.ok() ? w.size() : 0;
+}
+
+bool StatsReply::try_decode(std::span<const std::uint8_t> data,
+                            StatsReply& out) {
+  TryReader r(data);
+  if (!expect_type(r, MsgType::kStatsReply)) return false;
+  out.seq = r.u64();
+  r.str(out.payload);
+  return r.ok();
+}
+
+std::vector<std::uint8_t> StatsReply::encode() const {
+  return encode_via(*this);
+}
+
+StatsReply StatsReply::decode(std::span<const std::uint8_t> data) {
+  return decode_via<StatsReply>(data, "malformed StatsReply");
+}
+
 }  // namespace finelb::net

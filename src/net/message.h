@@ -42,6 +42,8 @@ enum class MsgType : std::uint8_t {
   kSnapshotReply = 10,
   kLoadAnnounce = 11,
   kSubscribe = 12,
+  kStatsInquiry = 13,
+  kStatsReply = 14,
 };
 
 /// Peeks at the type tag; throws on empty payloads.
@@ -212,6 +214,37 @@ struct Subscribe {
 
   std::vector<std::uint8_t> encode() const;
   static Subscribe decode(std::span<const std::uint8_t> data);
+};
+
+/// Asks a node's load-index UDP server for a telemetry snapshot (the
+/// observability pull channel; answered out-of-band from LoadInquiry on the
+/// same socket, so scrapers need no extra port).
+struct StatsInquiry {
+  std::uint64_t seq = 0;
+
+  std::size_t encoded_size() const;
+  std::size_t encode_into(std::span<std::uint8_t> out) const;
+  static bool try_decode(std::span<const std::uint8_t> data,
+                         StatsInquiry& out);
+
+  std::vector<std::uint8_t> encode() const;
+  static StatsInquiry decode(std::span<const std::uint8_t> data);
+};
+
+/// The snapshot answer: a JSON document (telemetry::to_json). Senders must
+/// keep the payload under the str() codec's 64 KiB limit — encode_into
+/// returns 0 for larger payloads, as it does for any undersized buffer.
+struct StatsReply {
+  std::uint64_t seq = 0;
+  std::string payload;
+
+  std::size_t encoded_size() const;
+  std::size_t encode_into(std::span<std::uint8_t> out) const;
+  /// try_decode assigns into out.payload, reusing its capacity across calls.
+  static bool try_decode(std::span<const std::uint8_t> data, StatsReply& out);
+
+  std::vector<std::uint8_t> encode() const;
+  static StatsReply decode(std::span<const std::uint8_t> data);
 };
 
 /// Generous stack-buffer size for every fixed-size message type's

@@ -1,0 +1,60 @@
+#include "sim/telemetry.h"
+
+#include <string>
+
+#include "telemetry/export.h"
+
+namespace finelb::sim {
+namespace {
+
+// LatencyHistogram keeps its buckets private (and at 32 sub-buckets per
+// octave a full dump would dwarf the document), so the simulator's
+// distribution is summarized by its quantile surface; `mean` comes from the
+// exact accumulator that records alongside it.
+telemetry::HistogramSnapshot summarize(const LatencyHistogram& hist,
+                                       double mean, std::string name) {
+  telemetry::HistogramSnapshot snap;
+  snap.name = std::move(name);
+  snap.count = hist.count();
+  snap.mean = mean;
+  snap.p50 = hist.p50();
+  snap.p95 = hist.p95();
+  snap.p99 = hist.p99();
+  snap.min = hist.recorded_min();
+  snap.max = hist.recorded_max();
+  return snap;
+}
+
+}  // namespace
+
+telemetry::MetricsSnapshot to_metrics_snapshot(const SimResult& result,
+                                               std::string_view node) {
+  telemetry::MetricsSnapshot snap;
+  snap.node = std::string(node);
+  // Counter names follow the prototype ClientNode registry.
+  snap.counters = {
+      {"requests_completed", result.completed},
+      {"response_timeouts", result.failed},
+      {"polls_sent", result.polls_sent},
+      {"polls_discarded", result.polls_discarded},
+      {"fallback_dispatches", result.poll_fallbacks},
+      {"broadcasts_sent", result.broadcasts_sent},
+      {"messages_total", result.messages},
+      {"drops_injected", result.drops_injected},
+  };
+  snap.values = {
+      {"utilization", result.utilization},
+      {"poll_time_ms_mean", result.poll_time_ms.mean()},
+      {"queue_at_arrival_mean", result.queue_on_arrival.mean()},
+  };
+  snap.histograms.push_back(summarize(result.response_hist_ms,
+                                      result.response_ms.mean(),
+                                      "response_time_ms"));
+  return snap;
+}
+
+std::string to_stats_json(const SimResult& result, std::string_view node) {
+  return telemetry::to_json(to_metrics_snapshot(result, node));
+}
+
+}  // namespace finelb::sim

@@ -1,0 +1,26 @@
+// Simulator-side telemetry adapter: maps a SimResult onto the same
+// MetricsSnapshot document the prototype nodes export (DESIGN.md §10), so a
+// sweep's JSON output and a live cluster scrape can be diffed field-for-
+// field. The simulator itself records through SimResult's accumulators (no
+// registry on the event loop — the sim is single-threaded and already
+// allocation-free); this adapter is a pure post-run translation.
+#pragma once
+
+#include <string_view>
+
+#include "sim/config.h"
+#include "telemetry/metrics.h"
+
+namespace finelb::sim {
+
+/// Translates a finished simulation into the exporter schema under node name
+/// `node` (convention: "sim.<policy>"). Counter/histogram names match the
+/// prototype ClientNode/ServerNode metrics; quantities the simulator only
+/// has in aggregate (utilization, queue-on-arrival mean) land in `values`.
+telemetry::MetricsSnapshot to_metrics_snapshot(const SimResult& result,
+                                               std::string_view node);
+
+/// The simulation snapshot as the exporter's JSON document.
+std::string to_stats_json(const SimResult& result, std::string_view node);
+
+}  // namespace finelb::sim

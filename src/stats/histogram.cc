@@ -6,56 +6,16 @@
 #include "common/check.h"
 
 namespace finelb {
-namespace {
-// Exponent range covered by the histogram: 2^-40 (~1e-12) .. 2^40 (~1e12).
-// Values outside clamp to the edge buckets. Bucket 0 is reserved for zero.
-constexpr int kMinExp = -40;
-constexpr int kMaxExp = 40;
-}  // namespace
 
 LatencyHistogram::LatencyHistogram(int sub_bucket_bits)
-    : sub_bucket_bits_(sub_bucket_bits),
-      sub_bucket_count_(std::int64_t{1} << sub_bucket_bits) {
+    : scheme_{sub_bucket_bits, /*min_exp=*/-40, /*max_exp=*/40} {
   FINELB_CHECK(sub_bucket_bits >= 0 && sub_bucket_bits <= 12,
                "sub_bucket_bits out of range");
-  const std::size_t total =
-      static_cast<std::size_t>((kMaxExp - kMinExp + 1) * sub_bucket_count_) +
-      1;
-  buckets_.assign(total, 0);
-}
-
-std::size_t LatencyHistogram::bucket_index(double value) const {
-  if (!(value > 0.0)) return 0;  // zero, negatives, and NaN all land here
-  int exp = 0;
-  const double mantissa = std::frexp(value, &exp);  // mantissa in [0.5, 1)
-  exp = std::clamp(exp, kMinExp, kMaxExp);
-  auto sub = static_cast<std::int64_t>((mantissa - 0.5) * 2.0 *
-                                       static_cast<double>(sub_bucket_count_));
-  sub = std::clamp<std::int64_t>(sub, 0, sub_bucket_count_ - 1);
-  return static_cast<std::size_t>(
-      (static_cast<std::int64_t>(exp - kMinExp)) * sub_bucket_count_ + sub +
-      1);
-}
-
-double LatencyHistogram::bucket_lower(std::size_t index) const {
-  if (index == 0) return 0.0;
-  const std::int64_t linear = static_cast<std::int64_t>(index) - 1;
-  const int exp = static_cast<int>(linear / sub_bucket_count_) + kMinExp;
-  const std::int64_t sub = linear % sub_bucket_count_;
-  const double mantissa =
-      0.5 + 0.5 * static_cast<double>(sub) / static_cast<double>(
-                                                 sub_bucket_count_);
-  return std::ldexp(mantissa, exp);
-}
-
-double LatencyHistogram::bucket_upper(std::size_t index) const {
-  if (index == 0) return 0.0;
-  if (index + 1 >= buckets_.size()) return bucket_lower(index) * 2.0;
-  return bucket_lower(index + 1);
+  buckets_.assign(scheme_.bucket_count(), 0);
 }
 
 void LatencyHistogram::add(double value) {
-  const std::size_t index = bucket_index(value);
+  const std::size_t index = scheme_.index(value);
   ++buckets_[index];
   const double clamped = value > 0.0 ? value : 0.0;
   if (count_ == 0) {
@@ -68,7 +28,7 @@ void LatencyHistogram::add(double value) {
 }
 
 void LatencyHistogram::merge(const LatencyHistogram& other) {
-  FINELB_CHECK(sub_bucket_bits_ == other.sub_bucket_bits_,
+  FINELB_CHECK(scheme_.sub_bucket_bits == other.scheme_.sub_bucket_bits,
                "cannot merge histograms with different resolutions");
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     buckets_[i] += other.buckets_[i];
@@ -94,9 +54,7 @@ double LatencyHistogram::quantile(double q) const {
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     seen += buckets_[i];
     if (seen >= rank && buckets_[i] > 0) {
-      if (i == 0) return 0.0;
-      // Geometric midpoint is the natural representative of a log bucket.
-      return std::sqrt(bucket_lower(i) * bucket_upper(i));
+      return scheme_.representative(i);
     }
   }
   return max_;
@@ -104,7 +62,7 @@ double LatencyHistogram::quantile(double q) const {
 
 double LatencyHistogram::fraction_above(double threshold) const {
   if (count_ == 0) return 0.0;
-  const std::size_t cutoff = bucket_index(threshold);
+  const std::size_t cutoff = scheme_.index(threshold);
   std::int64_t above = 0;
   for (std::size_t i = cutoff + 1; i < buckets_.size(); ++i) {
     above += buckets_[i];

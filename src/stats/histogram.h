@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "stats/log_buckets.h"
+
 namespace finelb {
 
 class LatencyHistogram {
@@ -41,12 +43,7 @@ class LatencyHistogram {
   double recorded_max() const { return count_ > 0 ? max_ : 0.0; }
 
  private:
-  std::size_t bucket_index(double value) const;
-  double bucket_lower(std::size_t index) const;
-  double bucket_upper(std::size_t index) const;
-
-  int sub_bucket_bits_;
-  std::int64_t sub_bucket_count_;
+  LogBucketing scheme_;
   std::vector<std::int64_t> buckets_;
   std::int64_t count_ = 0;
   double min_ = 0.0;

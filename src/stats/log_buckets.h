@@ -1,0 +1,72 @@
+// Shared log-bucketing scheme (HdrHistogram-style: base-2 exponent with
+// linear sub-buckets).
+//
+// Factored out of LatencyHistogram so the telemetry registry's lock-free
+// sharded histograms index values with the *same* bucket geometry — sim
+// results and scraped prototype snapshots then quantize identically and are
+// directly comparable. Bucket 0 is reserved for zero (negatives and NaN
+// clamp there); exponents outside [min_exp, max_exp] clamp to the edge
+// buckets, so index() is total over all doubles.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace finelb {
+
+struct LogBucketing {
+  int sub_bucket_bits = 5;  // 2^bits linear sub-buckets per power of two
+  int min_exp = -40;
+  int max_exp = 40;
+
+  constexpr std::int64_t sub_bucket_count() const {
+    return std::int64_t{1} << sub_bucket_bits;
+  }
+
+  constexpr std::size_t bucket_count() const {
+    return static_cast<std::size_t>((max_exp - min_exp + 1) *
+                                    sub_bucket_count()) +
+           1;
+  }
+
+  std::size_t index(double value) const {
+    if (!(value > 0.0)) return 0;  // zero, negatives, and NaN all land here
+    int exp = 0;
+    const double mantissa = std::frexp(value, &exp);  // mantissa in [0.5, 1)
+    exp = std::clamp(exp, min_exp, max_exp);
+    auto sub = static_cast<std::int64_t>(
+        (mantissa - 0.5) * 2.0 * static_cast<double>(sub_bucket_count()));
+    sub = std::clamp<std::int64_t>(sub, 0, sub_bucket_count() - 1);
+    return static_cast<std::size_t>(
+        (static_cast<std::int64_t>(exp - min_exp)) * sub_bucket_count() + sub +
+        1);
+  }
+
+  double lower(std::size_t index) const {
+    if (index == 0) return 0.0;
+    const std::int64_t linear = static_cast<std::int64_t>(index) - 1;
+    const int exp = static_cast<int>(linear / sub_bucket_count()) + min_exp;
+    const std::int64_t sub = linear % sub_bucket_count();
+    const double mantissa =
+        0.5 +
+        0.5 * static_cast<double>(sub) /
+            static_cast<double>(sub_bucket_count());
+    return std::ldexp(mantissa, exp);
+  }
+
+  double upper(std::size_t index) const {
+    if (index == 0) return 0.0;
+    if (index + 1 >= bucket_count()) return lower(index) * 2.0;
+    return lower(index + 1);
+  }
+
+  /// Geometric midpoint: the natural representative of a log bucket.
+  double representative(std::size_t index) const {
+    if (index == 0) return 0.0;
+    return std::sqrt(lower(index) * upper(index));
+  }
+};
+
+}  // namespace finelb

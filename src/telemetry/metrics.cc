@@ -1,0 +1,143 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace finelb::telemetry {
+
+namespace detail {
+
+int shard_index() {
+  thread_local const int idx = [] {
+    static std::atomic<unsigned> next{0};
+    return static_cast<int>(next.fetch_add(1, std::memory_order_relaxed) %
+                            static_cast<unsigned>(kShards));
+  }();
+  return idx;
+}
+
+}  // namespace detail
+
+detail::CounterCell* Registry::find_or_create_cell(
+    std::vector<std::unique_ptr<detail::CounterCell>>& cells,
+    std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& cell : cells) {
+    if (cell->name == name) return cell.get();
+  }
+  cells.push_back(std::make_unique<detail::CounterCell>());
+  cells.back()->name = std::string(name);
+  return cells.back().get();
+}
+
+Counter Registry::counter(std::string_view name) {
+  if constexpr (!kEnabled) return Counter();
+  return Counter(find_or_create_cell(counters_, name));
+}
+
+Gauge Registry::gauge(std::string_view name) {
+  if constexpr (!kEnabled) return Gauge();
+  return Gauge(find_or_create_cell(gauges_, name));
+}
+
+Histogram Registry::histogram(std::string_view name) {
+  if constexpr (!kEnabled) return Histogram();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& cell : histograms_) {
+    if (cell->name == name) return Histogram(cell.get());
+  }
+  auto cell = std::make_unique<detail::HistogramCell>();
+  cell->name = std::string(name);
+  cell->shards = std::make_unique<detail::HistogramShard[]>(detail::kShards);
+  histograms_.push_back(std::move(cell));
+  return Histogram(histograms_.back().get());
+}
+
+void Registry::probe(std::string_view name, std::function<std::int64_t()> fn) {
+  if constexpr (!kEnabled) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& probe : probes_) {
+    if (probe.name == name) {
+      probe.fn = std::move(fn);
+      return;
+    }
+  }
+  probes_.push_back({std::string(name), std::move(fn)});
+}
+
+namespace {
+
+HistogramSnapshot aggregate_histogram(const detail::HistogramCell& cell) {
+  HistogramSnapshot snap;
+  snap.name = cell.name;
+  std::vector<std::int64_t> totals(detail::kHistBuckets, 0);
+  double sum = 0.0;
+  for (int s = 0; s < detail::kShards; ++s) {
+    const detail::HistogramShard& shard = cell.shards[s];
+    for (std::size_t i = 0; i < detail::kHistBuckets; ++i) {
+      totals[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+    sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  // Count is derived from the buckets actually read, so count and quantiles
+  // are always mutually consistent even mid-write; `sum` (and hence the
+  // mean) may trail by in-flight records, which is fine for a mean.
+  bool saw_any = false;
+  for (std::size_t i = 0; i < detail::kHistBuckets; ++i) {
+    if (totals[i] > 0) {
+      snap.count += totals[i];
+      snap.buckets.emplace_back(detail::kHistBucketing.representative(i),
+                                totals[i]);
+      if (!saw_any) snap.min = detail::kHistBucketing.lower(i);
+      saw_any = true;
+      snap.max = detail::kHistBucketing.upper(i);
+    }
+  }
+  if (snap.count == 0) return snap;
+  snap.mean = sum / static_cast<double>(snap.count);
+  const auto quantile = [&](double q) {
+    const auto rank = static_cast<std::int64_t>(
+        std::ceil(q * static_cast<double>(snap.count)));
+    std::int64_t seen = 0;
+    for (std::size_t i = 0; i < detail::kHistBuckets; ++i) {
+      seen += totals[i];
+      if (seen >= rank && totals[i] > 0) {
+        return detail::kHistBucketing.representative(i);
+      }
+    }
+    return detail::kHistBucketing.representative(detail::kHistBuckets - 1);
+  };
+  snap.p50 = quantile(0.50);
+  snap.p95 = quantile(0.95);
+  snap.p99 = quantile(0.99);
+  return snap;
+}
+
+}  // namespace
+
+MetricsSnapshot Registry::snapshot(std::string_view node) const {
+  MetricsSnapshot snap;
+  snap.node = std::string(node);
+  if constexpr (!kEnabled) return snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& cell : counters_) {
+    snap.counters.emplace_back(cell->name,
+                               cell->value.load(std::memory_order_relaxed));
+  }
+  snap.gauges.reserve(gauges_.size() + probes_.size());
+  for (const auto& cell : gauges_) {
+    snap.gauges.emplace_back(cell->name,
+                             cell->value.load(std::memory_order_relaxed));
+  }
+  for (const auto& probe : probes_) {
+    snap.gauges.emplace_back(probe.name, probe.fn());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& cell : histograms_) {
+    snap.histograms.push_back(aggregate_histogram(*cell));
+  }
+  return snap;
+}
+
+}  // namespace finelb::telemetry

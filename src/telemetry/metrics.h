@@ -1,0 +1,201 @@
+// Lock-free, allocation-free-on-the-hot-path metrics registry.
+//
+// Handles (Counter / Gauge / Histogram) are plain pointers into cells owned
+// by a Registry; recording is one or two relaxed atomic RMWs with zero
+// allocation, zero locking, and no stores shared between unrelated metrics.
+// Histograms reuse the stats/log_buckets.h bucketing scheme but shard their
+// bucket arrays per thread (same discipline as net::thread_scratch gives the
+// wire path its per-thread buffers): writers on different threads land on
+// different cache lines, and a scrape aggregates all shards with relaxed
+// loads — always a consistent total per bucket, never a torn counter,
+// because every word is a single 64-bit atomic.
+//
+// The whole subsystem compiles to nothing when the build sets
+// FINELB_TELEMETRY_DISABLED (cmake -DFINELB_TELEMETRY=OFF): record calls are
+// `if constexpr` eliminated and the registry hands out null handles without
+// allocating cells, so call sites stay unconditional.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "stats/log_buckets.h"
+
+namespace finelb::telemetry {
+
+#if defined(FINELB_TELEMETRY_DISABLED)
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
+namespace detail {
+
+// Telemetry histograms trade resolution for footprint relative to
+// LatencyHistogram: 16 sub-buckets (~6% relative error) over 2^-20..2^30
+// (values are milliseconds, so ~1 ns .. ~12 days) keeps a shard's bucket
+// array at ~6.4 KB.
+inline constexpr LogBucketing kHistBucketing{/*sub_bucket_bits=*/4,
+                                             /*min_exp=*/-20,
+                                             /*max_exp=*/30};
+inline constexpr std::size_t kHistBuckets = kHistBucketing.bucket_count();
+
+// Threads hash onto a fixed set of shards; collisions stay correct (buckets
+// are atomics), they just contend a little.
+inline constexpr int kShards = 8;
+
+int shard_index();
+
+struct CounterCell {
+  std::string name;
+  std::atomic<std::int64_t> value{0};
+};
+
+struct alignas(64) HistogramShard {
+  std::atomic<double> sum{0.0};
+  std::array<std::atomic<std::int64_t>, kHistBuckets> buckets{};
+};
+
+struct HistogramCell {
+  std::string name;
+  // Shards are heap-allocated once at registration (cold path); the hot path
+  // only ever indexes into them.
+  std::unique_ptr<HistogramShard[]> shards;
+};
+
+}  // namespace detail
+
+/// Monotonic event count. Copyable value handle; thread-safe.
+class Counter {
+ public:
+  Counter() = default;
+
+  void add(std::int64_t n) const {
+    if constexpr (kEnabled) {
+      if (cell_ == nullptr) return;  // default-constructed: no-op
+      cell_->value.fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+  void inc() const { add(1); }
+
+ private:
+  friend class Registry;
+  explicit Counter(detail::CounterCell* cell) : cell_(cell) {}
+  detail::CounterCell* cell_ = nullptr;
+};
+
+/// Last-write-wins instantaneous value. Copyable value handle; thread-safe.
+class Gauge {
+ public:
+  Gauge() = default;
+
+  void set(std::int64_t v) const {
+    if constexpr (kEnabled) {
+      if (cell_ == nullptr) return;
+      cell_->value.store(v, std::memory_order_relaxed);
+    }
+  }
+  void add(std::int64_t delta) const {
+    if constexpr (kEnabled) {
+      if (cell_ == nullptr) return;
+      cell_->value.fetch_add(delta, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  friend class Registry;
+  explicit Gauge(detail::CounterCell* cell) : cell_(cell) {}
+  detail::CounterCell* cell_ = nullptr;
+};
+
+/// Log-bucketed distribution. Copyable value handle; thread-safe: each
+/// record is two relaxed RMWs on the caller's shard.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void record(double value) const {
+    if constexpr (kEnabled) {
+      if (cell_ == nullptr) return;
+      detail::HistogramShard& shard = cell_->shards[detail::shard_index()];
+      shard.buckets[detail::kHistBucketing.index(value)].fetch_add(
+          1, std::memory_order_relaxed);
+      shard.sum.fetch_add(value > 0.0 ? value : 0.0,
+                          std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  friend class Registry;
+  explicit Histogram(detail::HistogramCell* cell) : cell_(cell) {}
+  detail::HistogramCell* cell_ = nullptr;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::int64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double min = 0.0;  // lower bound of the lowest occupied bucket
+  double max = 0.0;  // upper bound of the highest occupied bucket
+  /// Occupied buckets as (representative value, count), ascending.
+  std::vector<std::pair<double, std::int64_t>> buckets;
+};
+
+struct MetricsSnapshot {
+  std::string node;
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  /// Named scalar doubles (sim means, utilization, ...): snapshot-only, no
+  /// hot-path handle.
+  std::vector<std::pair<std::string, double>> values;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+/// Owns metric cells; hands out stable handles. Creation and scraping take a
+/// mutex (cold paths); recording through handles never does.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Get-or-create by name: repeated calls return handles to the same cell.
+  Counter counter(std::string_view name);
+  Gauge gauge(std::string_view name);
+  Histogram histogram(std::string_view name);
+
+  /// Registers a gauge evaluated lazily at snapshot time — zero hot-path
+  /// cost for state the node already tracks (e.g. a queue-length atomic).
+  /// `fn` must be safe to call from the scraping thread.
+  void probe(std::string_view name, std::function<std::int64_t()> fn);
+
+  MetricsSnapshot snapshot(std::string_view node = {}) const;
+
+ private:
+  detail::CounterCell* find_or_create_cell(
+      std::vector<std::unique_ptr<detail::CounterCell>>& cells,
+      std::string_view name);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<detail::CounterCell>> counters_;
+  std::vector<std::unique_ptr<detail::CounterCell>> gauges_;
+  std::vector<std::unique_ptr<detail::HistogramCell>> histograms_;
+  struct Probe {
+    std::string name;
+    std::function<std::int64_t()> fn;
+  };
+  std::vector<Probe> probes_;
+};
+
+}  // namespace finelb::telemetry

@@ -1,0 +1,44 @@
+#include "telemetry/scrape.h"
+
+#include <array>
+#include <atomic>
+
+#include "net/clock.h"
+#include "net/message.h"
+#include "net/poller.h"
+
+namespace finelb::telemetry {
+
+std::optional<std::string> scrape_stats(const net::Address& load_addr,
+                                        SimDuration timeout) {
+  static std::atomic<std::uint64_t> next_seq{1};
+
+  net::UdpSocket socket;
+  net::StatsInquiry inquiry;
+  inquiry.seq = next_seq.fetch_add(1, std::memory_order_relaxed);
+  std::array<std::uint8_t, net::kMaxFixedMsgSize> out;
+  const std::size_t n = inquiry.encode_into(out);
+  if (n == 0 || !socket.send_to({out.data(), n}, load_addr)) {
+    return std::nullopt;
+  }
+
+  net::Poller poller;
+  poller.add(socket.fd(), 0);
+  std::vector<std::uint8_t> buf(64 * 1024);
+  const SimTime deadline = net::monotonic_now() + timeout;
+  while (true) {
+    const SimDuration remaining = deadline - net::monotonic_now();
+    if (remaining <= 0) return std::nullopt;
+    if (poller.wait(remaining).empty()) continue;
+    while (const auto dgram = socket.recv_from(buf)) {
+      net::StatsReply reply;
+      if (net::StatsReply::try_decode({buf.data(), dgram->size}, reply) &&
+          reply.seq == inquiry.seq) {
+        return std::move(reply.payload);
+      }
+      // Anything else on this ephemeral socket is noise; keep waiting.
+    }
+  }
+}
+
+}  // namespace finelb::telemetry

@@ -1,0 +1,20 @@
+// Client side of the STATS_INQUIRY pull channel: ask a node's load-index
+// UDP server for a telemetry snapshot and return the JSON payload.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/time.h"
+#include "net/socket.h"
+
+namespace finelb::telemetry {
+
+/// Sends a STATS_INQUIRY to `load_addr` and waits up to `timeout` for the
+/// matching STATS_REPLY. Returns the JSON payload, or nullopt on timeout /
+/// malformed reply. Cold path: allocates freely, creates its own socket.
+std::optional<std::string> scrape_stats(const net::Address& load_addr,
+                                        SimDuration timeout = 200 *
+                                                              kMillisecond);
+
+}  // namespace finelb::telemetry

@@ -1,0 +1,94 @@
+// Request lifecycle tracing: a fixed-capacity ring of trace records.
+//
+// Captures the canonical request path of the paper's polling protocol —
+// client enqueue → poll sent → each poll reply/discard → server pick →
+// dispatch → service start → response — for a *sampled* subset of requests,
+// so full traces can be dumped without paying per-request cost on every
+// access. Recording is wait-free: one relaxed fetch_add to claim a slot plus
+// a handful of relaxed stores, sealed by a release store of the slot's
+// sequence number. Readers snapshot with a per-slot seqlock check (read seq,
+// read fields, re-read seq), so a record overwritten mid-read is skipped
+// rather than returned torn. All state is plain 64-bit atomics: TSan-clean
+// with concurrent writers on every point.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace finelb::telemetry {
+
+enum class TracePoint : std::uint8_t {
+  kClientEnqueue = 0,  // access entered the client's open queue
+  kPollSent = 1,       // one poll round fanned out (detail = targets)
+  kPollReply = 2,      // load reply accepted (node = server, detail = qlen)
+  kPollDiscard = 3,    // stale/slow reply discarded (Table 2's metric)
+  kServerPick = 4,     // poll round resolved (detail = chosen server)
+  kDispatch = 5,       // request sent to the server (node = server)
+  kServiceStart = 6,   // server worker dequeued it (detail = queue wait ns)
+  kResponse = 7,       // response sent / received (detail = qlen at arrival)
+};
+
+const char* trace_point_name(TracePoint point);
+
+struct TraceRecord {
+  std::uint64_t request_id = 0;
+  TracePoint point = TracePoint::kClientEnqueue;
+  std::int32_t node = -1;    // server index / client id; -1 when n/a
+  std::int64_t at_ns = 0;    // caller-supplied clock (net::monotonic_now())
+  std::int64_t detail = 0;   // point-specific payload, see enum comments
+};
+
+class TraceRing {
+ public:
+  /// `sample_period` of 0 disables tracing entirely; N traces every request
+  /// whose id is a multiple of N. Capacity is fixed at construction; older
+  /// records are overwritten.
+  explicit TraceRing(std::size_t capacity = 256,
+                     std::uint32_t sample_period = 0);
+
+  /// Hot-path gate: callers check this once per request/event and skip the
+  /// record() call (and any argument computation) when not sampled.
+  bool sampled(std::uint64_t request_id) const {
+    if constexpr (!kTraceEnabled) {
+      (void)request_id;
+      return false;
+    }
+    return period_ != 0 && request_id % period_ == 0;
+  }
+
+  void record(std::uint64_t request_id, TracePoint point, std::int32_t node,
+              std::int64_t at_ns, std::int64_t detail = 0);
+
+  /// Valid records, oldest first. Safe to call concurrently with writers;
+  /// slots being overwritten during the read are skipped.
+  std::vector<TraceRecord> snapshot() const;
+
+  std::uint32_t sample_period() const { return period_; }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+#if defined(FINELB_TELEMETRY_DISABLED)
+  static constexpr bool kTraceEnabled = false;
+#else
+  static constexpr bool kTraceEnabled = true;
+#endif
+
+  struct Slot {
+    // seq = claim index + 1 (0 = never written), stored with release after
+    // the payload fields so readers can validate.
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> request_id{0};
+    std::atomic<std::uint64_t> meta{0};  // point in low 8 bits, node << 8
+    std::atomic<std::int64_t> at_ns{0};
+    std::atomic<std::int64_t> detail{0};
+  };
+
+  std::size_t capacity_;
+  std::uint32_t period_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+}  // namespace finelb::telemetry

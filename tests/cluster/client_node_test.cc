@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -81,6 +83,62 @@ TEST(ClientNodeTest, PollingPolicySendsInquiries) {
   EXPECT_GT(stats.poll_time_ms.count(), 0);
   // Loopback polls on idle servers finish way under the 50 ms backstop.
   EXPECT_LT(stats.poll_time_ms.mean(), 25.0);
+}
+
+TEST(ClientNodeTest, TelemetryMirrorsClientStats) {
+  TestCluster cluster(4);
+  ClientOptions opts = base_options(cluster, PolicyConfig::polling(2), 150);
+  opts.trace_sample_period = 10;  // every 10th access leaves a trace
+  ClientNode client(std::move(opts), fast_source());
+  client.run();
+  const ClientStats& stats = client.stats();
+  EXPECT_EQ(stats.completed, 150);
+
+  if (!telemetry::kEnabled) {
+    EXPECT_TRUE(client.metrics().snapshot().counters.empty());
+    return;
+  }
+  const auto snap = client.metrics().snapshot("client.1");
+  EXPECT_EQ(snap.node, "client.1");
+  std::int64_t issued = -1, completed = -1, polls_sent = -1;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "requests_issued") issued = value;
+    if (name == "requests_completed") completed = value;
+    if (name == "polls_sent") polls_sent = value;
+  }
+  EXPECT_EQ(issued, stats.issued);
+  EXPECT_EQ(completed, stats.completed);
+  EXPECT_EQ(polls_sent, stats.polls_sent);
+  // Histogram mirror carries the same sample counts as ClientStats.
+  for (const auto& hist : snap.histograms) {
+    if (hist.name == "poll_rtt_ms") {
+      EXPECT_EQ(hist.count, stats.poll_rtt_ms.count());
+      EXPECT_GT(hist.count, 0);
+    }
+    if (hist.name == "response_time_ms") {
+      EXPECT_EQ(hist.count, stats.response_ms.count());
+    }
+  }
+  // Sampled accesses left full lifecycle traces; every record's access
+  // index honours the sampling period.
+  const auto trace = client.trace().snapshot();
+  EXPECT_FALSE(trace.empty());
+  bool saw_enqueue = false, saw_pick = false, saw_response = false;
+  for (const auto& rec : trace) {
+    EXPECT_EQ(rec.request_id % 10, 0u);
+    if (rec.point == telemetry::TracePoint::kClientEnqueue) {
+      saw_enqueue = true;
+    }
+    if (rec.point == telemetry::TracePoint::kServerPick) saw_pick = true;
+    if (rec.point == telemetry::TracePoint::kResponse) saw_response = true;
+  }
+  EXPECT_TRUE(saw_enqueue);
+  EXPECT_TRUE(saw_pick);
+  EXPECT_TRUE(saw_response);
+  // And the JSON snapshot is exportable end-to-end.
+  const std::string json = client.stats_json();
+  EXPECT_NE(json.find("\"node\":\"client.1\""), std::string::npos);
+  EXPECT_NE(json.find("\"poll_rtt_ms\""), std::string::npos);
 }
 
 TEST(ClientNodeTest, PollSizeClampsToServerCount) {

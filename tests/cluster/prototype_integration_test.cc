@@ -4,7 +4,11 @@
 // the whole suite stays fast; the full-scale runs live in bench/.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "cluster/experiment.h"
+#include "net/clock.h"
+#include "telemetry/metrics.h"
 #include "workload/catalog.h"
 
 namespace finelb::cluster {
@@ -91,6 +95,34 @@ TEST(PrototypeIntegrationTest, CalibrationMeasuresPositiveOverhead) {
   EXPECT_GE(overhead, 0.0);
   EXPECT_LT(overhead, 0.05) << "per-request overhead should be well under "
                                "50 ms on loopback";
+}
+
+TEST(PrototypeIntegrationTest, ObservabilityCollectsNodeStats) {
+  // Exercises the experiment's telemetry wiring end to end: lifecycle
+  // tracing on every 16th request, the live StderrReporter scraping all
+  // node registries mid-run, and per-node JSON snapshots collected into
+  // the result (servers first, then clients).
+  PrototypeConfig config = small_config(PolicyConfig::polling(2));
+  config.trace_sample_period = 16;
+  config.stats_report_interval = 50 * kMillisecond;
+  config.collect_node_stats = true;
+  const PrototypeResult r = run_prototype(config, fast_workload());
+  EXPECT_GE(r.clients.completed, 590);
+  ASSERT_EQ(r.node_stats_json.size(),
+            static_cast<std::size_t>(config.servers + config.clients));
+  EXPECT_NE(r.node_stats_json.front().find("\"node\":\"server.0\""),
+            std::string::npos);
+  EXPECT_NE(r.node_stats_json.back().find("\"node\":\"client.1\""),
+            std::string::npos);
+  if constexpr (telemetry::kEnabled) {
+    for (const std::string& doc : r.node_stats_json) {
+      EXPECT_NE(doc.find("\"counters\""), std::string::npos);
+    }
+    EXPECT_NE(r.node_stats_json.front().find("\"queue_depth\""),
+              std::string::npos);
+    EXPECT_NE(r.node_stats_json.back().find("\"poll_rtt_ms\""),
+              std::string::npos);
+  }
 }
 
 TEST(PrototypeIntegrationTest, ConfigValidation) {

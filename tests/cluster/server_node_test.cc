@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <string>
 
 #include "common/check.h"
 #include "net/clock.h"
 #include "net/poller.h"
+#include "telemetry/metrics.h"
 
 namespace finelb::cluster {
 namespace {
@@ -177,6 +179,63 @@ TEST(ServerNodeTest, MalformedDatagramsIgnored) {
   const auto bytes = roundtrip(client, server.load_address(), inquiry);
   EXPECT_EQ(net::LoadReply::decode(bytes).seq, 3u);
   server.stop();
+}
+
+TEST(ServerNodeTest, AnswersStatsInquiriesWithJsonSnapshot) {
+  ServerOptions opts = quiet_options(11);
+  opts.trace_sample_period = 1;  // trace every request
+  ServerNode server(opts);
+  server.start();
+
+  // Serve one request so the scraped snapshot has non-zero content.
+  net::UdpSocket service_client;
+  net::ServiceRequest request;
+  request.request_id = 42;
+  request.service_us = 1000;
+  roundtrip(service_client, server.service_address(), request);
+  // The served counter ticks just after the response is sent; wait for it
+  // so the scrape below observes the completed request.
+  const SimTime drain_deadline = net::monotonic_now() + kSecond;
+  while (server.counters().requests_served < 1 &&
+         net::monotonic_now() < drain_deadline) {
+    net::sleep_for(kMillisecond);
+  }
+
+  // Snapshot documents are far larger than fixed wire messages: receive
+  // through a payload-sized buffer instead of the roundtrip() helper's.
+  net::UdpSocket scraper;
+  net::StatsInquiry inquiry;
+  inquiry.seq = 909;
+  ASSERT_TRUE(scraper.send_to(inquiry.encode(), server.load_address()));
+  net::Poller poller;
+  poller.add(scraper.fd(), 0);
+  ASSERT_FALSE(poller.wait(2 * kSecond).empty());
+  std::vector<std::uint8_t> buf(64 * 1024);
+  const auto dgram = scraper.recv_from(buf);
+  ASSERT_TRUE(dgram.has_value());
+  net::StatsReply reply;
+  ASSERT_TRUE(
+      net::StatsReply::try_decode(std::span(buf.data(), dgram->size), reply));
+  EXPECT_EQ(reply.seq, 909u);
+  server.stop();
+
+  const std::string& json = reply.payload;
+  EXPECT_NE(json.find("\"node\":\"server.11\""), std::string::npos);
+  if (telemetry::kEnabled) {
+    EXPECT_NE(json.find("\"queue_depth\":"), std::string::npos);
+    EXPECT_NE(json.find("\"requests_served\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"service_time_ms\":{\"count\":1"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"point\":\"service_start\""), std::string::npos);
+    EXPECT_NE(json.find("\"point\":\"response\""), std::string::npos);
+  }
+  // The registry view agrees with the wire snapshot.
+  const auto snap = server.metrics().snapshot("server.11");
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "requests_served") {
+      EXPECT_EQ(value, telemetry::kEnabled ? 1 : 0);
+    }
+  }
 }
 
 TEST(ServerNodeTest, StopIsIdempotentAndRestartForbidden) {

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
+#include "common/flags.h"
+
 namespace finelb {
 namespace {
 
@@ -32,6 +36,46 @@ TEST(LogTest, SuppressedLevelsDoNotEvaluate) {
   EXPECT_EQ(evaluations, 0);
   FINELB_LOG(kError, "test") << count();
   EXPECT_EQ(evaluations, 1);
+  set_log_level(original);
+}
+
+TEST(LogTest, InitFromEnvironment) {
+  const LogLevel original = log_level();
+  ::setenv("FINELB_LOG", "debug", 1);
+  init_log_level();
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  ::unsetenv("FINELB_LOG");
+  set_log_level(original);
+}
+
+TEST(LogTest, InitLeavesLevelWhenEnvUnset) {
+  const LogLevel original = log_level();
+  ::unsetenv("FINELB_LOG");
+  set_log_level(LogLevel::kError);
+  init_log_level();
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(original);
+}
+
+TEST(LogTest, FlagOverridesEnvironment) {
+  const LogLevel original = log_level();
+  ::setenv("FINELB_LOG", "error", 1);
+  const char* argv[] = {"prog", "--log-level=info"};
+  const Flags flags = Flags::parse(2, argv);
+  init_log_level(flags);
+  EXPECT_EQ(log_level(), LogLevel::kInfo);
+  ::unsetenv("FINELB_LOG");
+  set_log_level(original);
+}
+
+TEST(LogTest, EnvAppliesWhenFlagAbsent) {
+  const LogLevel original = log_level();
+  ::setenv("FINELB_LOG", "info", 1);
+  const char* argv[] = {"prog"};
+  const Flags flags = Flags::parse(1, argv);
+  init_log_level(flags);
+  EXPECT_EQ(log_level(), LogLevel::kInfo);
+  ::unsetenv("FINELB_LOG");
   set_log_level(original);
 }
 

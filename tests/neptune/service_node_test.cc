@@ -8,6 +8,7 @@
 #include "net/clock.h"
 #include "net/message.h"
 #include "net/poller.h"
+#include "telemetry/metrics.h"
 
 namespace finelb::neptune {
 namespace {
@@ -138,6 +139,53 @@ TEST(ServiceNodeTest, AnswersLoadInquiries) {
   EXPECT_EQ(reply.seq, 55u);
   EXPECT_EQ(reply.queue_length, 0);
   node->stop();
+}
+
+TEST(ServiceNodeTest, AnswersStatsInquiriesWithJsonSnapshot) {
+  auto node = make_echo_node(6);
+  node->start();
+
+  // Execute one access so the handler-time histogram is populated.
+  net::UdpSocket rpc_client;
+  RpcRequest request;
+  request.request_id = 7;
+  request.method = kEcho;
+  request.partition = 0;
+  request.args = {'h', 'i'};
+  EXPECT_EQ(call_raw(rpc_client, node->service_address(), request).status,
+            RpcStatus::kOk);
+  // The served counter ticks just after the response is sent; wait for it
+  // so the scrape below observes the completed access.
+  const SimTime drain_deadline = net::monotonic_now() + kSecond;
+  while (node->accesses_served() < 1 &&
+         net::monotonic_now() < drain_deadline) {
+    net::sleep_for(kMillisecond);
+  }
+
+  net::UdpSocket scraper;
+  net::StatsInquiry inquiry;
+  inquiry.seq = 404;
+  ASSERT_TRUE(scraper.send_to(inquiry.encode(), node->load_address()));
+  net::Poller poller;
+  poller.add(scraper.fd(), 0);
+  ASSERT_FALSE(poller.wait(2 * kSecond).empty());
+  std::vector<std::uint8_t> buf(64 * 1024);
+  const auto dgram = scraper.recv_from(buf);
+  ASSERT_TRUE(dgram.has_value());
+  net::StatsReply reply;
+  ASSERT_TRUE(
+      net::StatsReply::try_decode(std::span(buf.data(), dgram->size), reply));
+  EXPECT_EQ(reply.seq, 404u);
+  node->stop();
+
+  EXPECT_NE(reply.payload.find("\"node\":\"neptune.echo.6\""),
+            std::string::npos);
+  if (telemetry::kEnabled) {
+    EXPECT_NE(reply.payload.find("\"requests_served\":1"), std::string::npos);
+    EXPECT_NE(reply.payload.find("\"service_time_ms\":{\"count\":1"),
+              std::string::npos);
+    EXPECT_NE(reply.payload.find("\"queue_depth\":"), std::string::npos);
+  }
 }
 
 TEST(ServiceNodeTest, ValidationErrors) {

@@ -367,6 +367,37 @@ TEST(MessageHotPath, StringTypesRoundTrip) {
   EXPECT_EQ(reply_out.entries[2].service, "image-store");
 }
 
+TEST(MessageHotPath, StatsInquiryReplyRoundTrip) {
+  StatsInquiry inquiry;
+  inquiry.seq = 31337;
+  CheckWireSurfaces(inquiry);
+  StatsInquiry inquiry_out;
+  ASSERT_TRUE(StatsInquiry::try_decode(inquiry.encode(), inquiry_out));
+  EXPECT_EQ(inquiry_out.seq, 31337u);
+
+  StatsReply reply;
+  reply.seq = 31337;
+  reply.payload = "{\"node\":\"server.0\",\"counters\":{\"served\":12}}";
+  CheckWireSurfaces(reply);
+  StatsReply reply_out;
+  reply_out.payload = "stale";  // must be overwritten, not appended to
+  ASSERT_TRUE(StatsReply::try_decode(reply.encode(), reply_out));
+  EXPECT_EQ(reply_out.seq, 31337u);
+  EXPECT_EQ(reply_out.payload, reply.payload);
+
+  // Empty payload round-trips; oversized payload is refused, not truncated.
+  reply.payload.clear();
+  CheckWireSurfaces(reply);
+  reply.payload.assign(0x10000, 'x');
+  std::vector<std::uint8_t> buf(reply.payload.size() + 64);
+  EXPECT_EQ(reply.encode_into(buf), 0u);
+
+  // The two stats types must not parse as one another despite the shared
+  // seq-first layout.
+  StatsInquiry cross;
+  EXPECT_FALSE(StatsInquiry::try_decode(StatsReply().encode(), cross));
+}
+
 TEST(MessageHotPath, MaxLengthServiceString) {
   // The wire format length-prefixes strings with a u16: 65535 is the
   // longest service name that can exist on the wire.

@@ -1,0 +1,85 @@
+// The simulator publishes its results under the same metric names as the
+// prototype node registries, so dashboards and analysis scripts can compare
+// a sim sweep against a live cluster without a translation table. These
+// tests pin that name parity and the field mapping.
+#include "sim/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "sim/config.h"
+#include "telemetry/export.h"
+#include "workload/catalog.h"
+
+namespace finelb::sim {
+namespace {
+
+SimResult small_run() {
+  SimConfig config;
+  config.servers = 8;
+  config.clients = 2;
+  config.policy = PolicyConfig::polling(3);
+  config.load = 0.7;
+  config.total_requests = 4'000;
+  config.warmup_requests = 400;
+  config.seed = 11;
+  return run_cluster_sim(config, make_poisson_exp(0.050));
+}
+
+std::int64_t counter(const telemetry::MetricsSnapshot& snap,
+                     const std::string& name) {
+  for (const auto& [key, value] : snap.counters) {
+    if (key == name) return value;
+  }
+  ADD_FAILURE() << "missing counter " << name;
+  return -1;
+}
+
+TEST(SimTelemetryParityTest, CountersMirrorSimResult) {
+  const SimResult r = small_run();
+  const telemetry::MetricsSnapshot snap =
+      to_metrics_snapshot(r, "sim.polling3");
+  EXPECT_EQ(snap.node, "sim.polling3");
+  EXPECT_EQ(counter(snap, "requests_completed"), r.completed);
+  EXPECT_EQ(counter(snap, "response_timeouts"), r.failed);
+  EXPECT_EQ(counter(snap, "polls_sent"), r.polls_sent);
+  EXPECT_EQ(counter(snap, "polls_discarded"), r.polls_discarded);
+  EXPECT_EQ(counter(snap, "fallback_dispatches"), r.poll_fallbacks);
+  EXPECT_EQ(counter(snap, "broadcasts_sent"), r.broadcasts_sent);
+  EXPECT_EQ(counter(snap, "messages_total"), r.messages);
+  EXPECT_EQ(counter(snap, "drops_injected"), r.drops_injected);
+  // A polling run really polls; the parity is only interesting non-trivially.
+  EXPECT_GT(r.polls_sent, 0);
+  EXPECT_GT(r.completed, 0);
+}
+
+TEST(SimTelemetryParityTest, HistogramSummarizesResponseDistribution) {
+  const SimResult r = small_run();
+  const telemetry::MetricsSnapshot snap = to_metrics_snapshot(r, "sim.x");
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const telemetry::HistogramSnapshot& hist = snap.histograms.front();
+  EXPECT_EQ(hist.name, "response_time_ms");
+  EXPECT_EQ(hist.count, r.response_hist_ms.count());
+  EXPECT_DOUBLE_EQ(hist.mean, r.response_ms.mean());
+  EXPECT_DOUBLE_EQ(hist.p50, r.response_hist_ms.p50());
+  EXPECT_DOUBLE_EQ(hist.p99, r.response_hist_ms.p99());
+  EXPECT_LE(hist.p50, hist.p99);
+  EXPECT_GT(hist.count, 0);
+}
+
+TEST(SimTelemetryParityTest, JsonCarriesPrototypeMetricNames) {
+  const SimResult r = small_run();
+  const std::string json = to_stats_json(r, "sim.polling3");
+  // The acceptance surface an operator greps for, shared with the
+  // prototype's STATS_REPLY documents.
+  for (const char* key :
+       {"\"node\":\"sim.polling3\"", "\"polls_sent\"", "\"polls_discarded\"",
+        "\"response_time_ms\"", "\"utilization\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+}
+
+}  // namespace
+}  // namespace finelb::sim

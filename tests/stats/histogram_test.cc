@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <vector>
+
+#include "stats/log_buckets.h"
 
 #include "common/check.h"
 #include "common/rng.h"
@@ -99,6 +103,77 @@ TEST(LatencyHistogramTest, InvalidQuantileThrows) {
   h.add(1.0);
   EXPECT_THROW(h.quantile(-0.1), InvariantError);
   EXPECT_THROW(h.quantile(1.1), InvariantError);
+}
+
+TEST(LatencyHistogramTest, NanQuantileThrows) {
+  LatencyHistogram h;
+  h.add(1.0);
+  EXPECT_THROW(h.quantile(std::numeric_limits<double>::quiet_NaN()),
+               InvariantError);
+  // Out-of-range q must throw even when the histogram is empty: validation
+  // precedes the empty-histogram shortcut.
+  LatencyHistogram empty;
+  EXPECT_THROW(empty.quantile(2.0), InvariantError);
+  EXPECT_THROW(empty.quantile(std::numeric_limits<double>::quiet_NaN()),
+               InvariantError);
+}
+
+TEST(LatencyHistogramTest, EmptyExtremeQuantilesAreZero) {
+  LatencyHistogram h;
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.recorded_min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.recorded_max(), 0.0);
+}
+
+TEST(LatencyHistogramTest, SingleSampleExtremeQuantilesAgree) {
+  LatencyHistogram h;
+  h.add(10.0);
+  // With one sample every quantile lands in the same bucket: q=0, q=0.5 and
+  // q=1 must return the identical representative.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), h.quantile(1.0));
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), h.quantile(0.5));
+  EXPECT_NEAR(h.quantile(1.0), 10.0, 0.35);
+}
+
+TEST(LatencyHistogramTest, ExtremeQuantilesBracketDistribution) {
+  LatencyHistogram h;
+  for (const double v : {1.0, 2.0, 4.0, 8.0, 16.0}) h.add(v);
+  // q=0 is the representative of the lowest occupied bucket, q=1 of the
+  // highest; bucket representatives stay within bucket bounds (factor 2).
+  EXPECT_GE(h.quantile(0.0), 1.0);
+  EXPECT_LT(h.quantile(0.0), 2.0);
+  EXPECT_GE(h.quantile(1.0), 16.0);
+  EXPECT_LT(h.quantile(1.0), 32.0);
+}
+
+TEST(LogBucketingTest, RoundTripsValuesThroughBucketBounds) {
+  const LogBucketing scheme{5, -40, 40};
+  for (const double v : {1e-9, 4.2e-3, 0.77, 1.0, 13.0, 5e8}) {
+    const std::size_t i = scheme.index(v);
+    EXPECT_LE(scheme.lower(i), v) << v;
+    EXPECT_GT(scheme.upper(i), v) << v;
+    const double rep = scheme.representative(i);
+    EXPECT_GE(rep, scheme.lower(i));
+    EXPECT_LE(rep, scheme.upper(i));
+  }
+  EXPECT_EQ(scheme.index(0.0), 0u);
+  EXPECT_EQ(scheme.index(-5.0), 0u);
+  EXPECT_DOUBLE_EQ(scheme.representative(0), 0.0);
+}
+
+TEST(LogBucketingTest, OutOfRangeExponentsClampToEdgeBuckets) {
+  const LogBucketing scheme{4, -20, 30};
+  // Clamping pins the exponent band but keeps the mantissa's sub-bucket.
+  const auto band = [&](double v) {
+    return (static_cast<std::int64_t>(scheme.index(v)) - 1) /
+           scheme.sub_bucket_count();
+  };
+  EXPECT_EQ(band(1e-300), 0);
+  EXPECT_EQ(band(1e300), scheme.max_exp - scheme.min_exp);
+  EXPECT_LT(scheme.index(1e300), scheme.bucket_count());
+  EXPECT_GT(scheme.upper(scheme.bucket_count() - 1),
+            scheme.lower(scheme.bucket_count() - 1));
 }
 
 TEST(LatencyHistogramTest, WideDynamicRange) {
