@@ -5,9 +5,15 @@
 // goes to stdout (and optionally a file), and the run finishes with each
 // node's final snapshot so the two can be compared.
 //
+// After the run the harness also pulls every server's trace ring over the
+// TRACE_INQUIRY channel (clock-synced from the scrape round trips), merges
+// it with the client's in-process ring, and reports the measured staleness
+// distribution |Q(t_reply) - Q(t_dispatch)| against the Equation 1 bound —
+// the same observatory fig2_staleness_proto sweeps across load levels.
+//
 //   stats_snapshot [--servers=16] [--requests=4000] [--load=0.7]
 //                  [--poll_size=3] [--trace_period=64] [--seed=1]
-//                  [--json=PATH]
+//                  [--json=PATH] [--trace_json=PATH]
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -20,7 +26,10 @@
 #include "common/flags.h"
 #include "common/log.h"
 #include "net/clock.h"
+#include "stats/queueing.h"
+#include "telemetry/clock_sync.h"
 #include "telemetry/export.h"
+#include "telemetry/merge.h"
 #include "telemetry/scrape.h"
 #include "workload/catalog.h"
 
@@ -37,6 +46,7 @@ int main(int argc, char** argv) {
       static_cast<std::uint32_t>(flags.get_int("trace_period", 64));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const std::string json_path = flags.get_string("json", "");
+  const std::string trace_json_path = flags.get_string("trace_json", "");
 
   const Workload workload = make_poisson_exp(0.005);  // 5 ms mean service
 
@@ -89,6 +99,37 @@ int main(int argc, char** argv) {
   const std::size_t live_answered = docs.size();
 
   driver.join();
+
+  // --- trace pull + staleness observatory ------------------------------------
+  // Scrape rings before stopping the servers: the TRACE_INQUIRY channel
+  // rides the same load-index socket the run just used, and each chunked
+  // round trip contributes a clock-sync sample for the merge.
+  std::vector<telemetry::NodeTrace> traces;
+  int trace_unreachable = 0;
+  for (const auto& node : nodes) {
+    telemetry::NodeTrace trace;
+    trace.source = "server." + std::to_string(node->id());
+    if (auto scrape = telemetry::scrape_trace(node->load_address())) {
+      telemetry::ClockSync sync;
+      for (const auto& s : scrape->clock_samples) {
+        sync.add_sample(s.local_send_ns, s.remote_ns, s.local_recv_ns);
+      }
+      trace.clock_offset_ns = sync.offset_ns();
+      trace.records = std::move(scrape->records);
+    } else {
+      ++trace_unreachable;
+    }
+    traces.push_back(std::move(trace));
+  }
+  {
+    telemetry::NodeTrace trace;
+    trace.source = "client.0";
+    trace.records = client.trace().snapshot();
+    traces.push_back(std::move(trace));
+  }
+  const auto merged = telemetry::merge_traces(traces);
+  const auto staleness = telemetry::compute_staleness(merged);
+
   for (auto& node : nodes) node->stop();
 
   // --- final snapshots -------------------------------------------------------
@@ -124,5 +165,28 @@ int main(int argc, char** argv) {
               static_cast<long long>(stats.issued),
               static_cast<long long>(stats.polls_sent),
               static_cast<long long>(stats.polls_discarded));
+
+  std::printf(
+      "\ntrace pull: %zu/%d servers answered (%d unreachable), "
+      "%zu merged records\n",
+      traces.size() - 1 - static_cast<std::size_t>(trace_unreachable),
+      servers, trace_unreachable, merged.size());
+  std::printf("staleness |Q(t_reply)-Q(t_dispatch)|: %s\n",
+              telemetry::staleness_to_json(staleness).c_str());
+  std::printf("Equation 1 bound at %s load: %.3f (measured mean %.3f)\n",
+              bench::Table::pct(load, 0).c_str(),
+              queueing::stale_index_inaccuracy_bound(load),
+              staleness.mean_abs_diff);
+  if (!trace_json_path.empty()) {
+    if (std::FILE* f = std::fopen(trace_json_path.c_str(), "w")) {
+      const std::string doc = telemetry::to_chrome_trace_json(merged, traces);
+      std::fwrite(doc.data(), 1, doc.size(), f);
+      std::fclose(f);
+      std::printf("Perfetto trace written to %s\n", trace_json_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", trace_json_path.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Perf-trajectory bookkeeping for CI (stdlib only).
+
+Two subcommands, both reading the BENCH_*.json snapshots the bench-smoke
+ctest stage writes into <build>/bench:
+
+  collect --bench-dir DIR --out BENCH_trajectory.json [--sha SHA]
+      Folds every BENCH_*.json in DIR into a trajectory document keyed by
+      git SHA, so successive CI runs accumulate a perf history that can be
+      diffed or plotted. Re-running for the same SHA overwrites that SHA's
+      entry (CI retries should not duplicate).
+
+  compare --bench-dir DIR --baseline ci/bench_baseline.json
+      Gates CI on the tracked p50 metrics: any lower-is-better metric more
+      than `tolerance_pct` above its checked-in baseline (or higher-is-
+      better metric more than `tolerance_pct` below) fails the run.
+      Missing snapshot files or metric paths fail too — a gate that
+      silently stops measuring is worse than a red build.
+
+Baseline format (ci/bench_baseline.json):
+  { "tolerance_pct": 10,
+    "metrics": [ {"file": "BENCH_net.json", "path": "poll_rtt_us.p50",
+                  "baseline": 4.2, "direction": "lower"}, ... ] }
+
+A metric may carry its own "tolerance_pct" (noisy metrics get wider
+gates), and the whole run's tolerance can be scaled for a noisy host via
+the BENCH_TOLERANCE_SCALE environment variable (e.g. 2 doubles every
+gate's width).
+"""
+
+import argparse
+import glob
+import json
+import os
+import subprocess
+import sys
+
+
+def load_json(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def lookup(doc, dotted_path):
+    """Resolve 'a.b.0.c' against nested dicts/lists; None if absent."""
+    node = doc
+    for part in dotted_path.split("."):
+        if isinstance(node, list):
+            try:
+                node = node[int(part)]
+            except (ValueError, IndexError):
+                return None
+        elif isinstance(node, dict):
+            if part not in node:
+                return None
+            node = node[part]
+        else:
+            return None
+    return node
+
+
+def git_sha(fallback="unknown"):
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return fallback
+
+
+def cmd_collect(args):
+    snapshots = {}
+    for path in sorted(glob.glob(os.path.join(args.bench_dir, "BENCH_*.json"))):
+        name = os.path.splitext(os.path.basename(path))[0]
+        if name == "BENCH_trajectory":
+            continue
+        try:
+            snapshots[name] = load_json(path)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"bench_compare: skipping unreadable {path}: {err}",
+                  file=sys.stderr)
+    if not snapshots:
+        print(f"bench_compare: no BENCH_*.json under {args.bench_dir}",
+              file=sys.stderr)
+        return 1
+
+    trajectory = {}
+    if os.path.exists(args.out):
+        try:
+            trajectory = load_json(args.out)
+        except (OSError, json.JSONDecodeError):
+            print(f"bench_compare: resetting corrupt trajectory {args.out}",
+                  file=sys.stderr)
+            trajectory = {}
+    sha = args.sha or git_sha()
+    trajectory[sha] = snapshots
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(trajectory, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"bench_compare: trajectory entry for {sha[:12]} "
+          f"({len(snapshots)} snapshots, {len(trajectory)} SHAs) -> {args.out}")
+    return 0
+
+
+def cmd_compare(args):
+    baseline = load_json(args.baseline)
+    default_tolerance = float(baseline.get("tolerance_pct", 10))
+    scale = float(os.environ.get("BENCH_TOLERANCE_SCALE", 1))
+    failures = []
+    print(f"bench_compare: gating on {len(baseline['metrics'])} tracked "
+          f"metrics, default tolerance {default_tolerance:g}% "
+          f"(scale {scale:g})")
+    for metric in baseline["metrics"]:
+        label = f"{metric['file']}:{metric['path']}"
+        tolerance = float(metric.get("tolerance_pct",
+                                     default_tolerance)) * scale
+        path = os.path.join(args.bench_dir, metric["file"])
+        if not os.path.exists(path):
+            failures.append(f"{label}: snapshot file missing")
+            continue
+        value = lookup(load_json(path), metric["path"])
+        if not isinstance(value, (int, float)):
+            failures.append(f"{label}: metric path missing")
+            continue
+        base = float(metric["baseline"])
+        direction = metric.get("direction", "lower")
+        if base != 0:
+            delta_pct = (value - base) / abs(base) * 100.0
+        else:
+            delta_pct = 0.0 if value == 0 else float("inf")
+        regressed = (delta_pct > tolerance if direction == "lower"
+                     else delta_pct < -tolerance)
+        verdict = "FAIL" if regressed else "ok"
+        print(f"  [{verdict:4}] {label}: {value:g} vs baseline {base:g} "
+              f"({delta_pct:+.1f}%, {direction}-is-better)")
+        if regressed:
+            failures.append(f"{label}: {value:g} vs {base:g} "
+                            f"({delta_pct:+.1f}% > {tolerance:g}%)")
+    if failures:
+        print("bench_compare: perf regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("bench_compare: all tracked metrics within tolerance")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    collect = sub.add_parser("collect", help="fold snapshots into trajectory")
+    collect.add_argument("--bench-dir", required=True)
+    collect.add_argument("--out", required=True)
+    collect.add_argument("--sha", default="")
+    collect.set_defaults(func=cmd_collect)
+
+    compare = sub.add_parser("compare", help="gate on tracked p50 metrics")
+    compare.add_argument("--bench-dir", required=True)
+    compare.add_argument("--baseline", required=True)
+    compare.set_defaults(func=cmd_compare)
+
+    args = parser.parse_args()
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,15 +3,21 @@
 #   1. tier-1 verify  — default build, entire ctest suite;
 #   2. bench smoke    — perf-trajectory smoke runs, including the
 #                       steady-state allocation gate (micro_net --smoke
-#                       fails if the request/poll hot loop allocates) and
-#                       the telemetry-overhead gate (alloc-free with
-#                       tracing live, poll RTT p50 within 5% of bare);
+#                       fails if the request/poll hot loop allocates), the
+#                       telemetry-overhead gate (alloc-free with tracing
+#                       live, poll RTT p50 within 5% of bare), and the
+#                       staleness-observatory smoke; the resulting
+#                       BENCH_*.json snapshots are folded into
+#                       BENCH_trajectory.json (keyed by git SHA) and gated
+#                       against ci/bench_baseline.json by bench_compare.py
+#                       (>10% tracked-p50 regression fails the run);
 #   3. telemetry off  — -DFINELB_TELEMETRY=OFF build, full test suite:
 #                       the escape hatch must stay a working configuration;
 #   4. sanitizers     — ASan+UBSan and TSan builds running the threaded
-#                       runtime tests (ctest -L runtime), which cover the
-#                       lock-free registry/trace-ring record paths and the
-#                       scrape-during-write protocol.
+#                       runtime and trace tests (ctest -L "runtime|trace"),
+#                       which cover the lock-free registry/trace-ring
+#                       record paths, the scrape-during-write protocol, and
+#                       the chunked TRACE_INQUIRY wire path.
 #
 # Usage: ci/run_ci.sh [build-root]     (default: <repo>/build-ci)
 # Each stage uses its own build tree under the build root, so a warm tree
@@ -42,18 +48,27 @@ ctest --test-dir "${build_root}/default" -j"${jobs}" --output-on-failure
 stage "bench smoke (allocation + telemetry-overhead gates included)"
 ctest --test-dir "${build_root}/default" -L bench-smoke --output-on-failure
 
+stage "perf trajectory + regression gate"
+python3 "${repo}/ci/bench_compare.py" collect \
+  --bench-dir "${build_root}/default/bench" \
+  --out "${build_root}/default/bench/BENCH_trajectory.json" \
+  --sha "$(git -C "${repo}" rev-parse HEAD 2>/dev/null || echo unknown)"
+python3 "${repo}/ci/bench_compare.py" compare \
+  --bench-dir "${build_root}/default/bench" \
+  --baseline "${repo}/ci/bench_baseline.json"
+
 stage "telemetry escape hatch: -DFINELB_TELEMETRY=OFF build + full suite"
 configure_and_build "${build_root}/notelemetry" -DFINELB_TELEMETRY=OFF
 ctest --test-dir "${build_root}/notelemetry" -j"${jobs}" --output-on-failure
 
-stage "address sanitizer: runtime tests"
+stage "address sanitizer: runtime + trace tests"
 configure_and_build "${build_root}/asan" -DFINELB_SANITIZE=address
-ctest --test-dir "${build_root}/asan" -j"${jobs}" -L runtime \
+ctest --test-dir "${build_root}/asan" -j"${jobs}" -L "runtime|trace" \
   --output-on-failure
 
-stage "thread sanitizer: runtime tests"
+stage "thread sanitizer: runtime + trace tests"
 configure_and_build "${build_root}/tsan" -DFINELB_SANITIZE=thread
-ctest --test-dir "${build_root}/tsan" -j"${jobs}" -L runtime \
+ctest --test-dir "${build_root}/tsan" -j"${jobs}" -L "runtime|trace" \
   --output-on-failure
 
 stage "all stages passed"

@@ -308,7 +308,7 @@ void ClientNode::begin_access(const Access& access) {
   m_issued_.inc();
   m_in_flight_.fetch_add(1, std::memory_order_relaxed);
   if (trace_.sampled(static_cast<std::uint64_t>(access.index))) {
-    trace_.record(static_cast<std::uint64_t>(access.index),
+    trace_.record(request_key(access.index),
                   telemetry::TracePoint::kClientEnqueue, /*node=*/-1,
                   access.started_at, access.service_us);
   }
@@ -393,6 +393,13 @@ void ClientNode::start_poll_round(const Access& access) {
 
   net::LoadInquiry inquiry;
   inquiry.seq = seq;
+  const bool traced = trace_.sampled(static_cast<std::uint64_t>(access.index));
+  if (traced) {
+    // Propagate the trace context: the server answers a traced inquiry with
+    // a kLoadReplied record under the same id, pinning t_reply on its clock.
+    inquiry.trace_id = request_key(access.index);
+    inquiry.origin_ns = access.started_at;
+  }
   std::array<std::uint8_t, net::kMaxFixedMsgSize> buf;
   const std::size_t n = inquiry.encode_into(buf);
   const std::span<const std::uint8_t> payload(buf.data(), n);
@@ -405,8 +412,8 @@ void ClientNode::start_poll_round(const Access& access) {
       m_send_failures_.inc();
     }
   }
-  if (trace_.sampled(static_cast<std::uint64_t>(access.index))) {
-    trace_.record(static_cast<std::uint64_t>(access.index),
+  if (traced) {
+    trace_.record(request_key(access.index),
                   telemetry::TracePoint::kPollSent, /*node=*/-1,
                   access.started_at,
                   static_cast<std::int64_t>(round.targets.size()));
@@ -441,7 +448,7 @@ void ClientNode::finish_poll_round(std::size_t index) {
   }
   const Access access = round.access;
   if (trace_.sampled(static_cast<std::uint64_t>(access.index))) {
-    trace_.record(static_cast<std::uint64_t>(access.index),
+    trace_.record(request_key(access.index),
                   telemetry::TracePoint::kServerPick,
                   static_cast<std::int32_t>(target), now,
                   static_cast<std::int64_t>(round.replies.size()));
@@ -456,19 +463,21 @@ void ClientNode::finish_poll_round(std::size_t index) {
 
 void ClientNode::dispatch(const Access& access, std::size_t server_index,
                           bool manager_acquired) {
-  const std::uint64_t request_id =
-      (static_cast<std::uint64_t>(options_.id) << 40) |
-      static_cast<std::uint64_t>(access.index);
+  const std::uint64_t request_id = request_key(access.index);
   net::ServiceRequest request;
   request.request_id = request_id;
   request.service_us = access.service_us;
   request.partition = 0;
   const auto dest = options_.servers[server_index].service_addr;
   if (trace_.sampled(static_cast<std::uint64_t>(access.index))) {
-    trace_.record(static_cast<std::uint64_t>(access.index),
-                  telemetry::TracePoint::kDispatch,
-                  static_cast<std::int32_t>(server_index),
-                  net::monotonic_now(), access.attempt);
+    const SimTime now = net::monotonic_now();
+    // Propagated context: the server traces kServiceStart/kResponse under
+    // the same id regardless of its own sampling period.
+    request.trace_id = request_id;
+    request.origin_ns = now;
+    trace_.record(request_id, telemetry::TracePoint::kDispatch,
+                  static_cast<std::int32_t>(server_index), now,
+                  access.attempt);
   }
   if (!send_fixed(request,
                   [&](auto p) { return service_socket_.send_to(p, dest); })) {
@@ -518,7 +527,7 @@ void ClientNode::drain_service_socket() {
         m_response_time_ms_.record(rt_ms);
       }
       if (trace_.sampled(static_cast<std::uint64_t>(out.access.index))) {
-        trace_.record(static_cast<std::uint64_t>(out.access.index),
+        trace_.record(request_key(out.access.index),
                       telemetry::TracePoint::kResponse,
                       static_cast<std::int32_t>(out.server_index), now,
                       response.queue_at_arrival);
@@ -611,10 +620,13 @@ void ClientNode::drain_poll_socket(std::size_t server_index) {
       if (idx == poll_rounds_.size()) {
         ++stats_.polls_discarded;  // reply arrived after the round was decided
         m_polls_discarded_.inc();
-        // The owning access is gone, so the discard is traced under the
-        // inquiry sequence instead of the access index.
-        if (trace_.sampled(reply.seq)) {
-          trace_.record(reply.seq, telemetry::TracePoint::kPollDiscard,
+        // The owning round is gone, but the reply echoes its trace id, so a
+        // traced request's late replies still land under the right key
+        // (untraced rounds fall back to sequence-sampled discards).
+        if (reply.trace_id != 0 ? trace_.active()
+                                : trace_.sampled(reply.seq)) {
+          trace_.record(reply.trace_id != 0 ? reply.trace_id : reply.seq,
+                        telemetry::TracePoint::kPollDiscard,
                         static_cast<std::int32_t>(server_index),
                         net::monotonic_now(), reply.queue_length);
         }
@@ -627,7 +639,7 @@ void ClientNode::drain_poll_socket(std::size_t server_index) {
         m_poll_rtt_ms_.record(rtt_ms);
       }
       if (trace_.sampled(static_cast<std::uint64_t>(round.access.index))) {
-        trace_.record(static_cast<std::uint64_t>(round.access.index),
+        trace_.record(request_key(round.access.index),
                       telemetry::TracePoint::kPollReply,
                       static_cast<std::int32_t>(server_index),
                       net::monotonic_now(), reply.queue_length);

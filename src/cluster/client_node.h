@@ -109,8 +109,11 @@ struct ClientOptions {
 
   /// Lifecycle tracing: every Nth access (by access index) leaves its full
   /// enqueue → poll → pick → dispatch → response path in the client's trace
-  /// ring; 0 = off. Discarded poll replies are traced by inquiry sequence
-  /// (the owning access is already gone when the late reply lands).
+  /// ring; 0 = off. Records are keyed by the globally unique request id
+  /// (client id << 40 | access index) and the same id travels on the wire
+  /// as `trace_id`, so server-side records of the same request merge with
+  /// these (telemetry/merge.h). Discarded poll replies are traced under the
+  /// echoed trace id when present, else by inquiry sequence.
   std::uint32_t trace_sample_period = 0;
   std::size_t trace_capacity = 256;
 
@@ -238,6 +241,12 @@ class ClientNode {
   std::optional<SimTime> next_deadline(SimTime next_arrival) const;
   bool should_record(const Access& access) const {
     return access.index >= options_.warmup_requests;
+  }
+  /// Globally unique request id for an access — the trace key shared by
+  /// client- and server-side records of the same request.
+  std::uint64_t request_key(std::int64_t index) const {
+    return (static_cast<std::uint64_t>(options_.id) << 40) |
+           static_cast<std::uint64_t>(index);
   }
   /// Endpoint indices usable for new work: mapping-live minus blacklisted,
   /// falling back to every endpoint when that leaves nothing. The span

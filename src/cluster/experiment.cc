@@ -14,7 +14,9 @@
 #include "cluster/directory.h"
 #include "cluster/ideal_manager.h"
 #include "net/clock.h"
+#include "telemetry/clock_sync.h"
 #include "telemetry/export.h"
+#include "telemetry/scrape.h"
 
 namespace finelb::cluster {
 namespace {
@@ -256,6 +258,37 @@ PrototypeResult run_prototype(const PrototypeConfig& config,
       result.node_stats_json.push_back(client->stats_json());
     }
   }
+  // --- trace observatory -----------------------------------------------------
+  // Pull server rings over the wire while the load loops are still
+  // answering; each scrape round trip doubles as a clock-sync sample, so a
+  // dead or silent server simply contributes no trace. Client rings live in
+  // this process (zero offset by definition).
+  if (config.collect_traces && config.trace_sample_period > 0) {
+    for (const auto& server : servers) {
+      telemetry::NodeTrace node;
+      node.source = "server." + std::to_string(server->id());
+      if (auto scrape = telemetry::scrape_trace(server->load_address())) {
+        telemetry::ClockSync sync;
+        for (const auto& s : scrape->clock_samples) {
+          sync.add_sample(s.local_send_ns, s.remote_ns, s.local_recv_ns);
+        }
+        node.clock_offset_ns = sync.offset_ns();
+        node.records = std::move(scrape->records);
+      } else {
+        ++result.trace_scrape_failures;
+      }
+      result.node_traces.push_back(std::move(node));
+    }
+    for (std::size_t c = 0; c < clients.size(); ++c) {
+      telemetry::NodeTrace node;
+      node.source = "client." + std::to_string(c);
+      node.records = clients[c]->trace().snapshot();
+      result.node_traces.push_back(std::move(node));
+    }
+    result.staleness =
+        telemetry::compute_staleness(telemetry::merge_traces(result.node_traces));
+  }
+
   result.offered_load = offered_load;
   result.wall_sec = to_sec(finished - started);
   result.throughput = result.wall_sec > 0.0

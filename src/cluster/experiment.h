@@ -24,6 +24,7 @@
 #include "cluster/server_node.h"
 #include "core/policy.h"
 #include "fault/fault.h"
+#include "telemetry/merge.h"
 #include "workload/workload.h"
 
 namespace finelb::cluster {
@@ -95,6 +96,12 @@ struct PrototypeConfig {
   /// Collect every node's final JSON stats document into
   /// PrototypeResult::node_stats_json after the run.
   bool collect_node_stats = false;
+  /// After the run (servers still live), pull every server's trace ring
+  /// over the wire (TRACE_INQUIRY, clock-synced from the scrape round
+  /// trips) plus each client's ring in-process, align the clocks, and fill
+  /// PrototypeResult::node_traces and ::staleness. Requires
+  /// trace_sample_period > 0 to produce anything.
+  bool collect_traces = false;
 
   std::uint64_t seed = 1;
 };
@@ -117,6 +124,16 @@ struct PrototypeResult {
   /// PrototypeConfig::collect_node_stats is set. Merge with
   /// telemetry::cluster_to_json for one cluster-wide document.
   std::vector<std::string> node_stats_json;
+  /// Clock-aligned per-node traces (servers then clients; offsets already
+  /// estimated), populated when PrototypeConfig::collect_traces is set.
+  /// Feed to telemetry::merge_traces for the cluster timeline.
+  std::vector<telemetry::NodeTrace> node_traces;
+  /// Staleness observatory over the merged timeline: the live analogue of
+  /// the paper's Figure 2, |Q(t_reply) - Q(t_dispatch)| per traced request
+  /// (empty when collect_traces is off or nothing was sampled).
+  telemetry::StalenessSummary staleness;
+  /// Servers whose trace ring could not be scraped (UDP inquiry timed out).
+  int trace_scrape_failures = 0;
 };
 
 /// Runs one full prototype experiment; blocking.

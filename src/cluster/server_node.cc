@@ -146,17 +146,28 @@ void ServerNode::load_recv_loop() {
   // distribution.
   struct DelayedReply {
     std::uint64_t seq;
+    std::uint64_t trace_id;
+    std::int64_t origin_ns;
     net::Address to;
     SimTime due;
   };
   std::vector<DelayedReply> delayed;
 
-  const auto send_reply = [this](std::uint64_t seq, const net::Address& to) {
+  const auto send_reply = [this](std::uint64_t seq, std::uint64_t trace_id,
+                                 std::int64_t origin_ns,
+                                 const net::Address& to) {
     net::LoadReply reply;
     reply.seq = seq;
     // Queue length at *reply* time: the paper's slow replies carry stale
     // indexes precisely because the queue moved while they waited.
     reply.queue_length = qlen_.load(std::memory_order_relaxed);
+    reply.trace_id = trace_id;
+    reply.origin_ns = origin_ns;
+    reply.server_ns = net::monotonic_now();
+    if (trace_id != 0 && trace_.active()) {
+      trace_.record(trace_id, telemetry::TracePoint::kLoadReplied,
+                    options_.id, reply.server_ns, reply.queue_length);
+    }
     std::array<std::uint8_t, net::kMaxFixedMsgSize> buf;
     const std::size_t n = reply.encode_into(buf);
     if (!load_socket_.send_to({buf.data(), n}, to)) {
@@ -177,15 +188,27 @@ void ServerNode::load_recv_loop() {
     poller.wait(wait);
     while (load_socket_.recv_batch(inquiries) > 0) {
       replies.clear();
+      // One clock read per drained burst: every reply in the burst carries
+      // the same server_ns. Bursts resolve within microseconds, well inside
+      // ClockSync's RTT/2 error bound, and the fast path stays one vDSO
+      // call per batch instead of one per inquiry.
+      const SimTime burst_ns = net::monotonic_now();
       for (std::size_t i = 0; i < inquiries.size(); ++i) {
         net::LoadInquiry inquiry;
         if (!net::LoadInquiry::try_decode(inquiries.payload(i), inquiry)) {
           // Not a load inquiry: the observability pull channel shares this
-          // socket, so check for a stats scrape before dropping (cold path —
-          // answering allocates, which is fine off the polling fast path).
+          // socket, so check for a stats or trace scrape before dropping
+          // (cold paths — answering allocates, which is fine off the
+          // polling fast path).
           net::StatsInquiry stats;
           if (net::StatsInquiry::try_decode(inquiries.payload(i), stats)) {
             answer_stats_inquiry(stats.seq, inquiries.address(i));
+            continue;
+          }
+          net::TraceInquiry trace_inquiry;
+          if (net::TraceInquiry::try_decode(inquiries.payload(i),
+                                            trace_inquiry)) {
+            answer_trace_inquiry(trace_inquiry, inquiries.address(i));
           }
           continue;
         }
@@ -208,7 +231,8 @@ void ServerNode::load_recv_loop() {
             delay = std::min(static_cast<SimDuration>(delay_ns),
                              options_.busy_reply_cap);
           }
-          delayed.push_back({inquiry.seq, inquiries.address(i),
+          delayed.push_back({inquiry.seq, inquiry.trace_id, inquiry.origin_ns,
+                             inquiries.address(i),
                              net::monotonic_now() + delay});
         } else {
           // Queue length at *reply* time, as in send_reply: batching spans
@@ -216,13 +240,22 @@ void ServerNode::load_recv_loop() {
           net::LoadReply reply;
           reply.seq = inquiry.seq;
           reply.queue_length = qlen;
+          reply.trace_id = inquiry.trace_id;
+          reply.origin_ns = inquiry.origin_ns;
+          reply.server_ns = burst_ns;
+          if (inquiry.trace_id != 0 && trace_.active()) {
+            trace_.record(inquiry.trace_id,
+                          telemetry::TracePoint::kLoadReplied, options_.id,
+                          burst_ns, qlen);
+          }
           // Encode straight into the batch slot (no intermediate vector or
           // memcpy); fall back to an immediate send when the batch is full.
           const auto slot = replies.stage();
           if (const std::size_t n = reply.encode_into(slot); n > 0) {
             replies.commit(n, inquiries.address(i));
           } else {
-            send_reply(inquiry.seq, inquiries.address(i));
+            send_reply(inquiry.seq, inquiry.trace_id, inquiry.origin_ns,
+                       inquiries.address(i));
           }
         }
       }
@@ -239,7 +272,8 @@ void ServerNode::load_recv_loop() {
       const SimTime now = net::monotonic_now();
       for (std::size_t i = 0; i < delayed.size();) {
         if (delayed[i].due <= now) {
-          send_reply(delayed[i].seq, delayed[i].to);
+          send_reply(delayed[i].seq, delayed[i].trace_id,
+                     delayed[i].origin_ns, delayed[i].to);
           delayed[i] = delayed.back();
           delayed.pop_back();
         } else {
@@ -273,7 +307,12 @@ void ServerNode::worker_loop() {
     const SimTime start = net::monotonic_now();
     const SimDuration queue_wait = start - item.enqueued_at;
     m_queue_wait_ms_.record(static_cast<double>(queue_wait) / 1e6);
-    const bool traced = trace_.sampled(item.request.request_id);
+    // A wire trace_id means the issuing client sampled this request: record
+    // it whenever the ring is live. Requests without propagated context
+    // fall back to this node's own sampling period.
+    const bool traced =
+        (item.request.trace_id != 0 && trace_.active()) ||
+        trace_.sampled(item.request.request_id);
     if (traced) {
       trace_.record(item.request.request_id, telemetry::TracePoint::kServiceStart,
                     options_.id, start, queue_wait);
@@ -289,6 +328,10 @@ void ServerNode::worker_loop() {
     response.request_id = item.request.request_id;
     response.server = options_.id;
     response.queue_at_arrival = item.queue_at_arrival;
+    response.trace_id = item.request.trace_id;
+    if (item.request.trace_id != 0) {
+      response.server_ns = net::monotonic_now();
+    }
     std::array<std::uint8_t, net::kMaxFixedMsgSize> buf;
     const std::size_t n = response.encode_into(buf);
     if (!service_socket_.send_to({buf.data(), n}, item.reply_to)) {
@@ -373,6 +416,40 @@ void ServerNode::answer_stats_inquiry(std::uint64_t seq,
   const std::size_t n = reply.encode_into(buf);
   // n == 0 means the snapshot outgrew the wire format's 64 KiB string cap;
   // treat it like a kernel-refused send rather than crashing the node.
+  if (n == 0 || !load_socket_.send_to({buf.data(), n}, to)) {
+    send_failures_.fetch_add(1, std::memory_order_relaxed);
+    m_send_failures_.inc();
+  }
+}
+
+void ServerNode::answer_trace_inquiry(const net::TraceInquiry& inquiry,
+                                      const net::Address& to) {
+  // Cold path (allocates): snapshot the ring and return one chunk. The
+  // snapshot is re-taken per inquiry, so a scraper walking offsets sees a
+  // consistent total only while the ring is quiescent — acceptable for the
+  // post-run merge this serves; a live scrape just re-pulls.
+  const std::vector<telemetry::TraceRecord> records = trace_.snapshot();
+  net::TraceReply reply;
+  reply.seq = inquiry.seq;
+  reply.node = options_.id;
+  reply.server_ns = net::monotonic_now();
+  reply.total = static_cast<std::uint32_t>(records.size());
+  reply.offset = std::min(inquiry.offset, reply.total);
+  const std::size_t end =
+      std::min<std::size_t>(records.size(),
+                            reply.offset + net::kTraceReplyMaxRecords);
+  reply.records.reserve(end - reply.offset);
+  for (std::size_t i = reply.offset; i < end; ++i) {
+    net::TraceRecordWire rec;
+    rec.request_id = records[i].request_id;
+    rec.point = static_cast<std::uint8_t>(records[i].point);
+    rec.node = records[i].node;
+    rec.at_ns = records[i].at_ns;
+    rec.detail = records[i].detail;
+    reply.records.push_back(rec);
+  }
+  std::vector<std::uint8_t> buf(reply.encoded_size());
+  const std::size_t n = reply.encode_into(buf);
   if (n == 0 || !load_socket_.send_to({buf.data(), n}, to)) {
     send_failures_.fetch_add(1, std::memory_order_relaxed);
     m_send_failures_.inc();

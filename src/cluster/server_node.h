@@ -75,6 +75,10 @@ struct ServerOptions {
 
   /// Lifecycle tracing: every Nth request (by request id) leaves
   /// kServiceStart/kResponse records in the node's trace ring; 0 = off.
+  /// Requests and load inquiries carrying a wire `trace_id` were sampled by
+  /// the issuing client and are recorded under that id whenever the ring is
+  /// live, regardless of this period. The ring is served to scrapers in
+  /// chunks via TRACE_INQUIRY on the load socket (telemetry/scrape.h).
   std::uint32_t trace_sample_period = 0;
   std::size_t trace_capacity = 256;
 
@@ -148,6 +152,8 @@ class ServerNode {
   void service_recv_loop();
   void load_recv_loop();
   void answer_stats_inquiry(std::uint64_t seq, const net::Address& to);
+  void answer_trace_inquiry(const net::TraceInquiry& inquiry,
+                            const net::Address& to);
   void publish_loop();
   void broadcast_loop();
   void worker_loop();

@@ -33,10 +33,24 @@ const char* level_name(LogLevel level) {
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
-LogLevel parse_log_level(std::string_view name) {
+std::optional<LogLevel> try_parse_log_level(std::string_view name) {
   if (name == "debug") return LogLevel::kDebug;
   if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
   if (name == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
+LogLevel parse_log_level(std::string_view name) {
+  if (const auto level = try_parse_log_level(name)) return *level;
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true)) {
+    std::string line = "[WARN] log: unknown log level \"";
+    line.append(name.data(), name.size());
+    line += "\", defaulting to warn\n";
+    std::lock_guard<std::mutex> lock(g_write_mutex);
+    std::fputs(line.c_str(), stderr);
+  }
   return LogLevel::kWarn;
 }
 

@@ -6,6 +6,7 @@
 // write under a mutex, so concurrent cluster-node logs do not interleave.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string_view>
 
@@ -18,7 +19,12 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Strict parse of "debug"/"info"/"warn"/"error"; nullopt for anything else.
+std::optional<LogLevel> try_parse_log_level(std::string_view name);
+
 /// Parses "debug"/"info"/"warn"/"error"; returns kWarn for unknown names.
+/// The first unknown name per process prints a one-time stderr warning —
+/// a typo in FINELB_LOG or --log-level should not silently change levels.
 LogLevel parse_log_level(std::string_view name);
 
 class Flags;

@@ -116,17 +116,40 @@ void ServiceNode::load_recv_loop() {
         net::LoadInquiry inquiry;
         if (!net::LoadInquiry::try_decode(inquiries.payload(i), inquiry)) {
           // Not a load inquiry: the observability pull channel shares this
-          // socket, so check for a stats scrape before dropping (cold path —
-          // answering allocates, which is fine off the polling fast path).
+          // socket, so check for a stats or trace scrape before dropping
+          // (cold paths — answering allocates, which is fine off the
+          // polling fast path).
           net::StatsInquiry stats;
           if (net::StatsInquiry::try_decode(inquiries.payload(i), stats)) {
             answer_stats_inquiry(stats.seq, inquiries.address(i));
+            continue;
+          }
+          // Neptune nodes keep no trace ring; answer with an empty reply so
+          // scrapers still get the clock probe (server_ns) and terminate.
+          net::TraceInquiry trace_inquiry;
+          if (net::TraceInquiry::try_decode(inquiries.payload(i),
+                                            trace_inquiry)) {
+            net::TraceReply trace_reply;
+            trace_reply.seq = trace_inquiry.seq;
+            trace_reply.node = options_.id;
+            trace_reply.server_ns = net::monotonic_now();
+            std::array<std::uint8_t, net::kMaxFixedMsgSize> buf;
+            const std::size_t len = trace_reply.encode_into(buf);
+            if (len == 0 || !load_socket_.send_to({buf.data(), len},
+                                                  inquiries.address(i))) {
+              m_send_failures_.inc();
+            }
           }
           continue;
         }
         net::LoadReply reply;
         reply.seq = inquiry.seq;
         reply.queue_length = qlen_.load(std::memory_order_relaxed);
+        // Echo the trace context and stamp the reply-time clock so traced
+        // polls against Neptune nodes stay mergeable/alignable too.
+        reply.trace_id = inquiry.trace_id;
+        reply.origin_ns = inquiry.origin_ns;
+        reply.server_ns = net::monotonic_now();
         const auto slot = replies.stage();
         if (const std::size_t n = reply.encode_into(slot); n > 0) {
           replies.commit(n, inquiries.address(i));

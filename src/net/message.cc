@@ -59,12 +59,14 @@ MsgType peek_type(std::span<const std::uint8_t> data) {
   return static_cast<MsgType>(data[0]);
 }
 
-std::size_t LoadInquiry::encoded_size() const { return 1 + 8; }
+std::size_t LoadInquiry::encoded_size() const { return 1 + 8 + 8 + 8; }
 
 std::size_t LoadInquiry::encode_into(std::span<std::uint8_t> out) const {
   SpanWriter w(out);
   w.u8(static_cast<std::uint8_t>(MsgType::kLoadInquiry));
   w.u64(seq);
+  w.u64(trace_id);
+  w.i64(origin_ns);
   return w.ok() ? w.size() : 0;
 }
 
@@ -73,6 +75,8 @@ bool LoadInquiry::try_decode(std::span<const std::uint8_t> data,
   TryReader r(data);
   if (!expect_type(r, MsgType::kLoadInquiry)) return false;
   out.seq = r.u64();
+  out.trace_id = r.u64();
+  out.origin_ns = r.i64();
   return r.ok();
 }
 
@@ -84,13 +88,16 @@ LoadInquiry LoadInquiry::decode(std::span<const std::uint8_t> data) {
   return decode_via<LoadInquiry>(data, "malformed LoadInquiry");
 }
 
-std::size_t LoadReply::encoded_size() const { return 1 + 8 + 4; }
+std::size_t LoadReply::encoded_size() const { return 1 + 8 + 4 + 8 + 8 + 8; }
 
 std::size_t LoadReply::encode_into(std::span<std::uint8_t> out) const {
   SpanWriter w(out);
   w.u8(static_cast<std::uint8_t>(MsgType::kLoadReply));
   w.u64(seq);
   w.i32(queue_length);
+  w.u64(trace_id);
+  w.i64(origin_ns);
+  w.i64(server_ns);
   return w.ok() ? w.size() : 0;
 }
 
@@ -100,6 +107,9 @@ bool LoadReply::try_decode(std::span<const std::uint8_t> data,
   if (!expect_type(r, MsgType::kLoadReply)) return false;
   out.seq = r.u64();
   out.queue_length = r.i32();
+  out.trace_id = r.u64();
+  out.origin_ns = r.i64();
+  out.server_ns = r.i64();
   return r.ok();
 }
 
@@ -109,7 +119,9 @@ LoadReply LoadReply::decode(std::span<const std::uint8_t> data) {
   return decode_via<LoadReply>(data, "malformed LoadReply");
 }
 
-std::size_t ServiceRequest::encoded_size() const { return 1 + 8 + 4 + 4; }
+std::size_t ServiceRequest::encoded_size() const {
+  return 1 + 8 + 4 + 4 + 8 + 8;
+}
 
 std::size_t ServiceRequest::encode_into(std::span<std::uint8_t> out) const {
   SpanWriter w(out);
@@ -117,6 +129,8 @@ std::size_t ServiceRequest::encode_into(std::span<std::uint8_t> out) const {
   w.u64(request_id);
   w.u32(service_us);
   w.u32(partition);
+  w.u64(trace_id);
+  w.i64(origin_ns);
   return w.ok() ? w.size() : 0;
 }
 
@@ -127,6 +141,8 @@ bool ServiceRequest::try_decode(std::span<const std::uint8_t> data,
   out.request_id = r.u64();
   out.service_us = r.u32();
   out.partition = r.u32();
+  out.trace_id = r.u64();
+  out.origin_ns = r.i64();
   return r.ok();
 }
 
@@ -138,7 +154,9 @@ ServiceRequest ServiceRequest::decode(std::span<const std::uint8_t> data) {
   return decode_via<ServiceRequest>(data, "malformed ServiceRequest");
 }
 
-std::size_t ServiceResponse::encoded_size() const { return 1 + 8 + 4 + 4; }
+std::size_t ServiceResponse::encoded_size() const {
+  return 1 + 8 + 4 + 4 + 8 + 8;
+}
 
 std::size_t ServiceResponse::encode_into(std::span<std::uint8_t> out) const {
   SpanWriter w(out);
@@ -146,6 +164,8 @@ std::size_t ServiceResponse::encode_into(std::span<std::uint8_t> out) const {
   w.u64(request_id);
   w.i32(server);
   w.i32(queue_at_arrival);
+  w.u64(trace_id);
+  w.i64(server_ns);
   return w.ok() ? w.size() : 0;
 }
 
@@ -156,6 +176,8 @@ bool ServiceResponse::try_decode(std::span<const std::uint8_t> data,
   out.request_id = r.u64();
   out.server = r.i32();
   out.queue_at_arrival = r.i32();
+  out.trace_id = r.u64();
+  out.server_ns = r.i64();
   return r.ok();
 }
 
@@ -438,6 +460,105 @@ std::vector<std::uint8_t> StatsReply::encode() const {
 
 StatsReply StatsReply::decode(std::span<const std::uint8_t> data) {
   return decode_via<StatsReply>(data, "malformed StatsReply");
+}
+
+std::size_t TraceInquiry::encoded_size() const { return 1 + 8 + 4; }
+
+std::size_t TraceInquiry::encode_into(std::span<std::uint8_t> out) const {
+  SpanWriter w(out);
+  w.u8(static_cast<std::uint8_t>(MsgType::kTraceInquiry));
+  w.u64(seq);
+  w.u32(offset);
+  return w.ok() ? w.size() : 0;
+}
+
+bool TraceInquiry::try_decode(std::span<const std::uint8_t> data,
+                              TraceInquiry& out) {
+  TryReader r(data);
+  if (!expect_type(r, MsgType::kTraceInquiry)) return false;
+  out.seq = r.u64();
+  out.offset = r.u32();
+  return r.ok();
+}
+
+std::vector<std::uint8_t> TraceInquiry::encode() const {
+  return encode_via(*this);
+}
+
+TraceInquiry TraceInquiry::decode(std::span<const std::uint8_t> data) {
+  return decode_via<TraceInquiry>(data, "malformed TraceInquiry");
+}
+
+namespace {
+
+constexpr std::size_t kTraceRecordWireBytes = 8 + 1 + 4 + 8 + 8;
+
+void put_trace_record(SpanWriter& w, const TraceRecordWire& rec) {
+  w.u64(rec.request_id);
+  w.u8(rec.point);
+  w.i32(rec.node);
+  w.i64(rec.at_ns);
+  w.i64(rec.detail);
+}
+
+bool read_trace_record(TryReader& r, TraceRecordWire& rec) {
+  rec.request_id = r.u64();
+  rec.point = r.u8();
+  rec.node = r.i32();
+  rec.at_ns = r.i64();
+  rec.detail = r.i64();
+  return r.ok();
+}
+
+}  // namespace
+
+std::size_t TraceReply::encoded_size() const {
+  return 1 + 8 + 4 + 8 + 4 + 4 + 4 + records.size() * kTraceRecordWireBytes;
+}
+
+std::size_t TraceReply::encode_into(std::span<std::uint8_t> out) const {
+  SpanWriter w(out);
+  w.u8(static_cast<std::uint8_t>(MsgType::kTraceReply));
+  w.u64(seq);
+  w.i32(node);
+  w.i64(server_ns);
+  w.u32(total);
+  w.u32(offset);
+  w.u32(static_cast<std::uint32_t>(records.size()));
+  for (const TraceRecordWire& rec : records) put_trace_record(w, rec);
+  return w.ok() ? w.size() : 0;
+}
+
+bool TraceReply::try_decode(std::span<const std::uint8_t> data,
+                            TraceReply& out) {
+  TryReader r(data);
+  if (!expect_type(r, MsgType::kTraceReply)) return false;
+  out.seq = r.u64();
+  out.node = r.i32();
+  out.server_ns = r.i64();
+  out.total = r.u32();
+  out.offset = r.u32();
+  const std::uint32_t count = r.u32();
+  if (!r.ok()) return false;
+  // Reject counts the remaining bytes cannot hold before reserving storage
+  // (same defense as SnapshotReply against a corrupted count).
+  if (static_cast<std::size_t>(count) >
+      r.remaining() / kTraceRecordWireBytes) {
+    return false;
+  }
+  out.records.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (!read_trace_record(r, out.records[i])) return false;
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> TraceReply::encode() const {
+  return encode_via(*this);
+}
+
+TraceReply TraceReply::decode(std::span<const std::uint8_t> data) {
+  return decode_via<TraceReply>(data, "malformed TraceReply");
 }
 
 }  // namespace finelb::net

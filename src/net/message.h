@@ -44,6 +44,8 @@ enum class MsgType : std::uint8_t {
   kSubscribe = 12,
   kStatsInquiry = 13,
   kStatsReply = 14,
+  kTraceInquiry = 15,
+  kTraceReply = 16,
 };
 
 /// Peeks at the type tag; throws on empty payloads.
@@ -51,6 +53,13 @@ MsgType peek_type(std::span<const std::uint8_t> data);
 
 struct LoadInquiry {
   std::uint64_t seq = 0;
+  /// Distributed-tracing context (0 = untraced): the issuing client's
+  /// request id, so the server's reply-time TraceRecord is causally
+  /// linkable to the client's poll round.
+  std::uint64_t trace_id = 0;
+  /// Sender's monotonic clock at send time (its own epoch; only meaningful
+  /// after telemetry::ClockSync alignment). 0 when untraced.
+  std::int64_t origin_ns = 0;
 
   std::size_t encoded_size() const;
   /// Serializes into `out`; returns bytes written, 0 if `out` is too small
@@ -67,6 +76,15 @@ struct LoadInquiry {
 struct LoadReply {
   std::uint64_t seq = 0;
   std::int32_t queue_length = 0;
+  /// Echoed from the inquiry (0 = untraced), so a late reply can still be
+  /// traced under its owning request after the round is gone.
+  std::uint64_t trace_id = 0;
+  /// Echoed inquiry origin_ns: lets the receiver compute the poll RTT and
+  /// a clock-offset sample without any per-round state.
+  std::int64_t origin_ns = 0;
+  /// Server's monotonic clock when the reply was built — the t_reply of the
+  /// paper's staleness measure, on the server's own clock.
+  std::int64_t server_ns = 0;
 
   std::size_t encoded_size() const;
   std::size_t encode_into(std::span<std::uint8_t> out) const;
@@ -83,6 +101,11 @@ struct ServiceRequest {
   std::uint32_t service_us = 0;
   /// Data partition addressed by the access (Neptune semantics).
   std::uint32_t partition = 0;
+  /// Distributed-tracing context (0 = untraced). Sampled requests carry
+  /// their request_id here so the server traces under the same key.
+  std::uint64_t trace_id = 0;
+  /// Client's monotonic clock at dispatch time (0 when untraced).
+  std::int64_t origin_ns = 0;
 
   std::size_t encoded_size() const;
   std::size_t encode_into(std::span<std::uint8_t> out) const;
@@ -98,6 +121,10 @@ struct ServiceResponse {
   std::int32_t server = 0;
   /// Queue length observed when the request entered the server (diagnostic).
   std::int32_t queue_at_arrival = 0;
+  /// Echoed from the request (0 = untraced).
+  std::uint64_t trace_id = 0;
+  /// Server's monotonic clock when the response was sent (0 when untraced).
+  std::int64_t server_ns = 0;
 
   std::size_t encoded_size() const;
   std::size_t encode_into(std::span<std::uint8_t> out) const;
@@ -247,9 +274,62 @@ struct StatsReply {
   static StatsReply decode(std::span<const std::uint8_t> data);
 };
 
+/// One TraceRecord on the wire (telemetry::TraceRecord without depending on
+/// the telemetry library from net): request id, lifecycle point, node id,
+/// node-local monotonic timestamp and point-specific detail payload.
+struct TraceRecordWire {
+  std::uint64_t request_id = 0;
+  std::uint8_t point = 0;     // telemetry::TracePoint value
+  std::int32_t node = -1;
+  std::int64_t at_ns = 0;     // sender's monotonic clock, unaligned
+  std::int64_t detail = 0;
+};
+
+/// Asks a node's load-index UDP server for a chunk of its trace ring,
+/// starting at record `offset` of the node's current snapshot. Clients walk
+/// offsets until a reply's records cross its advertised total.
+struct TraceInquiry {
+  std::uint64_t seq = 0;
+  std::uint32_t offset = 0;
+
+  std::size_t encoded_size() const;
+  std::size_t encode_into(std::span<std::uint8_t> out) const;
+  static bool try_decode(std::span<const std::uint8_t> data,
+                         TraceInquiry& out);
+
+  std::vector<std::uint8_t> encode() const;
+  static TraceInquiry decode(std::span<const std::uint8_t> data);
+};
+
+/// One chunk of a node's trace ring plus a clock probe: `server_ns` is the
+/// answering node's monotonic clock at reply-build time, so every
+/// inquiry/reply round doubles as a ClockSync sample. Senders chunk under
+/// the 64 KiB datagram cap (kTraceReplyMaxRecords records per reply).
+struct TraceReply {
+  std::uint64_t seq = 0;
+  std::int32_t node = -1;       // answering node's id
+  std::int64_t server_ns = 0;   // answering node's clock (midpoint probe)
+  std::uint32_t total = 0;      // records in the node's current snapshot
+  std::uint32_t offset = 0;     // index of records.front() within that total
+  std::vector<TraceRecordWire> records;
+
+  std::size_t encoded_size() const;
+  std::size_t encode_into(std::span<std::uint8_t> out) const;
+  /// Rejects record counts that cannot fit the remaining bytes before
+  /// reserving storage, like SnapshotReply.
+  static bool try_decode(std::span<const std::uint8_t> data, TraceReply& out);
+
+  std::vector<std::uint8_t> encode() const;
+  static TraceReply decode(std::span<const std::uint8_t> data);
+};
+
+/// Most records one TraceReply may carry while staying under the UDP
+/// datagram limit (29 bytes per record + 29 bytes of header ≈ 58 KiB).
+constexpr std::size_t kTraceReplyMaxRecords = 2000;
+
 /// Generous stack-buffer size for every fixed-size message type's
-/// encode_into (the string-bearing publish/snapshot types need
+/// encode_into (the string-bearing publish/snapshot/trace types need
 /// encoded_size()).
-constexpr std::size_t kMaxFixedMsgSize = 32;
+constexpr std::size_t kMaxFixedMsgSize = 64;
 
 }  // namespace finelb::net

@@ -12,14 +12,39 @@
 
 namespace finelb::net {
 
-PingPongResult measure_udp_rtt(int rounds, int warmup) {
+namespace {
+
+// The echo end stamps its monotonic clock into reply bytes [8, 16) when
+// asked (little-endian i64); byte 0 stays the round counter.
+constexpr std::size_t kStampOffset = 8;
+
+std::int64_t read_stamp(const std::array<std::uint8_t, 64>& buf) {
+  std::uint64_t bits = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    bits |= static_cast<std::uint64_t>(buf[kStampOffset + i]) << (8 * i);
+  }
+  return static_cast<std::int64_t>(bits);
+}
+
+void write_stamp(std::array<std::uint8_t, 64>& buf, std::int64_t value) {
+  const auto bits = static_cast<std::uint64_t>(value);
+  for (std::size_t i = 0; i < 8; ++i) {
+    buf[kStampOffset + i] = static_cast<std::uint8_t>(bits >> (8 * i));
+  }
+}
+
+}  // namespace
+
+PingPongResult measure_udp_rtt(int rounds, int warmup,
+                               std::vector<ClockSample>* clock_samples) {
   FINELB_CHECK(rounds > 0 && warmup >= 0, "invalid ping-pong parameters");
 
   UdpSocket echo_socket;
   const Address echo_addr = echo_socket.local_address();
   const int total = rounds + warmup;
+  const bool stamp = clock_samples != nullptr;
 
-  std::thread echo([&echo_socket, total] {
+  std::thread echo([&echo_socket, total, stamp] {
     Poller poller;
     poller.add(echo_socket.fd(), 0);
     std::array<std::uint8_t, 64> buf{};
@@ -27,6 +52,7 @@ PingPongResult measure_udp_rtt(int rounds, int warmup) {
     while (served < total) {
       if (poller.wait(kSecond).empty()) continue;
       while (auto dgram = echo_socket.recv_from(buf)) {
+        if (stamp) write_stamp(buf, monotonic_now());
         echo_socket.send_to(std::span(buf.data(), dgram->size), dgram->from);
         ++served;
       }
@@ -40,18 +66,28 @@ PingPongResult measure_udp_rtt(int rounds, int warmup) {
 
   std::vector<double> samples;
   samples.reserve(static_cast<std::size_t>(rounds));
+  if (clock_samples != nullptr) {
+    clock_samples->reserve(clock_samples->size() +
+                           static_cast<std::size_t>(rounds));
+  }
   std::array<std::uint8_t, 64> payload{};
   for (int i = 0; i < total; ++i) {
     payload[0] = static_cast<std::uint8_t>(i);
     const SimTime start = monotonic_now();
     FINELB_CHECK(client.send(payload), "ping send failed");
+    std::array<std::uint8_t, 64> reply{};
     for (;;) {
       poller.wait(kSecond);
-      std::array<std::uint8_t, 64> reply{};
       if (client.recv(reply)) break;
     }
-    const double rtt_us = to_us(monotonic_now() - start);
-    if (i >= warmup) samples.push_back(rtt_us);
+    const SimTime end = monotonic_now();
+    const double rtt_us = to_us(end - start);
+    if (i >= warmup) {
+      samples.push_back(rtt_us);
+      if (clock_samples != nullptr) {
+        clock_samples->push_back({start, read_stamp(reply), end});
+      }
+    }
   }
   echo.join();
 

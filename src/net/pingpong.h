@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/time.h"
 
@@ -20,8 +21,23 @@ struct PingPongResult {
   int rounds = 0;
 };
 
+/// One NTP-style clock observation: the remote end's clock was `remote_ns`
+/// at some instant between `local_send_ns` and `local_recv_ns` on the local
+/// clock. telemetry::ClockSync turns a set of these into a midpoint offset
+/// with an RTT/2 + drift error bound.
+struct ClockSample {
+  std::int64_t local_send_ns = 0;
+  std::int64_t remote_ns = 0;
+  std::int64_t local_recv_ns = 0;
+};
+
 /// Spawns an echo thread on a loopback UDP socket and measures `rounds`
-/// request/reply round trips (after `warmup` unmeasured rounds).
-PingPongResult measure_udp_rtt(int rounds = 1000, int warmup = 100);
+/// request/reply round trips (after `warmup` unmeasured rounds). When
+/// `clock_samples` is non-null, the echo end stamps its monotonic clock
+/// into each reply and every measured round appends one ClockSample —
+/// the pingpong path doubling as the clock-sync sample source.
+PingPongResult measure_udp_rtt(int rounds = 1000, int warmup = 100,
+                               std::vector<ClockSample>* clock_samples =
+                                   nullptr);
 
 }  // namespace finelb::net

@@ -29,6 +29,7 @@ class Writer {
   /// Length-prefixed (u16) byte string; capped at 64 KiB by construction.
   void str(std::string_view s) {
     FINELB_CHECK(s.size() <= 0xffff, "string too long for wire format");
+    buf_.reserve(buf_.size() + 2 + s.size());
     u16(static_cast<std::uint16_t>(s.size()));
     buf_.insert(buf_.end(), s.begin(), s.end());
   }

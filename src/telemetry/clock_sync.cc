@@ -1,0 +1,33 @@
+#include "telemetry/clock_sync.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace finelb::telemetry {
+
+void ClockSync::add_sample(std::int64_t local_send_ns, std::int64_t remote_ns,
+                           std::int64_t local_recv_ns) {
+  const std::int64_t rtt_ns = local_recv_ns - local_send_ns;
+  if (rtt_ns <= 0) return;
+  if (samples_ > 0 && rtt_ns >= best_rtt_ns_) {
+    ++samples_;
+    return;
+  }
+  // Midpoint estimate; computed as send + rtt/2 to stay overflow-safe for
+  // arbitrary monotonic epochs.
+  const std::int64_t midpoint_ns = local_send_ns + rtt_ns / 2;
+  offset_ns_ = remote_ns - midpoint_ns;
+  best_rtt_ns_ = rtt_ns;
+  synced_at_local_ns_ = midpoint_ns;
+  ++samples_;
+}
+
+std::int64_t ClockSync::error_bound_ns(std::int64_t local_now_ns) const {
+  if (samples_ == 0) return 0;
+  const double elapsed_ns =
+      std::abs(static_cast<double>(local_now_ns - synced_at_local_ns_));
+  const double drift_ns = elapsed_ns * drift_ppm_ * 1e-6;
+  return best_rtt_ns_ / 2 + static_cast<std::int64_t>(std::ceil(drift_ns));
+}
+
+}  // namespace finelb::telemetry

@@ -202,14 +202,34 @@ std::string cluster_to_json(const std::vector<std::string>& node_documents) {
 }
 
 namespace {
+
+// Async-signal-safety contract (audited): the handler may only touch
+// `g_dump_requested`, a lock-free atomic flag. No allocation, no locks, no
+// stdio — all formatting and writing happens later on the reporter thread
+// that polls consume_dump_request(). Keep it that way: any malloc or mutex
+// in here can deadlock if the signal lands inside the allocator.
 std::atomic<bool> g_dump_requested{false};
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "SIGUSR1 handler requires a lock-free flag");
+
 void sigusr1_handler(int) {
   g_dump_requested.store(true, std::memory_order_relaxed);
 }
+
 }  // namespace
 
 void install_sigusr1_dump_handler() {
+#if defined(__unix__) || defined(__APPLE__)
+  // sigaction with SA_RESTART: a dump request must not surface as EINTR in
+  // the runtime's blocking recv/poll loops.
+  struct sigaction action {};
+  action.sa_handler = sigusr1_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  sigaction(SIGUSR1, &action, nullptr);
+#else
   std::signal(SIGUSR1, sigusr1_handler);
+#endif
 }
 
 void trigger_stats_dump() {

@@ -1,0 +1,428 @@
+#include "telemetry/merge.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+namespace finelb::telemetry {
+
+namespace {
+
+void append_int(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+/// Nanoseconds as a fixed-point microsecond literal ("12.345"): integer
+/// arithmetic, so the output is deterministic and never loses precision to
+/// double rounding (Chrome's ts/dur fields are microseconds).
+void append_us(std::string& out, std::int64_t ns) {
+  if (ns < 0) {
+    out += '-';
+    ns = -ns;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%03" PRId64, ns / 1000,
+                ns % 1000);
+  out += buf;
+}
+
+double percentile(const std::vector<std::int64_t>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1));
+  return static_cast<double>(sorted[idx]);
+}
+
+/// Per-request working set for the staleness walk.
+struct RequestObservations {
+  std::int32_t picked = -1;          // node chosen by kServerPick
+  bool have_reply_q = false;
+  std::int64_t reply_q = 0;          // Q(t_reply) from the picked server
+  bool have_arrival_q = false;
+  std::int64_t arrival_q = 0;        // Q(t_dispatch) from kResponse
+  bool have_load_replied = false;
+  std::int64_t load_replied_ns = 0;  // aligned reply-build time
+  bool have_service_start = false;
+  std::int64_t arrival_ns = 0;       // aligned arrival (start - queue wait)
+  std::int32_t service_node = -1;
+};
+
+}  // namespace
+
+int trace_point_rank(TracePoint point) {
+  switch (point) {
+    case TracePoint::kClientEnqueue: return 0;
+    case TracePoint::kPollSent: return 1;
+    case TracePoint::kLoadReplied: return 2;
+    case TracePoint::kPollReply: return 3;
+    case TracePoint::kPollDiscard: return 3;
+    case TracePoint::kServerPick: return 4;
+    case TracePoint::kDispatch: return 5;
+    case TracePoint::kServiceStart: return 6;
+    case TracePoint::kResponse: return 7;
+  }
+  return 8;
+}
+
+std::vector<MergedRecord> merge_traces(const std::vector<NodeTrace>& nodes) {
+  std::vector<MergedRecord> out;
+  std::size_t total = 0;
+  for (const NodeTrace& node : nodes) total += node.records.size();
+  out.reserve(total);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (const TraceRecord& rec : nodes[i].records) {
+      MergedRecord m;
+      m.record = rec;
+      m.record.at_ns = rec.at_ns - nodes[i].clock_offset_ns;
+      m.source = static_cast<std::int32_t>(i);
+      m.order_ns = m.record.at_ns;
+      out.push_back(m);
+    }
+  }
+
+  // Causal repair: within one request id, walk records in canonical
+  // lifecycle order and take a running max over aligned times. Residual
+  // clock error (< the sync bound) can make, say, a server's kLoadReplied
+  // appear before the client's kPollSent; the running max gives such a
+  // record a sort key at its predecessor's time without altering the
+  // stored timestamp.
+  std::vector<std::size_t> idx(out.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  const auto canonical = [&out](std::size_t a, std::size_t b) {
+    const MergedRecord& x = out[a];
+    const MergedRecord& y = out[b];
+    if (x.record.request_id != y.record.request_id) {
+      return x.record.request_id < y.record.request_id;
+    }
+    const int rx = trace_point_rank(x.record.point);
+    const int ry = trace_point_rank(y.record.point);
+    if (rx != ry) return rx < ry;
+    if (x.record.at_ns != y.record.at_ns) return x.record.at_ns < y.record.at_ns;
+    return x.source < y.source;
+  };
+  std::sort(idx.begin(), idx.end(), canonical);
+  for (std::size_t i = 1; i < idx.size(); ++i) {
+    MergedRecord& prev = out[idx[i - 1]];
+    MergedRecord& cur = out[idx[i]];
+    if (prev.record.request_id == cur.record.request_id) {
+      cur.order_ns = std::max(cur.order_ns, prev.order_ns);
+    }
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const MergedRecord& a, const MergedRecord& b) {
+              if (a.order_ns != b.order_ns) return a.order_ns < b.order_ns;
+              if (a.record.request_id != b.record.request_id) {
+                return a.record.request_id < b.record.request_id;
+              }
+              const int ra = trace_point_rank(a.record.point);
+              const int rb = trace_point_rank(b.record.point);
+              if (ra != rb) return ra < rb;
+              return a.source < b.source;
+            });
+  return out;
+}
+
+std::string to_chrome_trace_json(const std::vector<MergedRecord>& merged,
+                                 const std::vector<NodeTrace>& nodes) {
+  std::string out;
+  out.reserve(256 + merged.size() * 160);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&out, &first](const std::string& event) {
+    if (!first) out += ',';
+    first = false;
+    out += event;
+  };
+
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    std::string meta = "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":";
+    append_int(meta, static_cast<std::int64_t>(i));
+    meta += ",\"tid\":0,\"args\":{\"name\":\"";
+    meta += nodes[i].source;
+    meta += "\"}}";
+    emit(meta);
+  }
+
+  std::int64_t base_ns = 0;
+  for (const MergedRecord& m : merged) {
+    if (base_ns == 0 || m.record.at_ns < base_ns) base_ns = m.record.at_ns;
+  }
+
+  // Group records per request id (merged order preserves causality).
+  std::map<std::uint64_t, std::vector<const MergedRecord*>> by_request;
+  for (const MergedRecord& m : merged) {
+    by_request[m.record.request_id].push_back(&m);
+  }
+
+  const auto span = [&](const char* name, std::uint64_t id,
+                        std::int32_t source, std::int64_t start_ns,
+                        std::int64_t dur_ns) {
+    std::string e = "{\"ph\":\"X\",\"name\":\"";
+    e += name;
+    e += " #";
+    append_u64(e, id);
+    e += "\",\"cat\":\"request\",\"pid\":";
+    append_int(e, source);
+    e += ",\"tid\":0,\"ts\":";
+    append_us(e, start_ns - base_ns);
+    e += ",\"dur\":";
+    append_us(e, dur_ns < 0 ? 0 : dur_ns);
+    e += "}";
+    emit(e);
+  };
+  const auto instant = [&](const MergedRecord& m) {
+    std::string e = "{\"ph\":\"i\",\"name\":\"";
+    e += trace_point_name(m.record.point);
+    e += "\",\"cat\":\"request\",\"s\":\"t\",\"pid\":";
+    append_int(e, m.source);
+    e += ",\"tid\":0,\"ts\":";
+    append_us(e, m.record.at_ns - base_ns);
+    e += ",\"args\":{\"trace_id\":";
+    append_u64(e, m.record.request_id);
+    e += ",\"detail\":";
+    append_int(e, m.record.detail);
+    e += "}}";
+    emit(e);
+  };
+  const auto flow = [&](const char* ph, std::uint64_t id, std::int32_t source,
+                        std::int64_t at_ns, bool binding_end) {
+    std::string e = "{\"ph\":\"";
+    e += ph;
+    e += "\",\"name\":\"dispatch\",\"cat\":\"flow\",\"id\":";
+    append_u64(e, id);
+    e += ",\"pid\":";
+    append_int(e, source);
+    e += ",\"tid\":0,\"ts\":";
+    append_us(e, at_ns - base_ns);
+    if (binding_end) e += ",\"bp\":\"e\"";
+    e += "}";
+    emit(e);
+  };
+
+  for (const auto& [id, records] : by_request) {
+    const MergedRecord* enqueue = nullptr;
+    const MergedRecord* poll_sent = nullptr;
+    const MergedRecord* pick = nullptr;
+    const MergedRecord* dispatch = nullptr;
+    const MergedRecord* service_start = nullptr;
+    const MergedRecord* server_response = nullptr;
+    const MergedRecord* client_response = nullptr;
+    for (const MergedRecord* m : records) {
+      switch (m->record.point) {
+        case TracePoint::kClientEnqueue: enqueue = m; break;
+        case TracePoint::kPollSent: poll_sent = m; break;
+        case TracePoint::kServerPick: pick = m; break;
+        case TracePoint::kDispatch: dispatch = m; break;
+        case TracePoint::kServiceStart:
+          if (service_start == nullptr) service_start = m;
+          break;
+        case TracePoint::kResponse:
+          // The server's copy (if pulled) and the client's copy share the
+          // point; tell them apart by which end recorded them.
+          if (service_start != nullptr && m->source == service_start->source) {
+            server_response = m;
+          } else {
+            client_response = m;
+          }
+          break;
+        default: break;
+      }
+    }
+    const std::int64_t last_ns = records.back()->record.at_ns;
+    if (enqueue != nullptr) {
+      const std::int64_t end_ns =
+          client_response != nullptr ? client_response->record.at_ns : last_ns;
+      span("access", id, enqueue->source, enqueue->record.at_ns,
+           end_ns - enqueue->record.at_ns);
+    }
+    if (poll_sent != nullptr && pick != nullptr) {
+      span("poll", id, poll_sent->source, poll_sent->record.at_ns,
+           pick->record.at_ns - poll_sent->record.at_ns);
+    }
+    if (service_start != nullptr) {
+      const std::int64_t end_ns = server_response != nullptr
+                                      ? server_response->record.at_ns
+                                      : service_start->record.at_ns;
+      span("service", id, service_start->source, service_start->record.at_ns,
+           end_ns - service_start->record.at_ns);
+    }
+    if (dispatch != nullptr && service_start != nullptr &&
+        dispatch->source != service_start->source) {
+      flow("s", id, dispatch->source, dispatch->record.at_ns, false);
+      flow("f", id, service_start->source, service_start->record.at_ns, true);
+    }
+    for (const MergedRecord* m : records) {
+      switch (m->record.point) {
+        case TracePoint::kPollReply:
+        case TracePoint::kPollDiscard:
+        case TracePoint::kLoadReplied:
+          instant(*m);
+          break;
+        default: break;
+      }
+    }
+  }
+
+  out += "]}";
+  return out;
+}
+
+std::string to_csv(const std::vector<MergedRecord>& merged,
+                   const std::vector<NodeTrace>& nodes) {
+  std::string out = "trace_id,point,node,source,at_ns,order_ns,detail\n";
+  for (const MergedRecord& m : merged) {
+    append_u64(out, m.record.request_id);
+    out += ',';
+    out += trace_point_name(m.record.point);
+    out += ',';
+    append_int(out, m.record.node);
+    out += ',';
+    const auto src = static_cast<std::size_t>(m.source);
+    out += src < nodes.size() ? nodes[src].source : "?";
+    out += ',';
+    append_int(out, m.record.at_ns);
+    out += ',';
+    append_int(out, m.order_ns);
+    out += ',';
+    append_int(out, m.record.detail);
+    out += '\n';
+  }
+  return out;
+}
+
+StalenessSummary compute_staleness(const std::vector<MergedRecord>& merged) {
+  std::map<std::uint64_t, RequestObservations> requests;
+  for (const MergedRecord& m : merged) {
+    RequestObservations& obs = requests[m.record.request_id];
+    switch (m.record.point) {
+      case TracePoint::kServerPick:
+        obs.picked = m.record.node;
+        break;
+      case TracePoint::kResponse:
+        if (!obs.have_arrival_q) {
+          obs.have_arrival_q = true;
+          obs.arrival_q = m.record.detail;
+        }
+        break;
+      case TracePoint::kServiceStart:
+        if (!obs.have_service_start) {
+          obs.have_service_start = true;
+          obs.service_node = m.record.node;
+          obs.arrival_ns = m.record.at_ns - m.record.detail;  // minus wait
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  // Second pass for the picked server's records: kServerPick carries the
+  // chosen node, and a request's replies may precede the pick in merged
+  // order, so reply/load_replied matching needs `picked` resolved first.
+  for (const MergedRecord& m : merged) {
+    auto it = requests.find(m.record.request_id);
+    if (it == requests.end() || it->second.picked < 0) continue;
+    RequestObservations& obs = it->second;
+    if (m.record.node != obs.picked) continue;
+    if (m.record.point == TracePoint::kPollReply) {
+      obs.have_reply_q = true;  // keep the last reply from the picked server
+      obs.reply_q = m.record.detail;
+    } else if (m.record.point == TracePoint::kLoadReplied) {
+      obs.have_load_replied = true;
+      obs.load_replied_ns = m.record.at_ns;
+    }
+  }
+
+  std::vector<std::int64_t> diffs;
+  std::vector<std::int64_t> delays_ns;
+  for (const auto& [id, obs] : requests) {
+    if (obs.picked < 0 || !obs.have_reply_q || !obs.have_arrival_q) continue;
+    diffs.push_back(std::abs(obs.reply_q - obs.arrival_q));
+    if (obs.have_load_replied && obs.have_service_start &&
+        obs.service_node == obs.picked) {
+      delays_ns.push_back(obs.arrival_ns - obs.load_replied_ns);
+    }
+  }
+
+  StalenessSummary summary;
+  summary.samples = static_cast<std::int64_t>(diffs.size());
+  if (!diffs.empty()) {
+    std::sort(diffs.begin(), diffs.end());
+    double sum = 0.0;
+    for (const std::int64_t d : diffs) sum += static_cast<double>(d);
+    summary.mean_abs_diff = sum / static_cast<double>(diffs.size());
+    summary.p50_abs_diff = percentile(diffs, 0.50);
+    summary.p90_abs_diff = percentile(diffs, 0.90);
+    summary.p99_abs_diff = percentile(diffs, 0.99);
+    summary.max_abs_diff = diffs.back();
+    constexpr std::size_t kMaxBuckets = 16;
+    const auto buckets = static_cast<std::size_t>(
+        std::min<std::int64_t>(summary.max_abs_diff,
+                               static_cast<std::int64_t>(kMaxBuckets) - 1));
+    summary.abs_diff_counts.assign(buckets + 1, 0);
+    for (const std::int64_t d : diffs) {
+      const auto bucket = std::min(static_cast<std::size_t>(d), buckets);
+      ++summary.abs_diff_counts[bucket];
+    }
+  }
+  summary.delay_samples = static_cast<std::int64_t>(delays_ns.size());
+  if (!delays_ns.empty()) {
+    std::sort(delays_ns.begin(), delays_ns.end());
+    double sum = 0.0;
+    for (const std::int64_t d : delays_ns) sum += static_cast<double>(d);
+    summary.mean_delay_us = sum / static_cast<double>(delays_ns.size()) / 1e3;
+    summary.p50_delay_us = percentile(delays_ns, 0.50) / 1e3;
+    summary.p99_delay_us = percentile(delays_ns, 0.99) / 1e3;
+    summary.max_delay_us = static_cast<double>(delays_ns.back()) / 1e3;
+  }
+  return summary;
+}
+
+std::string staleness_to_json(const StalenessSummary& summary) {
+  std::string out = "{\"samples\":";
+  append_int(out, summary.samples);
+  out += ",\"mean_abs_diff\":";
+  append_double(out, summary.mean_abs_diff);
+  out += ",\"p50_abs_diff\":";
+  append_double(out, summary.p50_abs_diff);
+  out += ",\"p90_abs_diff\":";
+  append_double(out, summary.p90_abs_diff);
+  out += ",\"p99_abs_diff\":";
+  append_double(out, summary.p99_abs_diff);
+  out += ",\"max_abs_diff\":";
+  append_int(out, summary.max_abs_diff);
+  out += ",\"abs_diff_counts\":[";
+  for (std::size_t i = 0; i < summary.abs_diff_counts.size(); ++i) {
+    if (i != 0) out += ',';
+    append_int(out, summary.abs_diff_counts[i]);
+  }
+  out += "],\"dissemination_delay\":{\"samples\":";
+  append_int(out, summary.delay_samples);
+  out += ",\"mean_us\":";
+  append_double(out, summary.mean_delay_us);
+  out += ",\"p50_us\":";
+  append_double(out, summary.p50_delay_us);
+  out += ",\"p99_us\":";
+  append_double(out, summary.p99_delay_us);
+  out += ",\"max_us\":";
+  append_double(out, summary.max_delay_us);
+  out += "}}";
+  return out;
+}
+
+}  // namespace finelb::telemetry

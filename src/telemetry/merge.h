@@ -1,0 +1,112 @@
+// Cluster-wide trace merging: align per-node trace rings onto one clock and
+// emit a causally-ordered timeline.
+//
+// Inputs are per-node record lists (from TraceRing::snapshot() in-process or
+// scrape_trace() over the wire) plus each node's clock offset against a
+// reference clock (telemetry/clock_sync.h). Merging:
+//
+//   1. aligns every record's timestamp onto the reference clock
+//      (local = recorded - offset);
+//   2. assigns each record a causal sort key: within one request id, the
+//      canonical lifecycle order (enqueue < poll_sent < load_replied <
+//      poll_reply < server_pick < dispatch < service_start < response) is
+//      enforced by taking a running max over aligned timestamps — clock
+//      error smaller than the sync bound can reorder wire-adjacent records,
+//      and the running max restores causality without inventing times;
+//   3. sorts the union by that key with deterministic tie-breaks.
+//
+// Exports: Chrome trace-event JSON (load chrome://tracing or
+// https://ui.perfetto.dev) with one process per node, spans for the access/
+// poll/service phases, flow arrows from dispatch to service start, and
+// instants for replies; plus a flat CSV for scripted analysis.
+//
+// The staleness observatory computes, per traced request, the live-cluster
+// analogue of the paper's Figure 2: |Q(t_reply) - Q(t_dispatch)| — the
+// chosen server's queue length when it answered the poll versus when the
+// dispatched request actually arrived — and the dissemination delay between
+// those two instants (both stamped by the same server, so the delay needs
+// no cross-clock subtraction). Equation 1's M/M/1 bound for comparison
+// lives in stats/queueing.h (stale_index_inaccuracy_bound).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/trace.h"
+
+namespace finelb::telemetry {
+
+/// One node's contribution to a merged timeline.
+struct NodeTrace {
+  /// Display label, e.g. "client.0" or "server.3".
+  std::string source;
+  /// This node's clock minus the reference clock (ClockSync::offset_ns
+  /// measured from the reference node). 0 for the reference node itself.
+  std::int64_t clock_offset_ns = 0;
+  std::vector<TraceRecord> records;
+};
+
+struct MergedRecord {
+  /// The record with at_ns already aligned onto the reference clock.
+  TraceRecord record;
+  /// Index into the merge_traces() input vector (which node recorded it).
+  std::int32_t source = -1;
+  /// Causal sort key: >= the aligned time of every lifecycle predecessor
+  /// with the same request id. Equals record.at_ns when clocks agree.
+  std::int64_t order_ns = 0;
+};
+
+/// Canonical lifecycle rank used for causal ordering (poll_reply and
+/// poll_discard share a rank; both follow load_replied).
+int trace_point_rank(TracePoint point);
+
+/// Aligns, causally orders, and merges per-node traces (see file comment).
+/// Deterministic: ties sort by request id, rank, then source index.
+std::vector<MergedRecord> merge_traces(const std::vector<NodeTrace>& nodes);
+
+/// Chrome trace-event JSON (Perfetto-loadable). `nodes` must be the same
+/// vector merge_traces consumed (labels per source index). Timestamps are
+/// rebased so the earliest record lands at t=0.
+std::string to_chrome_trace_json(const std::vector<MergedRecord>& merged,
+                                 const std::vector<NodeTrace>& nodes);
+
+/// Flat CSV: trace_id,point,node,source,at_ns,order_ns,detail.
+std::string to_csv(const std::vector<MergedRecord>& merged,
+                   const std::vector<NodeTrace>& nodes);
+
+/// Empirical staleness distribution over a merged timeline (Figure 2 live).
+struct StalenessSummary {
+  /// Traced requests with both a poll reply from the chosen server and a
+  /// response (the |Q(t_reply) - Q(t_dispatch)| sample set).
+  std::int64_t samples = 0;
+  double mean_abs_diff = 0.0;
+  double p50_abs_diff = 0.0;
+  double p90_abs_diff = 0.0;
+  double p99_abs_diff = 0.0;
+  std::int64_t max_abs_diff = 0;
+  /// abs_diff_counts[d] = requests with |ΔQ| == d; the last bucket
+  /// aggregates everything >= its index.
+  std::vector<std::int64_t> abs_diff_counts;
+
+  /// Dissemination delay: reply-build to request-arrival at the chosen
+  /// server (same server clock). Empty stats when no request had both ends.
+  std::int64_t delay_samples = 0;
+  double mean_delay_us = 0.0;
+  double p50_delay_us = 0.0;
+  double p99_delay_us = 0.0;
+  double max_delay_us = 0.0;
+};
+
+/// Walks merged records grouped by request id. A request contributes a
+/// staleness sample when it has a kServerPick, a kPollReply from the picked
+/// server (Q(t_reply)) and a kResponse (Q(t_dispatch) = queue at arrival);
+/// it additionally contributes a delay sample when the picked server's
+/// kLoadReplied and kServiceStart records were captured.
+StalenessSummary compute_staleness(const std::vector<MergedRecord>& merged);
+
+/// Renders a StalenessSummary as a JSON object (for run_prototype and the
+/// stats_snapshot cluster document).
+std::string staleness_to_json(const StalenessSummary& summary);
+
+}  // namespace finelb::telemetry

@@ -41,4 +41,87 @@ std::optional<std::string> scrape_stats(const net::Address& load_addr,
   }
 }
 
+namespace {
+
+/// One TRACE_INQUIRY round trip on `socket`: returns the matching reply (and
+/// the local send/recv stamps bracketing it) or nullopt at `deadline`.
+std::optional<net::TraceReply> trace_round_trip(net::UdpSocket& socket,
+                                                const net::Address& load_addr,
+                                                std::uint32_t offset,
+                                                SimTime deadline,
+                                                net::ClockSample& sample) {
+  static std::atomic<std::uint64_t> next_seq{1};
+
+  net::TraceInquiry inquiry;
+  inquiry.seq = next_seq.fetch_add(1, std::memory_order_relaxed);
+  inquiry.offset = offset;
+  std::array<std::uint8_t, net::kMaxFixedMsgSize> out;
+  const std::size_t n = inquiry.encode_into(out);
+  sample.local_send_ns = net::monotonic_now();
+  if (n == 0 || !socket.send_to({out.data(), n}, load_addr)) {
+    return std::nullopt;
+  }
+
+  net::Poller poller;
+  poller.add(socket.fd(), 0);
+  std::vector<std::uint8_t> buf(64 * 1024);
+  while (true) {
+    const SimDuration remaining = deadline - net::monotonic_now();
+    if (remaining <= 0) return std::nullopt;
+    if (poller.wait(remaining).empty()) continue;
+    while (const auto dgram = socket.recv_from(buf)) {
+      net::TraceReply reply;
+      if (net::TraceReply::try_decode({buf.data(), dgram->size}, reply) &&
+          reply.seq == inquiry.seq) {
+        sample.local_recv_ns = net::monotonic_now();
+        sample.remote_ns = reply.server_ns;
+        return reply;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<NodeTraceScrape> scrape_trace(const net::Address& load_addr,
+                                            SimDuration timeout) {
+  const SimTime deadline = net::monotonic_now() + timeout;
+  net::UdpSocket socket;
+  NodeTraceScrape result;
+  std::uint32_t offset = 0;
+  while (true) {
+    net::ClockSample sample{};
+    auto reply =
+        trace_round_trip(socket, load_addr, offset, deadline, sample);
+    if (!reply) return std::nullopt;
+    result.node = reply->node;
+    result.clock_samples.push_back(sample);
+    for (const net::TraceRecordWire& wire : reply->records) {
+      TraceRecord rec;
+      rec.request_id = wire.request_id;
+      rec.point = static_cast<TracePoint>(wire.point);
+      rec.node = wire.node;
+      rec.at_ns = wire.at_ns;
+      rec.detail = wire.detail;
+      result.records.push_back(rec);
+    }
+    offset = reply->offset + static_cast<std::uint32_t>(reply->records.size());
+    if (offset >= reply->total || reply->records.empty()) break;
+  }
+  return result;
+}
+
+std::optional<net::ClockSample> probe_clock(const net::Address& load_addr,
+                                            SimDuration timeout) {
+  const SimTime deadline = net::monotonic_now() + timeout;
+  net::UdpSocket socket;
+  net::ClockSample sample{};
+  // Offset past any plausible ring: the node clamps it, answers an empty
+  // (but stamped) reply, and never iterates its ring.
+  const auto reply =
+      trace_round_trip(socket, load_addr, 0xffffffffu, deadline, sample);
+  if (!reply) return std::nullopt;
+  return sample;
+}
+
 }  // namespace finelb::telemetry

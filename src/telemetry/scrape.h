@@ -1,12 +1,15 @@
-// Client side of the STATS_INQUIRY pull channel: ask a node's load-index
-// UDP server for a telemetry snapshot and return the JSON payload.
+// Client side of the STATS_INQUIRY / TRACE_INQUIRY pull channels: ask a
+// node's load-index UDP server for a telemetry snapshot or its trace ring.
 #pragma once
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/time.h"
+#include "net/pingpong.h"
 #include "net/socket.h"
+#include "telemetry/trace.h"
 
 namespace finelb::telemetry {
 
@@ -16,5 +19,29 @@ namespace finelb::telemetry {
 std::optional<std::string> scrape_stats(const net::Address& load_addr,
                                         SimDuration timeout = 200 *
                                                               kMillisecond);
+
+/// One node's trace ring pulled over the wire, plus the clock-sync samples
+/// each chunked round trip yielded for free (every TRACE_REPLY carries the
+/// answering node's monotonic clock — feed these to ClockSync::add_sample).
+struct NodeTraceScrape {
+  /// Node id the replies reported (-1 if the node didn't say).
+  std::int32_t node = -1;
+  std::vector<TraceRecord> records;
+  std::vector<net::ClockSample> clock_samples;
+};
+
+/// Pulls the full trace ring from `load_addr` with chunked TRACE_INQUIRYs
+/// (each reply stays under the 64 KiB datagram cap). Returns nullopt if any
+/// chunk times out. Cold path: allocates freely, creates its own socket.
+std::optional<NodeTraceScrape> scrape_trace(const net::Address& load_addr,
+                                            SimDuration timeout = 200 *
+                                                                  kMillisecond);
+
+/// One clock-probe round trip: an out-of-range TRACE_INQUIRY (offset past any
+/// ring) that returns an empty, stamped TRACE_REPLY. Cheaper than a full
+/// scrape when only the clock sample is wanted. Returns nullopt on timeout.
+std::optional<net::ClockSample> probe_clock(const net::Address& load_addr,
+                                            SimDuration timeout = 200 *
+                                                                  kMillisecond);
 
 }  // namespace finelb::telemetry

@@ -16,6 +16,7 @@ const char* trace_point_name(TracePoint point) {
     case TracePoint::kDispatch: return "dispatch";
     case TracePoint::kServiceStart: return "service_start";
     case TracePoint::kResponse: return "response";
+    case TracePoint::kLoadReplied: return "load_replied";
   }
   return "unknown";
 }

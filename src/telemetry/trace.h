@@ -28,6 +28,8 @@ enum class TracePoint : std::uint8_t {
   kDispatch = 5,       // request sent to the server (node = server)
   kServiceStart = 6,   // server worker dequeued it (detail = queue wait ns)
   kResponse = 7,       // response sent / received (detail = qlen at arrival)
+  kLoadReplied = 8,    // server answered a traced inquiry (detail = qlen
+                       // reported — the t_reply side of the staleness pair)
 };
 
 const char* trace_point_name(TracePoint point);
@@ -56,6 +58,16 @@ class TraceRing {
       return false;
     }
     return period_ != 0 && request_id % period_ == 0;
+  }
+
+  /// True when the ring records at all (telemetry compiled in and a nonzero
+  /// sample period). The gate for *propagated* trace contexts: a request
+  /// whose wire trace_id is set was sampled by the issuing client, so the
+  /// receiving node records it whenever its own ring is live, regardless of
+  /// its local sampling period.
+  bool active() const {
+    if constexpr (!kTraceEnabled) return false;
+    return slots_ != nullptr;
   }
 
   void record(std::uint64_t request_id, TracePoint point, std::int32_t node,

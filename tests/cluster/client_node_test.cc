@@ -119,13 +119,15 @@ TEST(ClientNodeTest, TelemetryMirrorsClientStats) {
       EXPECT_EQ(hist.count, stats.response_ms.count());
     }
   }
-  // Sampled accesses left full lifecycle traces; every record's access
+  // Sampled accesses left full lifecycle traces keyed by the globally
+  // unique request id (client id << 40 | access index); the embedded access
   // index honours the sampling period.
   const auto trace = client.trace().snapshot();
   EXPECT_FALSE(trace.empty());
   bool saw_enqueue = false, saw_pick = false, saw_response = false;
   for (const auto& rec : trace) {
-    EXPECT_EQ(rec.request_id % 10, 0u);
+    EXPECT_EQ(rec.request_id >> 40, 1u);
+    EXPECT_EQ((rec.request_id & ((1ull << 40) - 1)) % 10, 0u);
     if (rec.point == telemetry::TracePoint::kClientEnqueue) {
       saw_enqueue = true;
     }

@@ -9,12 +9,39 @@
 namespace finelb {
 namespace {
 
+// Must run before any other test feeds parse_log_level an unknown name:
+// the warning is one-time per process, and gtest runs tests in definition
+// order within a file.
+TEST(LogTest, UnknownNameWarnsOnStderrOnce) {
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(parse_log_level("garbbage"), LogLevel::kWarn);
+  const std::string first = testing::internal::GetCapturedStderr();
+  EXPECT_NE(first.find("unknown log level"), std::string::npos);
+  EXPECT_NE(first.find("garbbage"), std::string::npos);
+
+  // Any further unknown name is silent — one warning per process.
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(parse_log_level("garbbage"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("also-bad"), LogLevel::kWarn);
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
 TEST(LogTest, ParseLevels) {
   EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
   EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
   EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
   EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
   EXPECT_EQ(parse_log_level("garbage"), LogLevel::kWarn);
+}
+
+TEST(LogTest, TryParseIsStrict) {
+  EXPECT_EQ(try_parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(try_parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(try_parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(try_parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(try_parse_log_level(""), std::nullopt);
+  EXPECT_EQ(try_parse_log_level("WARN"), std::nullopt);
+  EXPECT_EQ(try_parse_log_level("warning"), std::nullopt);
 }
 
 TEST(LogTest, SetAndGetLevel) {

@@ -14,8 +14,12 @@ namespace {
 TEST(MessageTest, LoadInquiryRoundTrip) {
   LoadInquiry m;
   m.seq = 0xfeedface12345678ull;
+  m.trace_id = (3ull << 40) | 42;
+  m.origin_ns = -123456789;
   const auto decoded = LoadInquiry::decode(m.encode());
   EXPECT_EQ(decoded.seq, m.seq);
+  EXPECT_EQ(decoded.trace_id, m.trace_id);
+  EXPECT_EQ(decoded.origin_ns, m.origin_ns);
   EXPECT_EQ(peek_type(m.encode()), MsgType::kLoadInquiry);
 }
 
@@ -23,9 +27,15 @@ TEST(MessageTest, LoadReplyRoundTrip) {
   LoadReply m;
   m.seq = 99;
   m.queue_length = 17;
+  m.trace_id = (5ull << 40) | 7;
+  m.origin_ns = 1;
+  m.server_ns = 0x7fffffffffffffffll;
   const auto decoded = LoadReply::decode(m.encode());
   EXPECT_EQ(decoded.seq, 99u);
   EXPECT_EQ(decoded.queue_length, 17);
+  EXPECT_EQ(decoded.trace_id, m.trace_id);
+  EXPECT_EQ(decoded.origin_ns, 1);
+  EXPECT_EQ(decoded.server_ns, m.server_ns);
 }
 
 TEST(MessageTest, ServiceRequestRoundTrip) {
@@ -33,10 +43,14 @@ TEST(MessageTest, ServiceRequestRoundTrip) {
   m.request_id = (7ull << 40) | 12345;
   m.service_us = 22200;
   m.partition = 3;
+  m.trace_id = m.request_id;
+  m.origin_ns = 987654321;
   const auto decoded = ServiceRequest::decode(m.encode());
   EXPECT_EQ(decoded.request_id, m.request_id);
   EXPECT_EQ(decoded.service_us, 22200u);
   EXPECT_EQ(decoded.partition, 3u);
+  EXPECT_EQ(decoded.trace_id, m.request_id);
+  EXPECT_EQ(decoded.origin_ns, 987654321);
 }
 
 TEST(MessageTest, ServiceResponseRoundTrip) {
@@ -44,10 +58,74 @@ TEST(MessageTest, ServiceResponseRoundTrip) {
   m.request_id = 42;
   m.server = 11;
   m.queue_at_arrival = 5;
+  m.trace_id = 42;
+  m.server_ns = -1;
   const auto decoded = ServiceResponse::decode(m.encode());
   EXPECT_EQ(decoded.request_id, 42u);
   EXPECT_EQ(decoded.server, 11);
   EXPECT_EQ(decoded.queue_at_arrival, 5);
+  EXPECT_EQ(decoded.trace_id, 42u);
+  EXPECT_EQ(decoded.server_ns, -1);
+}
+
+TEST(MessageTest, UntracedMessagesCarryZeroTraceContext) {
+  // Default-constructed (untraced) messages must keep trace_id == 0 across
+  // the wire — receivers treat 0 as "no trace context".
+  LoadInquiry inquiry;
+  inquiry.seq = 8;
+  EXPECT_EQ(LoadInquiry::decode(inquiry.encode()).trace_id, 0u);
+  ServiceRequest request;
+  request.request_id = 8;
+  EXPECT_EQ(ServiceRequest::decode(request.encode()).trace_id, 0u);
+}
+
+TEST(MessageTest, TraceInquiryReplyRoundTrip) {
+  TraceInquiry inquiry;
+  inquiry.seq = 4242;
+  inquiry.offset = 0xffffffffu;
+  const auto dinq = TraceInquiry::decode(inquiry.encode());
+  EXPECT_EQ(dinq.seq, 4242u);
+  EXPECT_EQ(dinq.offset, 0xffffffffu);
+
+  TraceReply reply;
+  reply.seq = 4242;
+  reply.node = 13;
+  reply.server_ns = 123456789012345ll;
+  reply.total = 100;
+  reply.offset = 40;
+  for (int i = 0; i < 60; ++i) {
+    TraceRecordWire rec;
+    rec.request_id = (1ull << 40) | static_cast<std::uint64_t>(i);
+    rec.point = static_cast<std::uint8_t>(i % 9);
+    rec.node = 13;
+    rec.at_ns = 1000000ll * i;
+    rec.detail = -i;
+    reply.records.push_back(rec);
+  }
+  const auto dreply = TraceReply::decode(reply.encode());
+  EXPECT_EQ(dreply.seq, 4242u);
+  EXPECT_EQ(dreply.node, 13);
+  EXPECT_EQ(dreply.server_ns, reply.server_ns);
+  EXPECT_EQ(dreply.total, 100u);
+  EXPECT_EQ(dreply.offset, 40u);
+  ASSERT_EQ(dreply.records.size(), 60u);
+  EXPECT_EQ(dreply.records[59].request_id, (1ull << 40) | 59u);
+  EXPECT_EQ(dreply.records[59].point, 59 % 9);
+  EXPECT_EQ(dreply.records[59].at_ns, 59000000ll);
+  EXPECT_EQ(dreply.records[59].detail, -59);
+}
+
+TEST(MessageTest, TraceReplyMaxChunkStaysUnderDatagramCap) {
+  // A full chunk (kTraceReplyMaxRecords) must encode below 64 KiB so a
+  // single sendto never fails on datagram size.
+  TraceReply reply;
+  reply.seq = 1;
+  reply.total = static_cast<std::uint32_t>(kTraceReplyMaxRecords);
+  reply.records.resize(kTraceReplyMaxRecords);
+  const auto bytes = reply.encode();
+  EXPECT_LT(bytes.size(), 64u * 1024u);
+  const auto decoded = TraceReply::decode(bytes);
+  EXPECT_EQ(decoded.records.size(), kTraceReplyMaxRecords);
 }
 
 TEST(MessageTest, ManagerProtocolRoundTrips) {
@@ -167,6 +245,20 @@ TEST_P(MessageTruncation, AllPrefixesRejected) {
       bytes = m.encode();
       break;
     }
+    case 5: {
+      TraceInquiry m;
+      m.seq = 7;
+      bytes = m.encode();
+      break;
+    }
+    case 6: {
+      TraceReply m;
+      m.seq = 7;
+      m.total = 1;
+      m.records.emplace_back();
+      bytes = m.encode();
+      break;
+    }
   }
   const std::span<const std::uint8_t> all(bytes);
   for (std::size_t len = 1; len < bytes.size(); ++len) {
@@ -187,12 +279,18 @@ TEST_P(MessageTruncation, AllPrefixesRejected) {
       case 4:
         EXPECT_THROW(Publish::decode(prefix), InvariantError);
         break;
+      case 5:
+        EXPECT_THROW(TraceInquiry::decode(prefix), InvariantError);
+        break;
+      case 6:
+        EXPECT_THROW(TraceReply::decode(prefix), InvariantError);
+        break;
     }
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllMessageTypes, MessageTruncation,
-                         ::testing::Range(0, 5));
+                         ::testing::Range(0, 7));
 
 // ---------------------------------------------------------------------------
 // Hot-path codec surfaces: for every one of the 12 message types,
@@ -398,6 +496,69 @@ TEST(MessageHotPath, StatsInquiryReplyRoundTrip) {
   EXPECT_FALSE(StatsInquiry::try_decode(StatsReply().encode(), cross));
 }
 
+TEST(MessageHotPath, TraceInquiryReplySurfaces) {
+  TraceInquiry inquiry;
+  inquiry.seq = 31338;
+  inquiry.offset = 17;
+  CheckWireSurfaces(inquiry);
+  TraceInquiry inquiry_out;
+  ASSERT_TRUE(TraceInquiry::try_decode(inquiry.encode(), inquiry_out));
+  EXPECT_EQ(inquiry_out.seq, 31338u);
+  EXPECT_EQ(inquiry_out.offset, 17u);
+
+  TraceReply reply;
+  reply.seq = 31338;
+  reply.node = -1;
+  reply.server_ns = -5;
+  reply.total = 2;
+  TraceRecordWire rec;
+  rec.request_id = ~0ull;
+  rec.point = 8;
+  rec.node = 2147483647;
+  rec.at_ns = -9;
+  rec.detail = 0x7fffffffffffffffll;
+  reply.records.push_back(rec);
+  reply.records.emplace_back();
+  CheckWireSurfaces(reply);
+  TraceReply reply_out;
+  reply_out.records.resize(7);  // must shrink to the decoded count
+  ASSERT_TRUE(TraceReply::try_decode(reply.encode(), reply_out));
+  EXPECT_EQ(reply_out.node, -1);
+  EXPECT_EQ(reply_out.server_ns, -5);
+  ASSERT_EQ(reply_out.records.size(), 2u);
+  EXPECT_EQ(reply_out.records[0].request_id, ~0ull);
+  EXPECT_EQ(reply_out.records[0].point, 8);
+  EXPECT_EQ(reply_out.records[0].node, 2147483647);
+  EXPECT_EQ(reply_out.records[0].at_ns, -9);
+  EXPECT_EQ(reply_out.records[0].detail, 0x7fffffffffffffffll);
+  EXPECT_EQ(reply_out.records[1].request_id, 0u);
+
+  // Empty chunk (e.g. clock probe against an empty ring) round-trips.
+  reply.records.clear();
+  reply.total = 0;
+  CheckWireSurfaces(reply);
+  ASSERT_TRUE(TraceReply::try_decode(reply.encode(), reply_out));
+  EXPECT_TRUE(reply_out.records.empty());
+}
+
+TEST(MessageHotPath, TraceReplyCorruptedCountRejected) {
+  // A record count the remaining bytes cannot possibly hold must be
+  // rejected before any storage is reserved (same defence as
+  // SnapshotReply). Count u32 lives after tag + u64 seq + i32 node +
+  // i64 server_ns + u32 total + u32 offset = offset 29.
+  TraceReply reply;
+  reply.seq = 2;
+  std::vector<std::uint8_t> bytes = reply.encode();
+  ASSERT_GE(bytes.size(), 33u);
+  bytes[29] = 0xff;
+  bytes[30] = 0xff;
+  bytes[31] = 0xff;
+  bytes[32] = 0xff;
+  TraceReply out;
+  EXPECT_FALSE(TraceReply::try_decode(bytes, out));
+  EXPECT_THROW(TraceReply::decode(bytes), InvariantError);
+}
+
 TEST(MessageHotPath, MaxLengthServiceString) {
   // The wire format length-prefixes strings with a u16: 65535 is the
   // longest service name that can exist on the wire.
@@ -481,7 +642,7 @@ TEST(MessageHotPath, GarbageRejectedWithoutThrowing) {
   for (std::size_t i = 0; i < junk.size(); ++i) {
     junk[i] = static_cast<std::uint8_t>(0x9e * (i + 1));
   }
-  for (std::uint8_t tag = 1; tag <= 12; ++tag) {
+  for (std::uint8_t tag = 1; tag <= 16; ++tag) {
     junk[0] = tag;
     LoadInquiry a;
     LoadReply b;
@@ -495,6 +656,10 @@ TEST(MessageHotPath, GarbageRejectedWithoutThrowing) {
     SnapshotReply j;
     LoadAnnounce k;
     Subscribe l;
+    StatsInquiry m2;
+    StatsReply n;
+    TraceInquiry o;
+    TraceReply p;
     EXPECT_NO_THROW(LoadInquiry::try_decode(junk, a));
     EXPECT_NO_THROW(LoadReply::try_decode(junk, b));
     EXPECT_NO_THROW(ServiceRequest::try_decode(junk, c));
@@ -507,6 +672,10 @@ TEST(MessageHotPath, GarbageRejectedWithoutThrowing) {
     EXPECT_NO_THROW(SnapshotReply::try_decode(junk, j));
     EXPECT_NO_THROW(LoadAnnounce::try_decode(junk, k));
     EXPECT_NO_THROW(Subscribe::try_decode(junk, l));
+    EXPECT_NO_THROW(StatsInquiry::try_decode(junk, m2));
+    EXPECT_NO_THROW(StatsReply::try_decode(junk, n));
+    EXPECT_NO_THROW(TraceInquiry::try_decode(junk, o));
+    EXPECT_NO_THROW(TraceReply::try_decode(junk, p));
   }
 }
 

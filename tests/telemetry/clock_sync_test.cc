@@ -1,0 +1,139 @@
+#include "telemetry/clock_sync.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "net/pingpong.h"
+
+namespace finelb::telemetry {
+namespace {
+
+// Synthetic two-clock world: the remote clock runs `offset` ahead of the
+// local clock plus a frequency error of `drift_ppm`. A round trip started at
+// local time t takes `uplink + downlink`, with the remote stamping halfway.
+struct TwoClocks {
+  std::int64_t offset_ns = 0;
+  double drift_ppm = 0.0;
+
+  std::int64_t remote_at(std::int64_t local_ns) const {
+    return local_ns + offset_ns +
+           static_cast<std::int64_t>(static_cast<double>(local_ns) *
+                                     drift_ppm * 1e-6);
+  }
+
+  void round_trip(ClockSync& sync, std::int64_t local_send_ns,
+                  std::int64_t uplink_ns, std::int64_t downlink_ns) const {
+    sync.add_sample(local_send_ns, remote_at(local_send_ns + uplink_ns),
+                    local_send_ns + uplink_ns + downlink_ns);
+  }
+};
+
+TEST(ClockSyncTest, UnsyncedByDefault) {
+  ClockSync sync;
+  EXPECT_FALSE(sync.synced());
+  EXPECT_EQ(sync.offset_ns(), 0);
+  EXPECT_EQ(sync.sample_count(), 0);
+}
+
+TEST(ClockSyncTest, SymmetricPathRecoversOffsetExactly) {
+  TwoClocks world;
+  world.offset_ns = 123456789;
+  ClockSync sync;
+  world.round_trip(sync, 1'000'000, 5'000, 5'000);
+  ASSERT_TRUE(sync.synced());
+  EXPECT_EQ(sync.offset_ns(), world.offset_ns);
+  EXPECT_EQ(sync.best_rtt_ns(), 10'000);
+  // Mapping a remote stamp back lands on the local instant it was taken.
+  EXPECT_EQ(sync.to_local(world.remote_at(1'005'000)), 1'005'000);
+}
+
+TEST(ClockSyncTest, NegativeOffsetRecovered) {
+  TwoClocks world;
+  world.offset_ns = -987654321;
+  ClockSync sync;
+  world.round_trip(sync, 50'000'000, 8'000, 8'000);
+  EXPECT_EQ(sync.offset_ns(), world.offset_ns);
+}
+
+TEST(ClockSyncTest, AsymmetryErrorStaysWithinHalfRtt) {
+  // Worst case: the whole RTT is spent on one leg. The midpoint estimate is
+  // then off by RTT/2 — exactly the advertised bound, never more.
+  TwoClocks world;
+  world.offset_ns = 777;
+  ClockSync sync;
+  const std::int64_t rtt = 40'000;
+  world.round_trip(sync, 2'000'000, rtt, 0);  // all uplink
+  const std::int64_t err = sync.offset_ns() - world.offset_ns;
+  EXPECT_LE(std::abs(err), rtt / 2);
+  EXPECT_GE(sync.error_bound_ns(2'000'000 + rtt), std::abs(err));
+}
+
+TEST(ClockSyncTest, KeepsMinimumRttSample) {
+  TwoClocks world;
+  world.offset_ns = 5'000'000;
+  ClockSync sync;
+  // A wildly asymmetric slow sample first, then a tight symmetric one; the
+  // tight one must win. A later slow sample must not displace it.
+  world.round_trip(sync, 1'000'000, 90'000, 10'000);
+  const std::int64_t coarse = sync.offset_ns();
+  EXPECT_NE(coarse, world.offset_ns);
+  world.round_trip(sync, 2'000'000, 2'000, 2'000);
+  EXPECT_EQ(sync.offset_ns(), world.offset_ns);
+  EXPECT_EQ(sync.best_rtt_ns(), 4'000);
+  world.round_trip(sync, 3'000'000, 80'000, 20'000);
+  EXPECT_EQ(sync.offset_ns(), world.offset_ns);
+  EXPECT_EQ(sync.sample_count(), 3);
+}
+
+TEST(ClockSyncTest, RejectsNonPositiveRtt) {
+  ClockSync sync;
+  sync.add_sample(1000, 500, 1000);  // zero RTT
+  sync.add_sample(1000, 500, 900);   // clock went backwards
+  EXPECT_FALSE(sync.synced());
+}
+
+TEST(ClockSyncTest, ErrorBoundGrowsWithDrift) {
+  ClockSync sync(100.0);  // 100 ppm
+  sync.add_sample(0, 42, 10'000);
+  const std::int64_t at_sync = sync.error_bound_ns(5'000);
+  EXPECT_EQ(at_sync, 10'000 / 2);
+  // One second later: 100 ppm accrues 100 µs of possible drift.
+  const std::int64_t later = sync.error_bound_ns(5'000 + 1'000'000'000);
+  EXPECT_GE(later, at_sync + 99'000);
+  EXPECT_LE(later, at_sync + 101'000);
+}
+
+TEST(ClockSyncTest, DriftingClockStaysInsideBound) {
+  // 50 ppm actual drift, ClockSync configured with a conservative 200 ppm.
+  // After syncing once, mapping an event observed 2 seconds later must err
+  // by no more than the advertised bound.
+  TwoClocks world;
+  world.offset_ns = 1'000'000;
+  world.drift_ppm = 50.0;
+  ClockSync sync(200.0);
+  world.round_trip(sync, 1'000'000'000, 3'000, 3'000);
+  const std::int64_t event_local = 3'000'000'000;
+  const std::int64_t mapped = sync.to_local(world.remote_at(event_local));
+  const std::int64_t err = std::abs(mapped - event_local);
+  EXPECT_GT(err, 0);  // drift really did move the clocks apart
+  EXPECT_LE(err, sync.error_bound_ns(event_local));
+}
+
+TEST(ClockSyncTest, IngestsPingPongSamples) {
+  // End-to-end smoke against the real stamped echo path: loopback offsets
+  // are ~0, so the recovered offset must be far below the sample's RTT.
+  std::vector<net::ClockSample> samples;
+  const auto result = net::measure_udp_rtt(50, 10, &samples);
+  ASSERT_EQ(samples.size(), 50u);
+  ClockSync sync;
+  for (const auto& s : samples) {
+    sync.add_sample(s.local_send_ns, s.remote_ns, s.local_recv_ns);
+  }
+  ASSERT_TRUE(sync.synced());
+  EXPECT_GT(result.min_rtt_us, 0.0);
+  EXPECT_LE(std::abs(sync.offset_ns()), sync.best_rtt_ns());
+}
+
+}  // namespace
+}  // namespace finelb::telemetry

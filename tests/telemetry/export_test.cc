@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <string>
 #include <thread>
 #include <vector>
@@ -97,6 +98,23 @@ TEST(ExportTest, DumpRequestFlagIsConsumedOnce) {
   trigger_stats_dump();
   EXPECT_TRUE(consume_dump_request());
   EXPECT_FALSE(consume_dump_request());
+}
+
+TEST(ExportTest, Sigusr1DeliverySetsDumpFlag) {
+  // End-to-end through real signal delivery: the installed handler must do
+  // nothing but set the flag (async-signal-safety audit rides on the
+  // static_assert + comment in export.cc; this pins the behavior).
+  install_sigusr1_dump_handler();
+  (void)consume_dump_request();
+  EXPECT_FALSE(consume_dump_request());
+  ASSERT_EQ(std::raise(SIGUSR1), 0);
+  EXPECT_TRUE(consume_dump_request());
+  EXPECT_FALSE(consume_dump_request());
+
+  // A second delivery works too — the disposition persists (sigaction, not
+  // one-shot signal()).
+  ASSERT_EQ(std::raise(SIGUSR1), 0);
+  EXPECT_TRUE(consume_dump_request());
 }
 
 TEST(ExportTest, StderrReporterDumpsOnRequest) {

@@ -1,0 +1,172 @@
+#include "telemetry/merge.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace finelb::telemetry {
+namespace {
+
+constexpr std::uint64_t kId = (1ull << 40) | 10;
+
+// Two-node scenario with a known 1 ms clock skew: the client is the
+// reference; every server stamp is 1'000'000 ns ahead of the true time.
+std::vector<NodeTrace> scenario() {
+  NodeTrace client;
+  client.source = "client.1";
+  client.clock_offset_ns = 0;
+  client.records = {
+      {kId, TracePoint::kClientEnqueue, -1, 10'000'000, 0},
+      {kId, TracePoint::kPollSent, -1, 10'001'000, 2},
+      {kId, TracePoint::kPollReply, 0, 10'050'000, 3},
+      {kId, TracePoint::kServerPick, 0, 10'060'000, 3},
+      {kId, TracePoint::kDispatch, 0, 10'070'000, 0},
+      {kId, TracePoint::kResponse, 0, 10'500'000, 5},
+  };
+  NodeTrace server;
+  server.source = "server.0";
+  server.clock_offset_ns = 1'000'000;
+  server.records = {
+      {kId, TracePoint::kLoadReplied, 0, 11'020'000, 3},
+      {kId, TracePoint::kServiceStart, 0, 11'100'000, 5'000},
+      {kId, TracePoint::kResponse, 0, 11'450'000, 5},
+  };
+  return {client, server};
+}
+
+TEST(MergeTest, AlignsAndOrdersAcrossSkewedClocks) {
+  const auto nodes = scenario();
+  const auto merged = merge_traces(nodes);
+  ASSERT_EQ(merged.size(), 9u);
+  // Aligned server stamps slot between the client records they causally
+  // follow: load_replied lands between poll_sent and poll_reply.
+  std::vector<TracePoint> order;
+  for (const auto& m : merged) order.push_back(m.record.point);
+  const std::vector<TracePoint> expected = {
+      TracePoint::kClientEnqueue, TracePoint::kPollSent,
+      TracePoint::kLoadReplied,   TracePoint::kPollReply,
+      TracePoint::kServerPick,    TracePoint::kDispatch,
+      TracePoint::kServiceStart,  TracePoint::kResponse,
+      TracePoint::kResponse};
+  EXPECT_EQ(order, expected);
+  // The 1 ms skew is gone from the aligned timestamps.
+  EXPECT_EQ(merged[2].record.at_ns, 10'020'000);
+  EXPECT_EQ(merged[2].source, 1);
+  // order_ns degenerates to at_ns when the aligned times already respect
+  // causality.
+  for (const auto& m : merged) EXPECT_EQ(m.order_ns, m.record.at_ns);
+}
+
+TEST(MergeTest, ResidualSkewRepairedByRunningMax) {
+  // Leave 30 µs of unestimated skew: the server's load_replied aligns to
+  // *before* the poll that caused it. The running max must give it a sort
+  // key at its predecessor's time without changing the timestamp.
+  auto nodes = scenario();
+  nodes[1].clock_offset_ns = 1'000'000 + 30'000;
+  const auto merged = merge_traces(nodes);
+  ASSERT_EQ(merged.size(), 9u);
+  EXPECT_EQ(merged[1].record.point, TracePoint::kPollSent);
+  EXPECT_EQ(merged[2].record.point, TracePoint::kLoadReplied);
+  EXPECT_EQ(merged[2].record.at_ns, 10'020'000 - 30'000);  // before poll!
+  EXPECT_EQ(merged[2].order_ns, merged[1].order_ns);  // pinned to poll_sent
+}
+
+TEST(MergeTest, UnrelatedRequestsDoNotConstrainEachOther) {
+  NodeTrace node;
+  node.source = "client.0";
+  node.records = {
+      {1, TracePoint::kResponse, 0, 5'000, 0},
+      {2, TracePoint::kClientEnqueue, -1, 1'000, 0},
+  };
+  const auto merged = merge_traces({node});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].record.request_id, 2u);
+  EXPECT_EQ(merged[0].order_ns, 1'000);
+  EXPECT_EQ(merged[1].order_ns, 5'000);
+}
+
+TEST(MergeTest, GoldenChromeTraceJson) {
+  const auto nodes = scenario();
+  const std::string json = to_chrome_trace_json(merge_traces(nodes), nodes);
+  // Golden output: any change here is a consumer-visible format change to
+  // the Perfetto export and must be deliberate.
+  const std::string expected =
+      R"({"displayTimeUnit":"ms","traceEvents":[)"
+      R"({"ph":"M","name":"process_name","pid":0,"tid":0,"args":{"name":"client.1"}},)"
+      R"({"ph":"M","name":"process_name","pid":1,"tid":0,"args":{"name":"server.0"}},)"
+      R"({"ph":"X","name":"access #1099511627786","cat":"request","pid":0,"tid":0,"ts":0.000,"dur":500.000},)"
+      R"({"ph":"X","name":"poll #1099511627786","cat":"request","pid":0,"tid":0,"ts":1.000,"dur":59.000},)"
+      R"({"ph":"X","name":"service #1099511627786","cat":"request","pid":1,"tid":0,"ts":100.000,"dur":350.000},)"
+      R"({"ph":"s","name":"dispatch","cat":"flow","id":1099511627786,"pid":0,"tid":0,"ts":70.000},)"
+      R"({"ph":"f","name":"dispatch","cat":"flow","id":1099511627786,"pid":1,"tid":0,"ts":100.000,"bp":"e"},)"
+      R"({"ph":"i","name":"load_replied","cat":"request","s":"t","pid":1,"tid":0,"ts":20.000,"args":{"trace_id":1099511627786,"detail":3}},)"
+      R"({"ph":"i","name":"poll_reply","cat":"request","s":"t","pid":0,"tid":0,"ts":50.000,"args":{"trace_id":1099511627786,"detail":3}})"
+      R"(]})";
+  EXPECT_EQ(json, expected);
+}
+
+TEST(MergeTest, GoldenCsv) {
+  const auto nodes = scenario();
+  const std::string csv = to_csv(merge_traces(nodes), nodes);
+  const std::string expected =
+      "trace_id,point,node,source,at_ns,order_ns,detail\n"
+      "1099511627786,client_enqueue,-1,client.1,10000000,10000000,0\n"
+      "1099511627786,poll_sent,-1,client.1,10001000,10001000,2\n"
+      "1099511627786,load_replied,0,server.0,10020000,10020000,3\n"
+      "1099511627786,poll_reply,0,client.1,10050000,10050000,3\n"
+      "1099511627786,server_pick,0,client.1,10060000,10060000,3\n"
+      "1099511627786,dispatch,0,client.1,10070000,10070000,0\n"
+      "1099511627786,service_start,0,server.0,10100000,10100000,5000\n"
+      "1099511627786,response,0,server.0,10450000,10450000,5\n"
+      "1099511627786,response,0,client.1,10500000,10500000,5\n";
+  EXPECT_EQ(csv, expected);
+}
+
+TEST(MergeTest, StalenessFromMergedTimeline) {
+  const auto nodes = scenario();
+  const auto summary = compute_staleness(merge_traces(nodes));
+  // The picked server answered the poll with Q=3; on arrival the request
+  // found Q=5: staleness |3-5| = 2.
+  EXPECT_EQ(summary.samples, 1);
+  EXPECT_DOUBLE_EQ(summary.mean_abs_diff, 2.0);
+  EXPECT_EQ(summary.max_abs_diff, 2);
+  ASSERT_EQ(summary.abs_diff_counts.size(), 3u);
+  EXPECT_EQ(summary.abs_diff_counts[2], 1);
+  // Reply built at (aligned) 10'020'000; the dispatched request reached the
+  // server at service_start - queue_wait = 10'100'000 - 5'000. Both stamps
+  // come from the same server clock, so the 75 µs delay is skew-free.
+  EXPECT_EQ(summary.delay_samples, 1);
+  EXPECT_DOUBLE_EQ(summary.mean_delay_us, 75.0);
+
+  const std::string json = staleness_to_json(summary);
+  EXPECT_NE(json.find("\"samples\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"mean_abs_diff\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"dissemination_delay\""), std::string::npos);
+}
+
+TEST(MergeTest, StalenessSkipsRequestsWithoutBothEnds) {
+  // A request with a pick but no poll reply from the picked server (e.g.
+  // the reply came through the shared-cache path) contributes nothing.
+  NodeTrace node;
+  node.source = "client.0";
+  node.records = {
+      {7, TracePoint::kServerPick, 2, 1'000, 4},
+      {7, TracePoint::kResponse, 2, 9'000, 6},
+      {8, TracePoint::kPollReply, 1, 1'000, 2},  // reply but no pick
+  };
+  const auto summary = compute_staleness(merge_traces({node}));
+  EXPECT_EQ(summary.samples, 0);
+  EXPECT_EQ(summary.delay_samples, 0);
+}
+
+TEST(MergeTest, EmptyInputs) {
+  EXPECT_TRUE(merge_traces({}).empty());
+  const auto summary = compute_staleness({});
+  EXPECT_EQ(summary.samples, 0);
+  const std::string json = to_chrome_trace_json({}, {});
+  EXPECT_EQ(json, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+}
+
+}  // namespace
+}  // namespace finelb::telemetry
