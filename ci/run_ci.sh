@@ -14,10 +14,13 @@
 #   3. telemetry off  — -DFINELB_TELEMETRY=OFF build, full test suite:
 #                       the escape hatch must stay a working configuration;
 #   4. sanitizers     — ASan+UBSan and TSan builds running the threaded
-#                       runtime and trace tests (ctest -L "runtime|trace"),
-#                       which cover the lock-free registry/trace-ring
-#                       record paths, the scrape-during-write protocol, and
-#                       the chunked TRACE_INQUIRY wire path.
+#                       runtime, trace, and HA tests
+#                       (ctest -L "runtime|trace|ha"), which cover the
+#                       lock-free registry/trace-ring record paths, the
+#                       scrape-during-write protocol, the chunked
+#                       TRACE_INQUIRY wire path, and the replicated
+#                       directory (election state machine, replica threads,
+#                       client failover/redirect).
 #
 # Usage: ci/run_ci.sh [build-root]     (default: <repo>/build-ci)
 # Each stage uses its own build tree under the build root, so a warm tree
@@ -61,14 +64,14 @@ stage "telemetry escape hatch: -DFINELB_TELEMETRY=OFF build + full suite"
 configure_and_build "${build_root}/notelemetry" -DFINELB_TELEMETRY=OFF
 ctest --test-dir "${build_root}/notelemetry" -j"${jobs}" --output-on-failure
 
-stage "address sanitizer: runtime + trace tests"
+stage "address sanitizer: runtime + trace + ha tests"
 configure_and_build "${build_root}/asan" -DFINELB_SANITIZE=address
-ctest --test-dir "${build_root}/asan" -j"${jobs}" -L "runtime|trace" \
+ctest --test-dir "${build_root}/asan" -j"${jobs}" -L "runtime|trace|ha" \
   --output-on-failure
 
-stage "thread sanitizer: runtime + trace tests"
+stage "thread sanitizer: runtime + trace + ha tests"
 configure_and_build "${build_root}/tsan" -DFINELB_SANITIZE=thread
-ctest --test-dir "${build_root}/tsan" -j"${jobs}" -L "runtime|trace" \
+ctest --test-dir "${build_root}/tsan" -j"${jobs}" -L "runtime|trace|ha" \
   --output-on-failure
 
 stage "all stages passed"

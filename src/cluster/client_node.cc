@@ -51,6 +51,8 @@ void ClientStats::merge(const ClientStats& other) {
   mapping_refreshes += other.mapping_refreshes;
   refresh_failures += other.refresh_failures;
   snapshot_retries += other.snapshot_retries;
+  directory_failovers += other.directory_failovers;
+  directory_redirects += other.directory_redirects;
   if (timeline.size() < other.timeline.size()) {
     timeline.resize(other.timeline.size());
   }
@@ -120,9 +122,12 @@ ClientNode::ClientNode(ClientOptions options,
     poller_.add(poll_sockets_.back().fd(), kPollTagBase + i);
   }
 
-  if (options_.directory && options_.mapping_refresh > 0) {
+  if ((options_.directory || !options_.directory_replicas.empty()) &&
+      options_.mapping_refresh > 0) {
+    std::vector<net::Address> replicas = options_.directory_replicas;
+    if (replicas.empty()) replicas.push_back(*options_.directory);
     directory_client_ = std::make_unique<DirectoryClient>(
-        *options_.directory, options_.seed + 77);
+        std::move(replicas), options_.seed + 77);
     directory_client_->attach_fault_injector(options_.fault);
     mapping_refresh_interval_ = options_.mapping_refresh;
   }
@@ -222,21 +227,19 @@ void ClientNode::run() {
 
 void ClientNode::refresh_mapping(SimTime now) {
   ++stats_.mapping_refreshes;
-  std::vector<ServiceEndpoint> snapshot;
-  bool ok = true;
-  try {
-    snapshot = directory_client_->fetch(options_.directory_service,
-                                        /*timeout=*/200 * kMillisecond);
-  } catch (const InvariantError&) {
-    ok = false;
-  }
-  if (!ok) {
+  // Non-throwing fetch: a refresh that straddles a directory election (or
+  // outage) must degrade to the stale-but-recent mapping we already hold,
+  // not tear down the whole client.
+  auto fetched = directory_client_->try_fetch(options_.directory_service,
+                                              /*timeout=*/200 * kMillisecond);
+  if (!fetched) {
     ++stats_.refresh_failures;
     // Directory outage: back off (with jitter) instead of hammering it —
     // doubled interval, capped at 8x the configured period.
     mapping_refresh_interval_ = std::min<SimDuration>(
         mapping_refresh_interval_ * 2, options_.mapping_refresh * 8);
   } else {
+    const std::vector<ServiceEndpoint>& snapshot = *fetched;
     mapping_refresh_interval_ = options_.mapping_refresh;
     std::fill(endpoint_live_.begin(), endpoint_live_.end(), 0);
     for (const auto& entry : snapshot) {
@@ -254,6 +257,8 @@ void ClientNode::refresh_mapping(SimTime now) {
     if (!any) std::fill(endpoint_live_.begin(), endpoint_live_.end(), 1);
   }
   stats_.snapshot_retries = directory_client_->snapshot_retries();
+  stats_.directory_failovers = directory_client_->failovers();
+  stats_.directory_redirects = directory_client_->redirects_followed();
   const double jitter = rng_.uniform(0.75, 1.25);
   next_mapping_refresh_ =
       now + static_cast<SimDuration>(

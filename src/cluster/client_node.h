@@ -97,6 +97,10 @@ struct ClientOptions {
   /// the snapshot unavailable — how a killed server's expired entry makes
   /// subsequent polls route around it mid-run.
   std::optional<net::Address> directory;
+  /// Replicated-directory form: every replica's data address. Takes
+  /// precedence over `directory` when non-empty; the client fails over
+  /// between replicas and follows leader redirects (cluster/ha/).
+  std::vector<net::Address> directory_replicas;
   std::string directory_service;
   SimDuration mapping_refresh = 0;
   /// Bucket width for the per-client completion/failure timeline used by
@@ -150,6 +154,8 @@ struct ClientStats {
   std::int64_t mapping_refreshes = 0;
   std::int64_t refresh_failures = 0;
   std::int64_t snapshot_retries = 0;  // directory retransmits (backoff)
+  std::int64_t directory_failovers = 0;   // replica rotations on timeout
+  std::int64_t directory_redirects = 0;   // leader redirects followed
 
   /// Completion/failure counts per timeline bucket (ClientOptions::
   /// timeline_bucket); empty when disabled.

@@ -1,35 +1,32 @@
 #include "cluster/directory.h"
 
 #include <algorithm>
-#include <array>
+#include <utility>
 
 #include "common/check.h"
 #include "common/log.h"
 #include "net/clock.h"
-#include "net/poller.h"
 
 namespace finelb::cluster {
 
-DirectoryServer::DirectoryServer() { socket_.set_buffer_sizes(1 << 20); }
+// --------------------------------------------------------------------------
+// DirectoryTable
 
-DirectoryServer::~DirectoryServer() { stop(); }
-
-void DirectoryServer::start() {
-  FINELB_CHECK(!running_.exchange(true), "directory already started");
-  thread_ = std::thread([this] { recv_loop(); });
+void DirectoryTable::apply(net::Publish publish, SimTime now) {
+  const auto ttl =
+      static_cast<SimDuration>(publish.ttl_ms) * kMillisecond;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry =
+      entries_[Key{publish.service, publish.server, publish.partition}];
+  entry.publish = std::move(publish);
+  entry.expires_at = now + ttl;
+  entry.grace = ttl / 4;
+  republish_locked();
+  publishes_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void DirectoryServer::stop() {
-  if (!running_.exchange(false)) return;
-  if (thread_.joinable()) thread_.join();
-}
-
-net::Address DirectoryServer::address() const {
-  return socket_.local_address();
-}
-
-std::shared_ptr<const DirectoryServer::Snapshot>
-DirectoryServer::load_snapshot() const {
+std::shared_ptr<const DirectoryTable::Snapshot> DirectoryTable::load_snapshot()
+    const {
   // Lock-free read path; protocol documented at the member declarations.
   // The pin / re-check pair is seq_cst to close the Dekker race against
   // the writer's flip / drain pair: if the writer's drain loop missed this
@@ -52,22 +49,23 @@ DirectoryServer::load_snapshot() const {
   }
 }
 
-std::vector<net::Publish> DirectoryServer::live_entries(
-    const std::string& service) const {
+std::vector<net::Publish> DirectoryTable::live_entries(
+    const std::string& service, SimTime now) const {
   // Lock-free read: grab the current immutable snapshot and filter. See
-  // the guard-discipline comment in the header.
+  // the guard-discipline comment in the header. The grace term keeps a
+  // server that refreshes exactly at ttl from flapping out for the one
+  // read that races its refresh.
   const std::shared_ptr<const Snapshot> snap = load_snapshot();
-  const SimTime now = net::monotonic_now();
   std::vector<net::Publish> out;
   for (const Entry& entry : *snap) {
-    if (entry.expires_at <= now) continue;  // expired soft state
+    if (entry.expires_at + entry.grace <= now) continue;  // expired
     if (!service.empty() && entry.publish.service != service) continue;
     out.push_back(entry.publish);
   }
   return out;
 }
 
-void DirectoryServer::republish_locked() {
+void DirectoryTable::republish_locked() {
   auto next = std::make_shared<Snapshot>();
   next->reserve(entries_.size());
   for (const auto& [key, entry] : entries_) next->push_back(entry);
@@ -87,6 +85,32 @@ void DirectoryServer::republish_locked() {
   version_.store(v + 1, std::memory_order_seq_cst);
 }
 
+// --------------------------------------------------------------------------
+// DirectoryServer
+
+DirectoryServer::DirectoryServer() { socket_.set_buffer_sizes(1 << 20); }
+
+DirectoryServer::~DirectoryServer() { stop(); }
+
+void DirectoryServer::start() {
+  FINELB_CHECK(!running_.exchange(true), "directory already started");
+  thread_ = std::thread([this] { recv_loop(); });
+}
+
+void DirectoryServer::stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+net::Address DirectoryServer::address() const {
+  return socket_.local_address();
+}
+
+std::vector<net::Publish> DirectoryServer::live_entries(
+    const std::string& service) const {
+  return table_.live_entries(service, net::monotonic_now());
+}
+
 void DirectoryServer::recv_loop() {
   net::Poller poller;
   poller.add(socket_.fd(), 0);
@@ -103,16 +127,7 @@ void DirectoryServer::recv_loop() {
             FINELB_LOG(kWarn, "directory") << "dropping malformed publish";
             break;
           }
-          const SimTime now = net::monotonic_now();
-          std::lock_guard<std::mutex> lock(mutex_);
-          Entry& entry = entries_[Key{publish.service, publish.server,
-                                      publish.partition}];
-          entry.publish = std::move(publish);
-          entry.expires_at =
-              now +
-              static_cast<SimDuration>(entry.publish.ttl_ms) * kMillisecond;
-          republish_locked();
-          publishes_.fetch_add(1, std::memory_order_relaxed);
+          table_.apply(std::move(publish), net::monotonic_now());
           break;
         }
         case net::MsgType::kSnapshotRequest: {
@@ -135,10 +150,19 @@ void DirectoryServer::recv_loop() {
   }
 }
 
+// --------------------------------------------------------------------------
+// DirectoryClient
+
 DirectoryClient::DirectoryClient(const net::Address& directory,
                                  std::uint64_t seed)
-    : directory_(directory), rng_(seed) {
-  socket_.connect(directory);
+    : DirectoryClient(std::vector<net::Address>{directory}, seed) {}
+
+DirectoryClient::DirectoryClient(std::vector<net::Address> replicas,
+                                 std::uint64_t seed)
+    : replicas_(std::move(replicas)), rng_(seed) {
+  FINELB_CHECK(!replicas_.empty(), "directory client needs >= 1 replica");
+  socket_.connect(replicas_[0]);
+  poller_.add(socket_.fd(), 0);
 }
 
 void DirectoryClient::attach_fault_injector(
@@ -146,15 +170,19 @@ void DirectoryClient::attach_fault_injector(
   socket_.attach_fault_injector(std::move(injector));
 }
 
-std::vector<ServiceEndpoint> DirectoryClient::fetch(const std::string& service,
-                                                    SimDuration timeout) {
+void DirectoryClient::reconnect(const net::Address& addr) {
+  // POSIX allows re-connecting a UDP socket; the fd (and thus poller_
+  // registration) is unchanged, only the peer filter moves.
+  socket_.connect(addr);
+}
+
+std::optional<std::vector<ServiceEndpoint>> DirectoryClient::try_fetch(
+    const std::string& service, SimDuration timeout) {
   const SimTime deadline = net::monotonic_now() + timeout;
-  net::Poller poller;
-  poller.add(socket_.fd(), 0);
-  std::array<std::uint8_t, 4096> buf{};
   // Retransmit with exponential backoff: 100 ms base doubling to an 800 ms
   // cap, each interval jittered by +/-25% so a fleet of clients recovering
-  // from a directory outage does not resynchronize into bursts.
+  // from a directory outage does not resynchronize into bursts. Each
+  // unanswered slice rotates to the next replica before retransmitting.
   SimDuration backoff = 100 * kMillisecond;
   constexpr SimDuration kBackoffCap = 800 * kMillisecond;
   bool first_send = true;
@@ -163,35 +191,75 @@ std::vector<ServiceEndpoint> DirectoryClient::fetch(const std::string& service,
     request.seq = next_seq_++;
     request.service = service;
     socket_.send(request.encode());
-    if (!first_send) ++snapshot_retries_;
+    if (!first_send) snapshot_retries_.fetch_add(1, std::memory_order_relaxed);
     first_send = false;
     const auto jittered = static_cast<SimDuration>(
         static_cast<double>(backoff) * rng_.uniform(0.75, 1.25));
     backoff = std::min<SimDuration>(backoff * 2, kBackoffCap);
     const SimTime retry_at =
         std::min<SimTime>(deadline, net::monotonic_now() + jittered);
-    while (net::monotonic_now() < retry_at) {
-      poller.wait(retry_at - net::monotonic_now());
-      while (auto size = socket_.recv(buf)) {
-        net::SnapshotReply reply;
-        if (!net::SnapshotReply::try_decode(std::span(buf.data(), *size),
-                                            reply)) {
-          continue;  // malformed; keep waiting
+    bool redirected = false;
+    while (!redirected && net::monotonic_now() < retry_at) {
+      poller_.wait(retry_at - net::monotonic_now());
+      while (!redirected) {
+        const auto size = socket_.recv(recv_buf_);
+        if (!size) break;
+        const std::span<const std::uint8_t> data(recv_buf_.data(), *size);
+        if (data.empty()) continue;
+        switch (net::peek_type(data)) {
+          case net::MsgType::kSnapshotReply: {
+            if (!net::SnapshotReply::try_decode(data, reply_)) {
+              continue;  // malformed; keep waiting
+            }
+            if (reply_.seq != request.seq) continue;  // stale reply
+            std::vector<ServiceEndpoint> endpoints;
+            endpoints.reserve(reply_.entries.size());
+            for (const auto& entry : reply_.entries) {
+              endpoints.push_back({entry.server, entry.partition,
+                                   net::Address::loopback(entry.service_port),
+                                   net::Address::loopback(entry.load_port)});
+            }
+            last_snapshot_ = endpoints;
+            last_snapshot_at_ = net::monotonic_now();
+            return endpoints;
+          }
+          case net::MsgType::kRedirect: {
+            net::Redirect redirect;
+            if (!net::Redirect::try_decode(data, redirect)) continue;
+            if (redirect.seq != request.seq) continue;  // stale redirect
+            if (redirect.leader_port == 0) {
+              // Election in progress: the follower knows no leader yet.
+              // Keep waiting out this slice, then rotate as usual.
+              continue;
+            }
+            redirects_followed_.fetch_add(1, std::memory_order_relaxed);
+            reconnect(net::Address::loopback(redirect.leader_port));
+            redirected = true;  // retransmit immediately to the leader
+            break;
+          }
+          default:
+            continue;  // not ours (e.g. a late reply type we don't know)
         }
-        if (reply.seq != request.seq) continue;  // stale reply
-        std::vector<ServiceEndpoint> endpoints;
-        endpoints.reserve(reply.entries.size());
-        for (const auto& entry : reply.entries) {
-          endpoints.push_back({entry.server, entry.partition,
-                               net::Address::loopback(entry.service_port),
-                               net::Address::loopback(entry.load_port)});
-        }
-        return endpoints;
       }
     }
+    if (!redirected && replicas_.size() > 1 &&
+        net::monotonic_now() < deadline) {
+      // This replica stayed silent for a whole backoff slice: it is dead,
+      // partitioned, or mid-election. Rotate and try its neighbour.
+      current_ = (current_ + 1) % replicas_.size();
+      reconnect(replicas_[current_]);
+      failovers_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
-  FINELB_CHECK(false, "directory did not answer snapshot request");
-  return {};
+  return std::nullopt;
+}
+
+std::vector<ServiceEndpoint> DirectoryClient::fetch(const std::string& service,
+                                                    SimDuration timeout) {
+  auto endpoints = try_fetch(service, timeout);
+  FINELB_CHECK(endpoints.has_value(),
+               "directory did not answer snapshot request");
+  return std::move(*endpoints);
 }
 
 std::vector<ServiceEndpoint> DirectoryClient::wait_for_servers(
@@ -200,7 +268,7 @@ std::vector<ServiceEndpoint> DirectoryClient::wait_for_servers(
   const SimTime deadline = net::monotonic_now() + deadline_from_now;
   std::vector<ServiceEndpoint> endpoints;
   for (;;) {
-    endpoints = fetch(service);
+    if (auto got = try_fetch(service)) endpoints = std::move(*got);
     if (endpoints.size() >= min_servers || net::monotonic_now() >= deadline) {
       return endpoints;
     }

@@ -9,13 +9,20 @@
 // falls out of the candidate set without any explicit deregistration — the
 // property that lets the infrastructure "operate smoothly in the presence
 // of transient failures and service evolution".
+//
+// The "highly available" half lives in cluster/ha/: HaDirectoryReplica
+// embeds the same DirectoryTable behind a leader-elected replica set, and
+// DirectoryClient below accepts a replica list, failing over on timeout and
+// following leader redirects.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -24,6 +31,7 @@
 #include "common/time.h"
 #include "fault/fault.h"
 #include "net/message.h"
+#include "net/poller.h"
 #include "net/socket.h"
 
 namespace finelb::cluster {
@@ -36,40 +44,41 @@ struct ServiceEndpoint {
   net::Address load_addr;
 };
 
-class DirectoryServer {
+/// The soft-state table plus its RCU snapshot protocol, shared by the
+/// single-node DirectoryServer and the replicated ha::HaDirectoryReplica.
+/// Thread-safe: apply() serialises writers internally, live_entries() is
+/// lock-free (see the guard-discipline comment at the members).
+///
+/// Expiry applies a grace window of ttl/4 past the nominal deadline: a
+/// server that re-publishes exactly at ttl_ms races its own expiry (the
+/// refresh datagram and the reader's clock sample are unordered), and
+/// without the grace a healthy server can flap out of live_entries for one
+/// refresh interval. The window is small enough that a genuinely crashed
+/// server still ages out promptly (1.25x ttl instead of 1x).
+class DirectoryTable {
  public:
-  DirectoryServer();
-  ~DirectoryServer();
+  /// Inserts or refreshes the entry keyed by (service, server, partition).
+  void apply(net::Publish publish, SimTime now);
 
-  DirectoryServer(const DirectoryServer&) = delete;
-  DirectoryServer& operator=(const DirectoryServer&) = delete;
+  /// Current live (non-expired) entries for a service ("" = all).
+  std::vector<net::Publish> live_entries(const std::string& service,
+                                         SimTime now) const;
 
-  void start();
-  void stop();
-
-  net::Address address() const;
-
-  /// Current live (non-expired) entries for a service ("" = all), as the
-  /// snapshot protocol would return them. Exposed for tests and local use.
-  std::vector<net::Publish> live_entries(const std::string& service) const;
-
-  std::int64_t publishes_received() const { return publishes_.load(); }
+  std::int64_t publishes_received() const {
+    return publishes_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Entry {
     net::Publish publish;
-    SimTime expires_at = 0;
+    SimTime expires_at = 0;  // last refresh + ttl
+    SimDuration grace = 0;   // ttl/4 anti-flap window past expires_at
   };
   using Key = std::tuple<std::string, std::int32_t, std::uint32_t>;
   using Snapshot = std::vector<Entry>;
 
-  void recv_loop();
-  /// Rebuilds snapshot_ from entries_; caller must hold mutex_.
+  /// Rebuilds the published snapshot from entries_; caller holds mutex_.
   void republish_locked();
-
-  net::UdpSocket socket_;
-  std::atomic<bool> running_{false};
-  std::thread thread_;
 
   /// Acquires a reference to the current snapshot without taking mutex_.
   std::shared_ptr<const Snapshot> load_snapshot() const;
@@ -77,16 +86,16 @@ class DirectoryServer {
   // Guard discipline (do not relax without updating this comment and the
   // directory concurrency regression test):
   //   * mutex_ guards entries_, the mutable soft-state table. Only write
-  //     paths (the Publish handler) take it; every mutation must finish by
-  //     calling republish_locked() before releasing the lock.
+  //     paths (apply) take it; every mutation must finish by calling
+  //     republish_locked() before releasing the lock.
   //   * slots_/version_ hold an RCU-style immutable copy of entries_,
   //     double-buffered so publication is lock-free for readers. Readers
-  //     (live_entries, the SnapshotRequest handler) call load_snapshot()
-  //     and never take mutex_ — a reader observes a coherent table from
-  //     some recent instant, and a concurrent publish installs a fresh
-  //     vector in the *other* slot rather than mutating the one being
-  //     read. Expiry is applied at read time by filtering expires_at, so
-  //     an idle directory ages entries out without a writer running.
+  //     (live_entries) call load_snapshot() and never take mutex_ — a
+  //     reader observes a coherent table from some recent instant, and a
+  //     concurrent publish installs a fresh vector in the *other* slot
+  //     rather than mutating the one being read. Expiry is applied at read
+  //     time by filtering expires_at, so an idle directory ages entries
+  //     out without a writer running.
   //     (A hand-rolled scheme rather than std::atomic<std::shared_ptr>:
   //     libstdc++'s lock-based _Sp_atomic unlocks with relaxed ordering,
   //     which ThreadSanitizer cannot prove race-free. Here every edge is
@@ -112,12 +121,50 @@ class DirectoryServer {
   std::atomic<std::int64_t> publishes_{0};
 };
 
+class DirectoryServer {
+ public:
+  DirectoryServer();
+  ~DirectoryServer();
+
+  DirectoryServer(const DirectoryServer&) = delete;
+  DirectoryServer& operator=(const DirectoryServer&) = delete;
+
+  void start();
+  void stop();
+
+  net::Address address() const;
+
+  /// Current live (non-expired) entries for a service ("" = all), as the
+  /// snapshot protocol would return them. Exposed for tests and local use.
+  std::vector<net::Publish> live_entries(const std::string& service) const;
+
+  std::int64_t publishes_received() const {
+    return table_.publishes_received();
+  }
+
+ private:
+  void recv_loop();
+
+  net::UdpSocket socket_;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+  DirectoryTable table_;
+};
+
 /// Client-side view of the channel: sends SnapshotRequest and waits for the
 /// reply, retrying on loss. This is the "service mapping table" refresh.
+///
+/// Against a replicated directory (multi-address constructor) the client
+/// rotates to the next replica when a backoff slice expires unanswered and
+/// follows Redirect replies from followers straight to the current leader;
+/// both are invisible to callers beyond the failovers()/redirects_followed()
+/// counters. The last successful snapshot is cached so callers can keep
+/// serving stale-but-recent mappings while an election is in progress.
 class DirectoryClient {
  public:
   explicit DirectoryClient(const net::Address& directory,
                            std::uint64_t seed = 1);
+  DirectoryClient(std::vector<net::Address> replicas, std::uint64_t seed = 1);
 
   /// Optional loss/dup/delay injection on the snapshot socket (tests and
   /// the fault-tolerance bench).
@@ -125,26 +172,64 @@ class DirectoryClient {
 
   /// Fetches the live endpoints for `service` (empty = all). Retransmits
   /// with exponential backoff plus jitter (100 ms doubling to 800 ms) so a
-  /// struggling directory is not hammered at a fixed rate. Throws
-  /// InvariantError if the directory does not answer within `timeout`.
+  /// struggling directory is not hammered at a fixed rate, failing over to
+  /// the next replica each time a backoff slice expires unanswered.
+  /// Returns std::nullopt if no replica answers within `timeout` — retry
+  /// paths must use this surface so an unlucky election window does not
+  /// tear down the caller.
+  std::optional<std::vector<ServiceEndpoint>> try_fetch(
+      const std::string& service, SimDuration timeout = kSecond);
+
+  /// try_fetch, but throws InvariantError on timeout. Convenience for
+  /// startup paths where a dead directory is fatal anyway.
   std::vector<ServiceEndpoint> fetch(const std::string& service,
                                      SimDuration timeout = kSecond);
 
-  /// Polls fetch() until at least `min_servers` distinct servers are live
-  /// or `deadline_from_now` elapses; returns the last snapshot either way.
+  /// Polls try_fetch() until at least `min_servers` distinct servers are
+  /// live or `deadline_from_now` elapses; returns the last snapshot either
+  /// way. Never throws: a replicated directory may be mid-election while
+  /// the experiment is starting up.
   std::vector<ServiceEndpoint> wait_for_servers(
       const std::string& service, std::size_t min_servers,
       SimDuration deadline_from_now = 5 * kSecond);
 
   /// Snapshot requests retransmitted beyond the first send of each fetch.
-  std::int64_t snapshot_retries() const { return snapshot_retries_; }
+  /// Atomic: benches read these counters from other threads mid-run.
+  std::int64_t snapshot_retries() const {
+    return snapshot_retries_.load(std::memory_order_relaxed);
+  }
+  /// Replica rotations taken after an unanswered backoff slice.
+  std::int64_t failovers() const {
+    return failovers_.load(std::memory_order_relaxed);
+  }
+  /// Redirect replies followed to a freshly elected leader.
+  std::int64_t redirects_followed() const {
+    return redirects_followed_.load(std::memory_order_relaxed);
+  }
+
+  /// Most recent successful snapshot (empty before the first success) and
+  /// when it was taken. Owned by the fetching thread; not thread-safe.
+  const std::vector<ServiceEndpoint>& last_snapshot() const {
+    return last_snapshot_;
+  }
+  SimTime last_snapshot_at() const { return last_snapshot_at_; }
 
  private:
-  net::Address directory_;
+  void reconnect(const net::Address& addr);
+
+  std::vector<net::Address> replicas_;
+  std::size_t current_ = 0;
   net::UdpSocket socket_;
+  net::Poller poller_;  // member so a fetch does not epoll_create each call
   std::uint64_t next_seq_ = 1;
   Rng rng_;
-  std::int64_t snapshot_retries_ = 0;
+  std::atomic<std::int64_t> snapshot_retries_{0};
+  std::atomic<std::int64_t> failovers_{0};
+  std::atomic<std::int64_t> redirects_followed_{0};
+  std::array<std::uint8_t, 65536> recv_buf_{};
+  net::SnapshotReply reply_;  // reused so entry capacity survives fetches
+  std::vector<ServiceEndpoint> last_snapshot_;
+  SimTime last_snapshot_at_ = 0;
 };
 
 }  // namespace finelb::cluster

@@ -12,6 +12,7 @@
 #include "common/log.h"
 #include "cluster/broadcast_channel.h"
 #include "cluster/directory.h"
+#include "cluster/ha/replica.h"
 #include "cluster/ideal_manager.h"
 #include "net/clock.h"
 #include "telemetry/clock_sync.h"
@@ -24,8 +25,8 @@ namespace {
 constexpr const char* kExperimentService = "experiment";
 
 std::vector<ServerEndpoints> endpoints_from_directory(
-    const net::Address& directory, std::size_t expected) {
-  DirectoryClient client(directory);
+    std::vector<net::Address> replicas, std::size_t expected) {
+  DirectoryClient client(std::move(replicas));
   const auto snapshot =
       client.wait_for_servers(kExperimentService, expected, 10 * kSecond);
   FINELB_CHECK(snapshot.size() >= expected,
@@ -52,6 +53,18 @@ PrototypeResult run_prototype(const PrototypeConfig& config,
     FINELB_CHECK(kill.server >= 0 && kill.server < config.servers,
                  "kill schedule names an unknown server");
     FINELB_CHECK(kill.after >= 0, "kill time must be non-negative");
+  }
+  FINELB_CHECK(config.directory_replicas >= 1,
+               "directory_replicas must be at least 1");
+  if (!config.directory_leader_kills.empty()) {
+    FINELB_CHECK(config.use_directory && config.directory_replicas > 1,
+                 "directory leader kills need a replicated directory");
+    FINELB_CHECK(static_cast<int>(config.directory_leader_kills.size()) <
+                     config.directory_replicas,
+                 "cannot kill every directory replica");
+    for (const SimDuration after : config.directory_leader_kills) {
+      FINELB_CHECK(after >= 0, "leader-kill time must be non-negative");
+    }
   }
 
   // Per-node fault injectors: one per server and one per client, seeded
@@ -85,12 +98,34 @@ PrototypeResult run_prototype(const PrototypeConfig& config,
   }
 
   // --- availability ----------------------------------------------------------
+  // Single node: the classic DirectoryServer. Replicated: an
+  // HaDirectoryCluster whose lease-holding leader serves snapshots while
+  // every replica absorbs publishes (DESIGN.md §12). Either way the servers
+  // announce to every directory address and the clients carry the full
+  // replica set.
   std::unique_ptr<DirectoryServer> directory;
+  std::unique_ptr<ha::HaDirectoryCluster> ha_directory;
+  std::vector<net::Address> directory_addrs;
   if (config.use_directory) {
-    directory = std::make_unique<DirectoryServer>();
-    directory->start();
+    if (config.directory_replicas > 1) {
+      ha::HaReplicaConfig ha_config;
+      ha_config.heartbeat_interval = config.ha_heartbeat_interval;
+      ha_config.election_timeout_min = config.ha_election_timeout_min;
+      ha_config.election_timeout_max = config.ha_election_timeout_max;
+      ha_config.leader_lease = config.ha_leader_lease;
+      ha_config.seed = config.seed + 0xD1E;
+      ha_directory = std::make_unique<ha::HaDirectoryCluster>(
+          config.directory_replicas, ha_config);
+      directory_addrs = ha_directory->data_addresses();
+      FINELB_CHECK(ha_directory->wait_for_leader() >= 0,
+                   "replicated directory never elected a leader");
+    } else {
+      directory = std::make_unique<DirectoryServer>();
+      directory->start();
+      directory_addrs.push_back(directory->address());
+    }
     for (auto& server : servers) {
-      server->enable_publishing(directory->address(), kExperimentService,
+      server->enable_publishing(directory_addrs, kExperimentService,
                                 /*partition=*/0, config.publish_interval,
                                 config.publish_ttl);
     }
@@ -113,7 +148,7 @@ PrototypeResult run_prototype(const PrototypeConfig& config,
   std::vector<ServerEndpoints> endpoints;
   if (config.use_directory) {
     endpoints = endpoints_from_directory(
-        directory->address(), static_cast<std::size_t>(config.servers));
+        directory_addrs, static_cast<std::size_t>(config.servers));
   } else {
     for (auto& server : servers) {
       endpoints.push_back(
@@ -163,8 +198,9 @@ PrototypeResult run_prototype(const PrototypeConfig& config,
     opts.timeline_bucket = config.timeline_bucket;
     opts.max_access_retries = config.max_access_retries;
     opts.trace_sample_period = config.trace_sample_period;
-    if (directory && config.client_mapping_refresh > 0) {
-      opts.directory = directory->address();
+    if (!directory_addrs.empty() && config.client_mapping_refresh > 0) {
+      opts.directory = directory_addrs.front();
+      opts.directory_replicas = directory_addrs;
       opts.directory_service = kExperimentService;
       opts.mapping_refresh = config.client_mapping_refresh;
     }
@@ -229,9 +265,43 @@ PrototypeResult run_prototype(const PrototypeConfig& config,
     });
   }
 
+  // Directory leader-kill thread: at each scheduled offset, stop whichever
+  // replica currently holds the lease. The kill instant is recorded so the
+  // failover window (kill -> next kLeaderElected instant) can be measured
+  // afterwards — both sides read the same in-process CLOCK_MONOTONIC.
+  std::vector<SimTime> leader_kill_times;  // written by dir_killer only
+  std::atomic<int> leaders_killed{0};
+  std::thread dir_killer;
+  if (ha_directory && !config.directory_leader_kills.empty()) {
+    dir_killer = std::thread([&] {
+      std::vector<SimDuration> schedule = config.directory_leader_kills;
+      std::sort(schedule.begin(), schedule.end());
+      for (const SimDuration after : schedule) {
+        const SimTime due = started + after;
+        while (net::monotonic_now() < due) {
+          if (clients_done.load(std::memory_order_relaxed)) return;
+          net::sleep_for(std::min<SimDuration>(due - net::monotonic_now(),
+                                               10 * kMillisecond));
+        }
+        const std::int32_t victim = ha_directory->kill_leader();
+        if (victim < 0) {
+          FINELB_LOG(kWarn, "experiment")
+              << "leader kill scheduled but no replica holds the lease";
+          continue;
+        }
+        leader_kill_times.push_back(net::monotonic_now());
+        FINELB_LOG(kInfo, "experiment")
+            << "killed directory leader " << victim << " at +"
+            << to_ms(leader_kill_times.back() - started) << " ms";
+        leaders_killed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
   for (auto& thread : client_threads) thread.join();
   clients_done.store(true, std::memory_order_relaxed);
   if (killer.joinable()) killer.join();
+  if (dir_killer.joinable()) dir_killer.join();
   reporter.reset();  // joins the reporter thread before nodes wind down
   const SimTime finished = net::monotonic_now();
 
@@ -250,6 +320,33 @@ PrototypeResult run_prototype(const PrototypeConfig& config,
     result.faults.merge(injector->counters());
   }
   result.servers_killed = killed.load();
+  result.directory_leaders_killed = leaders_killed.load();
+  if (ha_directory) {
+    // Election instants come off each replica's trace ring; the ring is
+    // in-process, so no clock alignment is needed. The failover window for
+    // a kill is the gap to the *next* election anywhere in the cluster.
+    std::vector<SimTime> elections;
+    for (std::int32_t r = 0; r < ha_directory->size(); ++r) {
+      for (const telemetry::TraceRecord& rec :
+           ha_directory->replica(r).trace_ring().snapshot()) {
+        if (rec.point == telemetry::TracePoint::kLeaderElected) {
+          elections.push_back(rec.at_ns);
+        }
+      }
+    }
+    std::sort(elections.begin(), elections.end());
+    result.directory_elections =
+        static_cast<std::int64_t>(elections.size());
+    for (const SimTime kill : leader_kill_times) {
+      const auto next =
+          std::upper_bound(elections.begin(), elections.end(), kill);
+      // No re-election observed before the run ended: charge the rest of
+      // the run as the window rather than under-reporting it as zero.
+      const SimTime recovered = next != elections.end() ? *next : finished;
+      result.directory_failover_window =
+          std::max(result.directory_failover_window, recovered - kill);
+    }
+  }
   if (config.collect_node_stats) {
     for (const auto& server : servers) {
       result.node_stats_json.push_back(server->stats_json());
@@ -284,6 +381,16 @@ PrototypeResult run_prototype(const PrototypeConfig& config,
       node.source = "client." + std::to_string(c);
       node.records = clients[c]->trace().snapshot();
       result.node_traces.push_back(std::move(node));
+    }
+    if (ha_directory) {
+      // Replica rings live in this process (zero clock offset); their
+      // kLeaderElected instants place elections on the cluster timeline.
+      for (std::int32_t r = 0; r < ha_directory->size(); ++r) {
+        telemetry::NodeTrace node;
+        node.source = "directory." + std::to_string(r);
+        node.records = ha_directory->replica(r).trace_ring().snapshot();
+        result.node_traces.push_back(std::move(node));
+      }
     }
     result.staleness =
         telemetry::compute_staleness(telemetry::merge_traces(result.node_traces));

@@ -75,6 +75,22 @@ struct PrototypeConfig {
   /// ttl makes a killed server's entry expire quickly (paper §3.1).
   SimDuration publish_interval = kSecond / 4;
   SimDuration publish_ttl = 2 * kSecond;
+  /// Replicated control plane (DESIGN.md §12): when > 1, the availability
+  /// directory becomes an HaDirectoryCluster of this many replicas with a
+  /// leader-elected serving path. Servers publish to every replica; clients
+  /// carry the whole replica set and fail over / follow redirects. 1 keeps
+  /// the classic single DirectoryServer.
+  int directory_replicas = 1;
+  /// Kill the directory *leader* (whoever holds the lease at that instant)
+  /// once each offset of the measurement has elapsed. Requires
+  /// directory_replicas > 1; each kill stops one replica thread for good.
+  std::vector<SimDuration> directory_leader_kills;
+  /// Election timing for the replicated directory (ha/election.h). The
+  /// defaults mirror HaReplicaConfig; tests shrink them for fast failover.
+  SimDuration ha_heartbeat_interval = 25 * kMillisecond;
+  SimDuration ha_election_timeout_min = 100 * kMillisecond;
+  SimDuration ha_election_timeout_max = 200 * kMillisecond;
+  SimDuration ha_leader_lease = 75 * kMillisecond;
   /// Client hardening knobs, passed through to ClientOptions (0 = off).
   SimDuration client_mapping_refresh = 0;
   SimDuration blacklist_cooldown = 0;
@@ -120,6 +136,16 @@ struct PrototypeResult {
   fault::FaultCounters faults;
   /// Servers actually stopped by the kill schedule.
   int servers_killed = 0;
+  /// Directory leaders actually stopped by directory_leader_kills.
+  int directory_leaders_killed = 0;
+  /// Leadership gains across all directory replicas (counted from their
+  /// kLeaderElected trace instants); >= 1 whenever directory_replicas > 1.
+  std::int64_t directory_elections = 0;
+  /// Worst leaderless window following a directory leader kill: kill
+  /// instant -> the next kLeaderElected instant on any surviving replica
+  /// (same in-process CLOCK_MONOTONIC, so the subtraction is exact).
+  /// 0 when no leader kills were scheduled.
+  SimDuration directory_failover_window = 0;
   /// Per-node exporter documents (servers then clients), populated when
   /// PrototypeConfig::collect_node_stats is set. Merge with
   /// telemetry::cluster_to_json for one cluster-wide document.

@@ -1,0 +1,173 @@
+#include "cluster/ha/election.h"
+
+#include "common/check.h"
+
+namespace finelb::cluster::ha {
+
+const char* role_name(Role role) {
+  switch (role) {
+    case Role::kFollower:
+      return "follower";
+    case Role::kCandidate:
+      return "candidate";
+    case Role::kLeader:
+      return "leader";
+  }
+  return "unknown";
+}
+
+ElectionCore::ElectionCore(const ElectionConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      last_ack_(static_cast<std::size_t>(config.cluster_size), 0) {
+  FINELB_CHECK(config_.cluster_size >= 1, "election needs >= 1 node");
+  FINELB_CHECK(config_.id >= 0 && config_.id < config_.cluster_size,
+               "election id out of range");
+  FINELB_CHECK(config_.election_timeout_min <= config_.election_timeout_max,
+               "election timeout range inverted");
+  FINELB_CHECK(config_.leader_lease < config_.election_timeout_min,
+               "leader lease must expire before a follower can start a "
+               "competing election");
+  // First deadline is armed lazily from the first tick so construction does
+  // not need a clock; election_deadline_ == 0 marks "not armed yet".
+}
+
+void ElectionCore::arm_election_deadline(SimTime now) {
+  const auto span = static_cast<double>(config_.election_timeout_max -
+                                        config_.election_timeout_min);
+  election_deadline_ =
+      now + config_.election_timeout_min +
+      static_cast<SimDuration>(span > 0 ? rng_.uniform(0.0, span) : 0.0);
+}
+
+void ElectionCore::step_down(std::uint64_t term, SimTime now) {
+  if (term > term_) {
+    term_ = term;
+    voted_for_ = -1;
+  }
+  role_ = Role::kFollower;
+  leader_ = -1;
+  voters_.clear();
+  arm_election_deadline(now);
+}
+
+void ElectionCore::start_election(SimTime now, std::vector<Action>& out) {
+  ++term_;
+  role_ = Role::kCandidate;
+  voted_for_ = config_.id;
+  leader_ = -1;
+  voters_.clear();
+  voters_.insert(config_.id);
+  ++elections_started_;
+  arm_election_deadline(now);
+  if (static_cast<std::int32_t>(voters_.size()) >= quorum()) {
+    become_leader(now, out);  // single-node cluster: quorum of one
+    return;
+  }
+  out.push_back({-1, {PeerMessage::Kind::kVoteRequest, term_, config_.id}});
+}
+
+void ElectionCore::become_leader(SimTime now, std::vector<Action>& out) {
+  role_ = Role::kLeader;
+  leader_ = config_.id;
+  ++leadership_gains_;
+  // A vote granted in this term is a promise not to elect anyone else for
+  // a full election timeout (the voter re-armed its deadline when it
+  // granted), so it counts as an ack at win time — otherwise a brand-new
+  // leader would hold no lease until the first heartbeat round-trip.
+  for (const std::int32_t voter : voters_) {
+    last_ack_[static_cast<std::size_t>(voter)] = now;
+  }
+  last_ack_[static_cast<std::size_t>(config_.id)] = now;
+  broadcast_heartbeat(now, out);
+}
+
+void ElectionCore::broadcast_heartbeat(SimTime now, std::vector<Action>& out) {
+  out.push_back({-1, {PeerMessage::Kind::kHeartbeat, term_, config_.id}});
+  next_heartbeat_ = now + config_.heartbeat_interval;
+}
+
+bool ElectionCore::has_lease(SimTime now) const {
+  if (role_ != Role::kLeader) return false;
+  std::int32_t fresh = 0;
+  for (std::size_t i = 0; i < last_ack_.size(); ++i) {
+    const SimTime at =
+        i == static_cast<std::size_t>(config_.id) ? now : last_ack_[i];
+    if (at != 0 && now - at <= config_.leader_lease) ++fresh;
+  }
+  return fresh >= quorum();
+}
+
+void ElectionCore::tick(SimTime now, std::vector<Action>& out) {
+  if (election_deadline_ == 0) arm_election_deadline(now);
+  if (role_ == Role::kLeader) {
+    if (!has_lease(now)) {
+      // Lost contact with the majority (partition or mass failure): stop
+      // claiming leadership so clients stop getting stale authoritative
+      // answers, and let the majority side elect without us.
+      step_down(term_, now);
+      return;
+    }
+    if (now >= next_heartbeat_) broadcast_heartbeat(now, out);
+    return;
+  }
+  if (now >= election_deadline_) start_election(now, out);
+}
+
+void ElectionCore::receive(const PeerMessage& msg, SimTime now,
+                           std::vector<Action>& out) {
+  if (msg.term > term_) step_down(msg.term, now);
+  switch (msg.kind) {
+    case PeerMessage::Kind::kVoteRequest: {
+      const bool grant = msg.term == term_ &&
+                         (voted_for_ == -1 || voted_for_ == msg.from) &&
+                         role_ != Role::kLeader;
+      if (grant) {
+        voted_for_ = msg.from;
+        // Granting is a promise: hold off our own candidacy for a full
+        // randomized timeout so the winner has time to heartbeat us.
+        arm_election_deadline(now);
+      }
+      out.push_back(
+          {msg.from,
+           {PeerMessage::Kind::kVoteReply, term_, config_.id, grant}});
+      break;
+    }
+    case PeerMessage::Kind::kVoteReply: {
+      if (role_ != Role::kCandidate || msg.term != term_ || !msg.granted) {
+        break;
+      }
+      voters_.insert(msg.from);
+      if (static_cast<std::int32_t>(voters_.size()) >= quorum()) {
+        become_leader(now, out);
+      }
+      break;
+    }
+    case PeerMessage::Kind::kHeartbeat: {
+      if (msg.term < term_) {
+        // Stale leader from an old term: ack with our term so it learns
+        // it was deposed and steps down via the term rule above.
+        out.push_back(
+            {msg.from, {PeerMessage::Kind::kHeartbeatAck, term_, config_.id}});
+        break;
+      }
+      // msg.term == term_ (a higher term already stepped us down above).
+      // A candidate yields to the node that won this term.
+      role_ = Role::kFollower;
+      leader_ = msg.from;
+      arm_election_deadline(now);
+      out.push_back(
+          {msg.from, {PeerMessage::Kind::kHeartbeatAck, term_, config_.id}});
+      break;
+    }
+    case PeerMessage::Kind::kHeartbeatAck: {
+      if (role_ == Role::kLeader && msg.term == term_ && msg.from >= 0 &&
+          msg.from < config_.cluster_size) {
+        last_ack_[static_cast<std::size_t>(msg.from)] = now;
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace finelb::cluster::ha

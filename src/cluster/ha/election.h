@@ -1,0 +1,112 @@
+// Leader election for the replicated directory (ISSUE 6; paper §3.1's
+// "highly available well-known central directory").
+//
+// A Raft-style FOLLOWER/CANDIDATE/LEADER state machine with terms, single
+// vote per term, randomized election timeouts, and a quorum-ack leader
+// lease — but deliberately *without* a replicated log. Directory entries
+// are TTL'd soft state that every server re-publishes on an interval, so a
+// freshly elected leader reconstructs the table from the publish stream
+// within one refresh interval instead of shipping log entries; see
+// DESIGN.md §12.
+//
+// ElectionCore is pure and I/O-free: callers feed it PeerMessages and
+// clock ticks, and it emits Actions (messages to send). That keeps the
+// protocol deterministic under the virtual-time ElectionSim and reusable
+// verbatim by the socket-driven HaDirectoryReplica.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace finelb::cluster::ha {
+
+enum class Role { kFollower, kCandidate, kLeader };
+
+const char* role_name(Role role);
+
+struct ElectionConfig {
+  std::int32_t id = 0;
+  std::int32_t cluster_size = 1;
+  /// Leader broadcasts a heartbeat this often.
+  SimDuration heartbeat_interval = 25 * kMillisecond;
+  /// A follower that hears no heartbeat for a randomized duration in
+  /// [min, max] starts an election. Randomization breaks split votes.
+  SimDuration election_timeout_min = 100 * kMillisecond;
+  SimDuration election_timeout_max = 200 * kMillisecond;
+  /// A leader that has not heard acks from a quorum within this window
+  /// steps down (it may be partitioned from the majority). Must be below
+  /// election_timeout_min so a deposed leader stops serving before its
+  /// replacement starts.
+  SimDuration leader_lease = 75 * kMillisecond;
+  std::uint64_t seed = 1;
+};
+
+/// The abstract control-plane message; HaDirectoryReplica maps these to
+/// the net::VoteRequest/VoteReply/Heartbeat/HeartbeatAck wire types.
+struct PeerMessage {
+  enum class Kind { kVoteRequest, kVoteReply, kHeartbeat, kHeartbeatAck };
+  Kind kind = Kind::kVoteRequest;
+  std::uint64_t term = 0;
+  std::int32_t from = -1;
+  bool granted = false;  // kVoteReply only
+};
+
+/// An outbound message: `to == -1` means broadcast to every peer.
+struct Action {
+  std::int32_t to = -1;
+  PeerMessage msg;
+};
+
+class ElectionCore {
+ public:
+  explicit ElectionCore(const ElectionConfig& config);
+
+  /// Advances timers: election timeout (follower/candidate), heartbeat
+  /// broadcast and lease check (leader). Appends outbound messages to
+  /// `out`.
+  void tick(SimTime now, std::vector<Action>& out);
+
+  /// Processes one inbound message, appending any replies to `out`.
+  void receive(const PeerMessage& msg, SimTime now, std::vector<Action>& out);
+
+  Role role() const { return role_; }
+  std::uint64_t term() const { return term_; }
+  /// Current leader id as known to this node, -1 during elections.
+  std::int32_t leader() const { return leader_; }
+  std::int32_t id() const { return config_.id; }
+
+  /// True iff this node is leader AND has heard (or carries, via the votes
+  /// that elected it) acks from a quorum within leader_lease. Only a
+  /// lease-holding leader may answer snapshot requests authoritatively.
+  bool has_lease(SimTime now) const;
+
+  std::int64_t elections_started() const { return elections_started_; }
+  std::int64_t leadership_gains() const { return leadership_gains_; }
+
+ private:
+  std::int32_t quorum() const { return config_.cluster_size / 2 + 1; }
+  void arm_election_deadline(SimTime now);
+  void step_down(std::uint64_t term, SimTime now);
+  void start_election(SimTime now, std::vector<Action>& out);
+  void become_leader(SimTime now, std::vector<Action>& out);
+  void broadcast_heartbeat(SimTime now, std::vector<Action>& out);
+
+  ElectionConfig config_;
+  Rng rng_;
+  Role role_ = Role::kFollower;
+  std::uint64_t term_ = 0;
+  std::int32_t voted_for_ = -1;  // candidate granted our vote in term_
+  std::int32_t leader_ = -1;
+  std::set<std::int32_t> voters_;  // peers that granted us term_
+  std::vector<SimTime> last_ack_;  // per-peer last heartbeat-ack instant
+  SimTime election_deadline_ = 0;
+  SimTime next_heartbeat_ = 0;
+  std::int64_t elections_started_ = 0;
+  std::int64_t leadership_gains_ = 0;
+};
+
+}  // namespace finelb::cluster::ha

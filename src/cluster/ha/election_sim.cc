@@ -1,0 +1,137 @@
+#include "cluster/ha/election_sim.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace finelb::cluster::ha {
+
+ElectionSim::ElectionSim(std::int32_t nodes, const ElectionConfig& base,
+                         const SimSchedule& schedule)
+    : nodes_(nodes),
+      base_(base),
+      schedule_(schedule),
+      fabric_rng_(schedule.seed),
+      alive_(static_cast<std::size_t>(nodes), true) {
+  FINELB_CHECK(nodes_ >= 1, "sim needs >= 1 node");
+  cores_.reserve(static_cast<std::size_t>(nodes_));
+  for (std::int32_t i = 0; i < nodes_; ++i) {
+    ElectionConfig config = base_;
+    config.id = i;
+    config.cluster_size = nodes_;
+    std::uint64_t state = base_.seed + static_cast<std::uint64_t>(i) + 1;
+    config.seed = splitmix64(state);
+    cores_.push_back(std::make_unique<ElectionCore>(config));
+  }
+}
+
+bool ElectionSim::partitioned(std::int32_t from, std::int32_t to) const {
+  for (const auto& p : schedule_.partitions) {
+    if (now_ < p.from || now_ >= p.to) continue;
+    if (p.island.count(from) != p.island.count(to)) return true;
+  }
+  return false;
+}
+
+void ElectionSim::dispatch(std::int32_t from,
+                           const std::vector<Action>& actions) {
+  for (const Action& action : actions) {
+    for (std::int32_t to = 0; to < nodes_; ++to) {
+      if (to == from) continue;
+      if (action.to != -1 && action.to != to) continue;
+      // Loss and delay are sampled per (message, receiver) so a broadcast
+      // can reach some peers and not others — the interesting regime for
+      // split votes. Sampling order is fixed (receiver id ascending), so
+      // runs replay exactly.
+      if (partitioned(from, to)) continue;
+      if (schedule_.loss > 0 && fabric_rng_.bernoulli(schedule_.loss)) {
+        continue;
+      }
+      const auto delay = static_cast<SimDuration>(fabric_rng_.uniform(
+          static_cast<double>(schedule_.delay_min),
+          static_cast<double>(schedule_.delay_max)));
+      in_flight_.push({now_ + delay, next_seq_++, to, action.msg});
+    }
+  }
+}
+
+void ElectionSim::record_leaders() {
+  for (std::int32_t i = 0; i < nodes_; ++i) {
+    const ElectionCore& core = *cores_[static_cast<std::size_t>(i)];
+    if (alive_[static_cast<std::size_t>(i)] &&
+        core.role() == Role::kLeader) {
+      leaders_per_term_[core.term()].insert(i);
+    }
+  }
+}
+
+void ElectionSim::run_until(SimTime until) {
+  while (now_ < until) {
+    now_ += kMillisecond;
+    // Deliver everything due by this tick, in (due, seq) order.
+    while (!in_flight_.empty() && in_flight_.top().due <= now_) {
+      const InFlight m = in_flight_.top();
+      in_flight_.pop();
+      const auto to = static_cast<std::size_t>(m.to);
+      if (!alive_[to]) continue;  // dropped on the floor at a dead node
+      scratch_.clear();
+      cores_[to]->receive(m.msg, now_, scratch_);
+      dispatch(m.to, scratch_);
+    }
+    for (std::int32_t i = 0; i < nodes_; ++i) {
+      if (!alive_[static_cast<std::size_t>(i)]) continue;
+      scratch_.clear();
+      cores_[static_cast<std::size_t>(i)]->tick(now_, scratch_);
+      dispatch(i, scratch_);
+    }
+    record_leaders();
+  }
+}
+
+void ElectionSim::kill(std::int32_t id) {
+  alive_[static_cast<std::size_t>(id)] = false;
+}
+
+void ElectionSim::restart(std::int32_t id) {
+  const auto i = static_cast<std::size_t>(id);
+  FINELB_CHECK(!alive_[i], "restarting a node that is alive");
+  ElectionConfig config = base_;
+  config.id = id;
+  config.cluster_size = nodes_;
+  // Re-seed differently from the first incarnation so the restarted node
+  // does not replay its old timeout schedule in lockstep.
+  std::uint64_t state = base_.seed * 0x9E3779B97F4A7C15ull +
+                        static_cast<std::uint64_t>(id) + 1;
+  config.seed = splitmix64(state);
+  cores_[i] = std::make_unique<ElectionCore>(config);
+  alive_[i] = true;
+}
+
+std::int32_t ElectionSim::leader() const {
+  // Highest term among *claimants* — an isolated candidate may have raced
+  // its term far past the working majority's without ever winning.
+  std::int32_t found = -1;
+  std::uint64_t top_term = 0;
+  for (std::int32_t i = 0; i < nodes_; ++i) {
+    const ElectionCore& core = *cores_[static_cast<std::size_t>(i)];
+    if (!alive_[static_cast<std::size_t>(i)] || core.role() != Role::kLeader) {
+      continue;
+    }
+    if (found == -1 || core.term() > top_term) {
+      found = i;
+      top_term = core.term();
+    } else if (core.term() == top_term) {
+      return -1;  // two claimants in one term would be a safety bug
+    }
+  }
+  return found;
+}
+
+bool ElectionSim::safety_held() const {
+  for (const auto& [term, leaders] : leaders_per_term_) {
+    if (leaders.size() > 1) return false;
+  }
+  return true;
+}
+
+}  // namespace finelb::cluster::ha

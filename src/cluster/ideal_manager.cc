@@ -29,6 +29,11 @@ void IdealManager::stop() {
   if (thread_.joinable()) thread_.join();
 }
 
+void IdealManager::attach_fault_injector(
+    std::shared_ptr<fault::FaultInjector> injector) {
+  socket_.attach_fault_injector(std::move(injector));
+}
+
 net::Address IdealManager::address() const { return socket_.local_address(); }
 
 std::vector<std::int32_t> IdealManager::tracked_queues() const {

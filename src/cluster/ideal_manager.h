@@ -15,11 +15,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/rng.h"
+#include "fault/fault.h"
 #include "net/socket.h"
 
 namespace finelb::cluster {
@@ -35,6 +37,11 @@ class IdealManager {
 
   void start();
   void stop();
+
+  /// Optional loss/dup/delay injection on the acquire/release socket, so
+  /// fault schedules cover the oracle path the same way they cover the
+  /// directory and poll sockets. Attach before start().
+  void attach_fault_injector(std::shared_ptr<fault::FaultInjector> injector);
 
   net::Address address() const;
 

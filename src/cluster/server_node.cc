@@ -52,10 +52,19 @@ void ServerNode::enable_publishing(const net::Address& directory,
                                    std::string service,
                                    std::uint32_t partition,
                                    SimDuration interval, SimDuration ttl) {
+  enable_publishing(std::vector<net::Address>{directory}, std::move(service),
+                    partition, interval, ttl);
+}
+
+void ServerNode::enable_publishing(std::vector<net::Address> directories,
+                                   std::string service,
+                                   std::uint32_t partition,
+                                   SimDuration interval, SimDuration ttl) {
   FINELB_CHECK(!running_.load(), "enable_publishing must precede start()");
+  FINELB_CHECK(!directories.empty(), "need at least one directory target");
   FINELB_CHECK(interval > 0 && ttl > 0, "publish interval and ttl required");
   publish_enabled_ = true;
-  directory_ = directory;
+  directories_ = std::move(directories);
   publish_service_ = std::move(service);
   publish_partition_ = partition;
   publish_interval_ = interval;
@@ -363,7 +372,9 @@ void ServerNode::publish_loop() {
   announcement.ttl_ms = static_cast<std::uint32_t>(to_ms(publish_ttl_));
   const auto payload = announcement.encode();
   while (running_.load(std::memory_order_relaxed)) {
-    publish_socket.send_to(payload, directory_);
+    for (const net::Address& directory : directories_) {
+      publish_socket.send_to(payload, directory);
+    }
     // Wake periodically so stop() is honoured promptly even with long
     // publish intervals.
     const SimTime until = net::monotonic_now() + publish_interval_;

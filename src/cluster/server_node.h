@@ -113,6 +113,15 @@ class ServerNode {
                          std::uint32_t partition, SimDuration interval,
                          SimDuration ttl);
 
+  /// Replicated-directory variant: announce to *every* replica each round.
+  /// Publishing to all replicas (rather than just the leader) is what lets
+  /// directory failover skip log replication — every replica's soft-state
+  /// table converges independently within one refresh interval
+  /// (DESIGN.md §12). Must be called before start().
+  void enable_publishing(std::vector<net::Address> directories,
+                         std::string service, std::uint32_t partition,
+                         SimDuration interval, SimDuration ttl);
+
   /// Begins periodic load announcements on a broadcast channel — the
   /// server-side half of the §2.2 broadcast policy (prototype extension;
   /// the paper only simulated it). Intervals are jittered over
@@ -188,9 +197,10 @@ class ServerNode {
   std::unique_ptr<Queue> queue_;
   std::vector<std::thread> threads_;
 
-  // Publishing (optional).
+  // Publishing (optional). One target for the classic single directory,
+  // several when the directory is replicated.
   bool publish_enabled_ = false;
-  net::Address directory_{};
+  std::vector<net::Address> directories_;
   std::string publish_service_;
   std::uint32_t publish_partition_ = 0;
   SimDuration publish_interval_ = 0;

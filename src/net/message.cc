@@ -561,4 +561,144 @@ TraceReply TraceReply::decode(std::span<const std::uint8_t> data) {
   return decode_via<TraceReply>(data, "malformed TraceReply");
 }
 
+std::size_t VoteRequest::encoded_size() const { return 1 + 8 + 4; }
+
+std::size_t VoteRequest::encode_into(std::span<std::uint8_t> out) const {
+  SpanWriter w(out);
+  w.u8(static_cast<std::uint8_t>(MsgType::kVoteRequest));
+  w.u64(term);
+  w.i32(candidate);
+  return w.ok() ? w.size() : 0;
+}
+
+bool VoteRequest::try_decode(std::span<const std::uint8_t> data,
+                             VoteRequest& out) {
+  TryReader r(data);
+  if (!expect_type(r, MsgType::kVoteRequest)) return false;
+  out.term = r.u64();
+  out.candidate = r.i32();
+  return r.ok();
+}
+
+std::vector<std::uint8_t> VoteRequest::encode() const {
+  return encode_via(*this);
+}
+
+VoteRequest VoteRequest::decode(std::span<const std::uint8_t> data) {
+  return decode_via<VoteRequest>(data, "malformed VoteRequest");
+}
+
+std::size_t VoteReply::encoded_size() const { return 1 + 8 + 4 + 1; }
+
+std::size_t VoteReply::encode_into(std::span<std::uint8_t> out) const {
+  SpanWriter w(out);
+  w.u8(static_cast<std::uint8_t>(MsgType::kVoteReply));
+  w.u64(term);
+  w.i32(voter);
+  w.u8(granted ? 1 : 0);
+  return w.ok() ? w.size() : 0;
+}
+
+bool VoteReply::try_decode(std::span<const std::uint8_t> data,
+                           VoteReply& out) {
+  TryReader r(data);
+  if (!expect_type(r, MsgType::kVoteReply)) return false;
+  out.term = r.u64();
+  out.voter = r.i32();
+  out.granted = r.u8() != 0;
+  return r.ok();
+}
+
+std::vector<std::uint8_t> VoteReply::encode() const {
+  return encode_via(*this);
+}
+
+VoteReply VoteReply::decode(std::span<const std::uint8_t> data) {
+  return decode_via<VoteReply>(data, "malformed VoteReply");
+}
+
+std::size_t Heartbeat::encoded_size() const { return 1 + 8 + 4; }
+
+std::size_t Heartbeat::encode_into(std::span<std::uint8_t> out) const {
+  SpanWriter w(out);
+  w.u8(static_cast<std::uint8_t>(MsgType::kHeartbeat));
+  w.u64(term);
+  w.i32(leader);
+  return w.ok() ? w.size() : 0;
+}
+
+bool Heartbeat::try_decode(std::span<const std::uint8_t> data,
+                           Heartbeat& out) {
+  TryReader r(data);
+  if (!expect_type(r, MsgType::kHeartbeat)) return false;
+  out.term = r.u64();
+  out.leader = r.i32();
+  return r.ok();
+}
+
+std::vector<std::uint8_t> Heartbeat::encode() const {
+  return encode_via(*this);
+}
+
+Heartbeat Heartbeat::decode(std::span<const std::uint8_t> data) {
+  return decode_via<Heartbeat>(data, "malformed Heartbeat");
+}
+
+std::size_t HeartbeatAck::encoded_size() const { return 1 + 8 + 4; }
+
+std::size_t HeartbeatAck::encode_into(std::span<std::uint8_t> out) const {
+  SpanWriter w(out);
+  w.u8(static_cast<std::uint8_t>(MsgType::kHeartbeatAck));
+  w.u64(term);
+  w.i32(follower);
+  return w.ok() ? w.size() : 0;
+}
+
+bool HeartbeatAck::try_decode(std::span<const std::uint8_t> data,
+                              HeartbeatAck& out) {
+  TryReader r(data);
+  if (!expect_type(r, MsgType::kHeartbeatAck)) return false;
+  out.term = r.u64();
+  out.follower = r.i32();
+  return r.ok();
+}
+
+std::vector<std::uint8_t> HeartbeatAck::encode() const {
+  return encode_via(*this);
+}
+
+HeartbeatAck HeartbeatAck::decode(std::span<const std::uint8_t> data) {
+  return decode_via<HeartbeatAck>(data, "malformed HeartbeatAck");
+}
+
+std::size_t Redirect::encoded_size() const { return 1 + 8 + 8 + 4 + 2; }
+
+std::size_t Redirect::encode_into(std::span<std::uint8_t> out) const {
+  SpanWriter w(out);
+  w.u8(static_cast<std::uint8_t>(MsgType::kRedirect));
+  w.u64(seq);
+  w.u64(term);
+  w.i32(leader);
+  w.u16(leader_port);
+  return w.ok() ? w.size() : 0;
+}
+
+bool Redirect::try_decode(std::span<const std::uint8_t> data, Redirect& out) {
+  TryReader r(data);
+  if (!expect_type(r, MsgType::kRedirect)) return false;
+  out.seq = r.u64();
+  out.term = r.u64();
+  out.leader = r.i32();
+  out.leader_port = r.u16();
+  return r.ok();
+}
+
+std::vector<std::uint8_t> Redirect::encode() const {
+  return encode_via(*this);
+}
+
+Redirect Redirect::decode(std::span<const std::uint8_t> data) {
+  return decode_via<Redirect>(data, "malformed Redirect");
+}
+
 }  // namespace finelb::net

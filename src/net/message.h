@@ -7,7 +7,12 @@
 //   * acquire / release        — the centralized load-index manager protocol
 //                                used only to emulate IDEAL (paper §4);
 //   * publish / snapshot       — the service availability subsystem's
-//                                soft-state publish/subscribe channel.
+//                                soft-state publish/subscribe channel;
+//   * vote / heartbeat / redirect — the replicated directory's control
+//                                plane: term-numbered leader election and
+//                                lease heartbeats between replicas, plus the
+//                                leader-redirect answer a follower returns
+//                                to a snapshot request (DESIGN.md §12).
 //
 // Every message starts with a one-byte type tag followed by little-endian
 // fields. Each type offers two codec surfaces with byte-identical wire
@@ -46,6 +51,11 @@ enum class MsgType : std::uint8_t {
   kStatsReply = 14,
   kTraceInquiry = 15,
   kTraceReply = 16,
+  kVoteRequest = 17,
+  kVoteReply = 18,
+  kHeartbeat = 19,
+  kHeartbeatAck = 20,
+  kRedirect = 21,
 };
 
 /// Peeks at the type tag; throws on empty payloads.
@@ -321,6 +331,81 @@ struct TraceReply {
 
   std::vector<std::uint8_t> encode() const;
   static TraceReply decode(std::span<const std::uint8_t> data);
+};
+
+/// A candidate's term-stamped vote solicitation (replicated directory
+/// control plane). One vote per term per replica, so two leaders can never
+/// be elected in the same term.
+struct VoteRequest {
+  std::uint64_t term = 0;
+  std::int32_t candidate = -1;  // soliciting replica's id
+
+  std::size_t encoded_size() const;
+  std::size_t encode_into(std::span<std::uint8_t> out) const;
+  static bool try_decode(std::span<const std::uint8_t> data, VoteRequest& out);
+
+  std::vector<std::uint8_t> encode() const;
+  static VoteRequest decode(std::span<const std::uint8_t> data);
+};
+
+struct VoteReply {
+  std::uint64_t term = 0;
+  std::int32_t voter = -1;
+  bool granted = false;
+
+  std::size_t encoded_size() const;
+  std::size_t encode_into(std::span<std::uint8_t> out) const;
+  static bool try_decode(std::span<const std::uint8_t> data, VoteReply& out);
+
+  std::vector<std::uint8_t> encode() const;
+  static VoteReply decode(std::span<const std::uint8_t> data);
+};
+
+/// The leader's periodic term-numbered heartbeat. There is no log to ship —
+/// directory entries are TTL'd soft state that servers re-publish to every
+/// replica — so the heartbeat only asserts leadership and renews the lease.
+struct Heartbeat {
+  std::uint64_t term = 0;
+  std::int32_t leader = -1;
+
+  std::size_t encoded_size() const;
+  std::size_t encode_into(std::span<std::uint8_t> out) const;
+  static bool try_decode(std::span<const std::uint8_t> data, Heartbeat& out);
+
+  std::vector<std::uint8_t> encode() const;
+  static Heartbeat decode(std::span<const std::uint8_t> data);
+};
+
+/// A follower's answer to a heartbeat. The leader counts recent acks to
+/// decide whether its quorum lease still holds; an ack carrying a larger
+/// term tells a deposed leader to step down.
+struct HeartbeatAck {
+  std::uint64_t term = 0;
+  std::int32_t follower = -1;
+
+  std::size_t encoded_size() const;
+  std::size_t encode_into(std::span<std::uint8_t> out) const;
+  static bool try_decode(std::span<const std::uint8_t> data, HeartbeatAck& out);
+
+  std::vector<std::uint8_t> encode() const;
+  static HeartbeatAck decode(std::span<const std::uint8_t> data);
+};
+
+/// A non-leader replica's answer to a SnapshotRequest: who (it believes) is
+/// leading. leader == -1 / leader_port == 0 means an election is in
+/// progress — the client should fail over to another replica and retry.
+struct Redirect {
+  std::uint64_t seq = 0;  // echoed SnapshotRequest sequence
+  std::uint64_t term = 0;
+  std::int32_t leader = -1;
+  std::uint16_t leader_port = 0;  // leader's data (publish/snapshot) port
+
+  std::size_t encoded_size() const;
+  std::size_t encode_into(std::span<std::uint8_t> out) const;
+  static bool try_decode(std::span<const std::uint8_t> data, Redirect& out);
+
+  std::vector<std::uint8_t> encode() const;
+  static Redirect decode(std::span<const std::uint8_t> data);
 };
 
 /// Most records one TraceReply may carry while staying under the UDP

@@ -75,6 +75,9 @@ int trace_point_rank(TracePoint point) {
     case TracePoint::kDispatch: return 5;
     case TracePoint::kServiceStart: return 6;
     case TracePoint::kResponse: return 7;
+    // Standalone instants (no request lifecycle to repair against) sort
+    // after the lifecycle points.
+    case TracePoint::kLeaderElected: return 8;
   }
   return 8;
 }

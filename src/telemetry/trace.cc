@@ -17,6 +17,7 @@ const char* trace_point_name(TracePoint point) {
     case TracePoint::kServiceStart: return "service_start";
     case TracePoint::kResponse: return "response";
     case TracePoint::kLoadReplied: return "load_replied";
+    case TracePoint::kLeaderElected: return "leader_elected";
   }
   return "unknown";
 }

@@ -30,6 +30,9 @@ enum class TracePoint : std::uint8_t {
   kResponse = 7,       // response sent / received (detail = qlen at arrival)
   kLoadReplied = 8,    // server answered a traced inquiry (detail = qlen
                        // reported — the t_reply side of the staleness pair)
+  kLeaderElected = 9,  // directory replica won an election (node = replica,
+                       // detail = term; request_id carries the term too so
+                       // the instant survives request-keyed merges)
 };
 
 const char* trace_point_name(TracePoint point);

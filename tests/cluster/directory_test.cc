@@ -155,6 +155,113 @@ TEST(DirectoryTest, FetchTimesOutAgainstDeadDirectory) {
   EXPECT_THROW(client.fetch("search", 300 * kMillisecond), InvariantError);
 }
 
+TEST(DirectoryTest, TryFetchReturnsNulloptInsteadOfThrowing) {
+  net::UdpSocket placeholder;  // bound but nobody serving
+  DirectoryClient client(placeholder.local_address());
+  EXPECT_FALSE(client.try_fetch("search", 300 * kMillisecond).has_value());
+  EXPECT_GT(client.snapshot_retries(), 0) << "retransmits still happen";
+}
+
+// Satellite property test (ISSUE 6): a server that re-publishes *exactly*
+// at ttl_ms must never flap out of live_entries. DirectoryTable takes
+// explicit clocks, so the boundary is probed deterministically: refresh at
+// t = k*ttl and read at the very same instant — the ttl/4 grace window has
+// to keep the entry visible at every probe.
+TEST(DirectoryTest, RepublishExactlyAtTtlNeverFlaps) {
+  DirectoryTable table;
+  const std::uint32_t ttl_ms = 400;
+  const SimDuration ttl = ttl_ms * kMillisecond;
+  net::Publish publish = make_publish("search", 1, ttl_ms);
+  table.apply(publish, /*now=*/0);
+  for (int k = 1; k <= 50; ++k) {
+    const SimTime boundary = static_cast<SimTime>(k) * ttl;
+    // Read at the nominal expiry instant, *before* the refresh lands —
+    // the worst ordering of the race.
+    EXPECT_EQ(table.live_entries("search", boundary).size(), 1u)
+        << "flapped at boundary " << k;
+    table.apply(publish, boundary);
+    // And at a few interior instants of the next interval.
+    EXPECT_EQ(table.live_entries("search", boundary + ttl / 2).size(), 1u);
+    EXPECT_EQ(table.live_entries("search", boundary + ttl - kMillisecond)
+                  .size(),
+              1u);
+  }
+  // The grace is bounded: without a refresh the entry still expires, just
+  // ttl/4 late.
+  const SimTime last = 50 * ttl;
+  EXPECT_EQ(table.live_entries("search", last + ttl + ttl / 4 + kMillisecond)
+                .size(),
+            0u)
+      << "grace must not keep dead entries alive past ttl + ttl/4";
+}
+
+// Same property through the real server under concurrency: one thread
+// re-publishes on the exact-ttl cadence while readers sample continuously.
+// Runs under the runtime label, so TSan checks the RCU protocol while ASan
+// watches the buffers.
+TEST(DirectoryTest, BoundaryRepublishStableUnderConcurrentReads) {
+  DirectoryServer directory;
+  directory.start();
+  constexpr std::uint32_t kTtlMs = 100;
+
+  net::UdpSocket publisher;
+  publisher.send_to(make_publish("search", 1, kTtlMs).encode(),
+                    directory.address());
+  net::sleep_for(20 * kMillisecond);
+  ASSERT_EQ(directory.live_entries("search").size(), 1u);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::int64_t> empty_reads{0};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (directory.live_entries("search").empty()) {
+        empty_reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  // Re-publish on the nominal ttl cadence for ~1.2 s. Scheduling jitter
+  // lands some refreshes slightly *after* the boundary — exactly the race
+  // the ttl/4 grace absorbs.
+  for (int i = 0; i < 12; ++i) {
+    net::sleep_for(kTtlMs * kMillisecond);
+    publisher.send_to(make_publish("search", 1, kTtlMs).encode(),
+                      directory.address());
+  }
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(empty_reads.load(), 0)
+      << "entry flapped out of live_entries despite on-time republish";
+  directory.stop();
+}
+
+// Satellite TSan regression (ISSUE 6): the retry/failover counters are read
+// from other threads while a fetch loop is live (benches do exactly this).
+// Before this PR snapshot_retries_ was a plain int64_t — TSan flags that
+// under the runtime label.
+TEST(DirectoryTest, CountersReadableWhileFetchRuns) {
+  net::UdpSocket placeholder;  // nobody answers: every fetch retries
+  DirectoryClient client(placeholder.local_address());
+  std::atomic<bool> stop{false};
+  std::thread fetcher([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      client.try_fetch("search", 150 * kMillisecond);
+    }
+  });
+  std::int64_t last = 0;
+  const SimTime deadline = net::monotonic_now() + 600 * kMillisecond;
+  while (net::monotonic_now() < deadline) {
+    const std::int64_t retries = client.snapshot_retries();
+    EXPECT_GE(retries, last) << "counter must be monotonic";
+    last = retries;
+    (void)client.failovers();
+    (void)client.redirects_followed();
+    net::sleep_for(5 * kMillisecond);
+  }
+  stop.store(true);
+  fetcher.join();
+  EXPECT_GT(last, 0) << "unanswered fetches must retransmit";
+}
+
 TEST(DirectoryTest, WaitForServersReturnsPartialAfterDeadline) {
   DirectoryServer directory;
   directory.start();

@@ -118,5 +118,65 @@ TEST(IdealManagerTest, RequiresAtLeastOneServer) {
   EXPECT_THROW(IdealManager manager(0), InvariantError);
 }
 
+// The oracle path takes loss/delay schedules like every other socket: with
+// a total ingress drop the manager never sees an acquire, so the tracked
+// queues stay untouched and the client times out instead of hanging.
+TEST(IdealManagerTest, FaultInjectorDropsAcquires) {
+  IdealManager manager(2);
+  fault::FaultSpec spec;
+  spec.ingress.drop_prob = 1.0;
+  manager.attach_fault_injector(std::make_shared<fault::FaultInjector>(spec));
+  manager.start();
+
+  net::UdpSocket socket;
+  socket.connect(manager.address());
+  net::Acquire msg;
+  msg.seq = 1;
+  ASSERT_TRUE(socket.send(msg.encode()));
+  net::sleep_for(150 * kMillisecond);
+  EXPECT_EQ(manager.acquires(), 0) << "dropped acquire must not be counted";
+  for (const std::int32_t q : manager.tracked_queues()) EXPECT_EQ(q, 0);
+  manager.stop();
+}
+
+// Deterministic seeded drop schedule: with p=0.5 ingress loss some acquires
+// land and some vanish; the survivors must still be answered correctly.
+TEST(IdealManagerTest, PartialDropScheduleStillServesSurvivors) {
+  IdealManager manager(4);
+  fault::FaultSpec spec;
+  spec.ingress.drop_prob = 0.5;
+  spec.seed = 13;
+  manager.attach_fault_injector(std::make_shared<fault::FaultInjector>(spec));
+  manager.start();
+
+  net::UdpSocket socket;
+  socket.connect(manager.address());
+  net::Poller poller;
+  poller.add(socket.fd(), 0);
+  std::array<std::uint8_t, 64> buf{};
+  int answered = 0;
+  for (std::uint64_t seq = 1; seq <= 20; ++seq) {
+    net::Acquire msg;
+    msg.seq = seq;
+    ASSERT_TRUE(socket.send(msg.encode()));
+    const SimTime deadline = net::monotonic_now() + 100 * kMillisecond;
+    while (net::monotonic_now() < deadline) {
+      poller.wait(20 * kMillisecond);
+      if (auto size = socket.recv(buf)) {
+        const auto reply =
+            net::AcquireReply::decode(std::span(buf.data(), *size));
+        if (reply.seq == seq) {
+          ++answered;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_GT(answered, 0) << "half-loss schedule should pass some acquires";
+  EXPECT_LT(answered, 20) << "half-loss schedule should drop some acquires";
+  EXPECT_EQ(manager.acquires(), answered);
+  manager.stop();
+}
+
 }  // namespace
 }  // namespace finelb::cluster

@@ -207,6 +207,60 @@ TEST(MessageTest, EmptyDatagramThrows) {
   EXPECT_THROW(peek_type({}), InvariantError);
 }
 
+TEST(MessageTest, ElectionProtocolRoundTrips) {
+  VoteRequest request;
+  request.term = 0xabcdef0123456789ull;
+  request.candidate = 4;
+  const auto drequest = VoteRequest::decode(request.encode());
+  EXPECT_EQ(drequest.term, request.term);
+  EXPECT_EQ(drequest.candidate, 4);
+
+  VoteReply reply;
+  reply.term = 17;
+  reply.voter = 2;
+  reply.granted = true;
+  const auto dreply = VoteReply::decode(reply.encode());
+  EXPECT_EQ(dreply.term, 17u);
+  EXPECT_EQ(dreply.voter, 2);
+  EXPECT_TRUE(dreply.granted);
+  reply.granted = false;
+  EXPECT_FALSE(VoteReply::decode(reply.encode()).granted);
+
+  Heartbeat heartbeat;
+  heartbeat.term = 3;
+  heartbeat.leader = 0;
+  const auto dheartbeat = Heartbeat::decode(heartbeat.encode());
+  EXPECT_EQ(dheartbeat.term, 3u);
+  EXPECT_EQ(dheartbeat.leader, 0);
+
+  HeartbeatAck ack;
+  ack.term = 3;
+  ack.follower = 1;
+  const auto dack = HeartbeatAck::decode(ack.encode());
+  EXPECT_EQ(dack.term, 3u);
+  EXPECT_EQ(dack.follower, 1);
+}
+
+TEST(MessageTest, RedirectRoundTrip) {
+  Redirect redirect;
+  redirect.seq = 0x1122334455667788ull;
+  redirect.term = 9;
+  redirect.leader = 2;
+  redirect.leader_port = 40123;
+  const auto decoded = Redirect::decode(redirect.encode());
+  EXPECT_EQ(decoded.seq, redirect.seq);
+  EXPECT_EQ(decoded.term, 9u);
+  EXPECT_EQ(decoded.leader, 2);
+  EXPECT_EQ(decoded.leader_port, 40123);
+
+  // The "election in progress" form: no known leader.
+  Redirect unknown;
+  unknown.seq = 1;
+  const auto dunknown = Redirect::decode(unknown.encode());
+  EXPECT_EQ(dunknown.leader, -1);
+  EXPECT_EQ(dunknown.leader_port, 0);
+}
+
 // Truncation property sweep: every message type must reject every proper
 // prefix of its encoding rather than read garbage.
 class MessageTruncation : public ::testing::TestWithParam<int> {};
@@ -259,6 +313,44 @@ TEST_P(MessageTruncation, AllPrefixesRejected) {
       bytes = m.encode();
       break;
     }
+    case 7: {
+      VoteRequest m;
+      m.term = 7;
+      m.candidate = 1;
+      bytes = m.encode();
+      break;
+    }
+    case 8: {
+      VoteReply m;
+      m.term = 7;
+      m.voter = 1;
+      m.granted = true;
+      bytes = m.encode();
+      break;
+    }
+    case 9: {
+      Heartbeat m;
+      m.term = 7;
+      m.leader = 1;
+      bytes = m.encode();
+      break;
+    }
+    case 10: {
+      HeartbeatAck m;
+      m.term = 7;
+      m.follower = 1;
+      bytes = m.encode();
+      break;
+    }
+    case 11: {
+      Redirect m;
+      m.seq = 7;
+      m.term = 7;
+      m.leader = 1;
+      m.leader_port = 9000;
+      bytes = m.encode();
+      break;
+    }
   }
   const std::span<const std::uint8_t> all(bytes);
   for (std::size_t len = 1; len < bytes.size(); ++len) {
@@ -285,12 +377,27 @@ TEST_P(MessageTruncation, AllPrefixesRejected) {
       case 6:
         EXPECT_THROW(TraceReply::decode(prefix), InvariantError);
         break;
+      case 7:
+        EXPECT_THROW(VoteRequest::decode(prefix), InvariantError);
+        break;
+      case 8:
+        EXPECT_THROW(VoteReply::decode(prefix), InvariantError);
+        break;
+      case 9:
+        EXPECT_THROW(Heartbeat::decode(prefix), InvariantError);
+        break;
+      case 10:
+        EXPECT_THROW(HeartbeatAck::decode(prefix), InvariantError);
+        break;
+      case 11:
+        EXPECT_THROW(Redirect::decode(prefix), InvariantError);
+        break;
     }
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllMessageTypes, MessageTruncation,
-                         ::testing::Range(0, 7));
+                         ::testing::Range(0, 12));
 
 // ---------------------------------------------------------------------------
 // Hot-path codec surfaces: for every one of the 12 message types,
@@ -420,6 +527,59 @@ TEST(MessageHotPath, FixedTypesRoundTrip) {
   Subscribe subscribe_out;
   ASSERT_TRUE(Subscribe::try_decode(subscribe.encode(), subscribe_out));
   EXPECT_EQ(subscribe_out.ttl_ms, 0xdeadbeefu);
+}
+
+TEST(MessageHotPath, ElectionTypesRoundTrip) {
+  VoteRequest vote_request;
+  vote_request.term = 0x0102030405060708ull;
+  vote_request.candidate = 3;
+  CheckWireSurfaces(vote_request);
+  VoteRequest vote_request_out;
+  ASSERT_TRUE(VoteRequest::try_decode(vote_request.encode(), vote_request_out));
+  EXPECT_EQ(vote_request_out.term, vote_request.term);
+  EXPECT_EQ(vote_request_out.candidate, 3);
+
+  VoteReply vote_reply;
+  vote_reply.term = 42;
+  vote_reply.voter = 4;
+  vote_reply.granted = true;
+  CheckWireSurfaces(vote_reply);
+  VoteReply vote_reply_out;
+  ASSERT_TRUE(VoteReply::try_decode(vote_reply.encode(), vote_reply_out));
+  EXPECT_EQ(vote_reply_out.term, 42u);
+  EXPECT_EQ(vote_reply_out.voter, 4);
+  EXPECT_TRUE(vote_reply_out.granted);
+
+  Heartbeat heartbeat;
+  heartbeat.term = 43;
+  heartbeat.leader = 2;
+  CheckWireSurfaces(heartbeat);
+  Heartbeat heartbeat_out;
+  ASSERT_TRUE(Heartbeat::try_decode(heartbeat.encode(), heartbeat_out));
+  EXPECT_EQ(heartbeat_out.term, 43u);
+  EXPECT_EQ(heartbeat_out.leader, 2);
+
+  HeartbeatAck ack;
+  ack.term = 43;
+  ack.follower = 0;
+  CheckWireSurfaces(ack);
+  HeartbeatAck ack_out;
+  ASSERT_TRUE(HeartbeatAck::try_decode(ack.encode(), ack_out));
+  EXPECT_EQ(ack_out.term, 43u);
+  EXPECT_EQ(ack_out.follower, 0);
+
+  Redirect redirect;
+  redirect.seq = 77;
+  redirect.term = 44;
+  redirect.leader = 1;
+  redirect.leader_port = 54321;
+  CheckWireSurfaces(redirect);
+  Redirect redirect_out;
+  ASSERT_TRUE(Redirect::try_decode(redirect.encode(), redirect_out));
+  EXPECT_EQ(redirect_out.seq, 77u);
+  EXPECT_EQ(redirect_out.term, 44u);
+  EXPECT_EQ(redirect_out.leader, 1);
+  EXPECT_EQ(redirect_out.leader_port, 54321);
 }
 
 TEST(MessageHotPath, StringTypesRoundTrip) {
