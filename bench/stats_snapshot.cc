@@ -11,8 +11,21 @@
 // distribution |Q(t_reply) - Q(t_dispatch)| against the Equation 1 bound —
 // the same observatory fig2_staleness_proto sweeps across load levels.
 //
+// The health plane rides the same documents: every scrape is evaluated by
+// a telemetry::AlertEngine (queue overload/growth, blacklist spikes,
+// election churn, decision mistake rate), and the firing set prints in both
+// JSON and Prometheus form. `--format=prom` switches the cluster documents
+// themselves to Prometheus text exposition (from the in-process registries;
+// the JSON path still exercises the wire pull).
+//
+// The decision observatory is live too: `--decision_period=N` audits every
+// Nth dispatch decision into the client's ring, which is pulled over the
+// chunked DECISION_INQUIRY channel mid-run and joined with the merged
+// traces for the measured mistake-rate/regret summary.
+//
 //   stats_snapshot [--servers=16] [--requests=4000] [--load=0.7]
-//                  [--poll_size=3] [--trace_period=64] [--seed=1]
+//                  [--poll_size=3] [--trace_period=64] [--decision_period=16]
+//                  [--format=json|prom] [--seed=1]
 //                  [--json=PATH] [--trace_json=PATH]
 #include <cstdio>
 #include <memory>
@@ -27,7 +40,9 @@
 #include "common/log.h"
 #include "net/clock.h"
 #include "stats/queueing.h"
+#include "telemetry/alerts.h"
 #include "telemetry/clock_sync.h"
+#include "telemetry/decision.h"
 #include "telemetry/export.h"
 #include "telemetry/merge.h"
 #include "telemetry/scrape.h"
@@ -44,6 +59,10 @@ int main(int argc, char** argv) {
   const int poll_size = static_cast<int>(flags.get_int("poll_size", 3));
   const auto trace_period =
       static_cast<std::uint32_t>(flags.get_int("trace_period", 64));
+  const auto decision_period =
+      static_cast<std::uint32_t>(flags.get_int("decision_period", 16));
+  const std::string format = flags.get_string("format", "json");
+  const bool prom = format == "prom";
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const std::string json_path = flags.get_string("json", "");
   const std::string trace_json_path = flags.get_string("trace_json", "");
@@ -72,6 +91,7 @@ int main(int argc, char** argv) {
   copts.total_requests = requests;
   copts.warmup_requests = requests / 10;
   copts.trace_sample_period = trace_period;
+  copts.decision_sample_period = decision_period;
   copts.seed = seed + 31;
   const double scale = workload.arrival_scale_for_load(load, servers);
   cluster::ClientNode client(std::move(copts),
@@ -84,19 +104,42 @@ int main(int argc, char** argv) {
   // over the wire mid-run. A node that missed the (UDP) inquiry is retried
   // once; persistent silence is reported rather than fatal.
   net::sleep_for(300 * kMillisecond);
-  std::vector<std::string> docs;
-  int unreachable = 0;
-  for (const auto& node : nodes) {
-    auto doc = telemetry::scrape_stats(node->load_address());
-    if (!doc) doc = telemetry::scrape_stats(node->load_address());
-    if (doc) {
-      docs.push_back(std::move(*doc));
-    } else {
-      ++unreachable;
-    }
-  }
+  std::vector<net::Address> load_addrs;
+  load_addrs.reserve(nodes.size());
+  for (const auto& node : nodes) load_addrs.push_back(node->load_address());
+  // Hardened cluster scrape: per-node timeout plus one retry, partial
+  // results returned — a silent node costs its document, not the sweep.
+  const telemetry::ClusterStatsScrape scraped =
+      telemetry::scrape_cluster_stats(load_addrs);
+  std::vector<std::string> docs = scraped.answered_documents();
   const std::string live = telemetry::cluster_to_json(docs);
   const std::size_t live_answered = docs.size();
+  const int unreachable = scraped.failed;
+
+  // Structured snapshots from the in-process registries back the Prometheus
+  // exposition and the alert rules (in a real deployment each node's own
+  // exposition endpoint would serve these; here one process owns them all).
+  const auto collect_snapshots = [&nodes, &client] {
+    std::vector<telemetry::MetricsSnapshot> snaps;
+    snaps.reserve(nodes.size() + 1);
+    for (const auto& node : nodes) {
+      snaps.push_back(
+          node->metrics().snapshot("server." + std::to_string(node->id())));
+    }
+    snaps.push_back(client.metrics().snapshot("client.0"));
+    return snaps;
+  };
+  telemetry::AlertEngine alert_engine;
+  // First evaluation: instantaneous rules can fire; delta baselines seed.
+  std::vector<telemetry::Alert> live_alerts =
+      alert_engine.evaluate_cluster(collect_snapshots());
+  const std::string live_prom =
+      prom ? telemetry::cluster_to_prometheus(collect_snapshots()) : "";
+
+  // Pull the client's decision ring over the chunked DECISION_INQUIRY
+  // channel while the run is live (the client's service socket answers).
+  const auto decision_scrape =
+      telemetry::scrape_decisions(client.decision_scrape_addr());
 
   driver.join();
 
@@ -132,11 +175,30 @@ int main(int argc, char** argv) {
 
   for (auto& node : nodes) node->stop();
 
-  // --- final snapshots -------------------------------------------------------
+  // --- decision observatory --------------------------------------------------
+  // Join the audited decisions (post-run ring snapshot; the wire pull above
+  // demonstrated the live channel) with the merged timeline: each decision's
+  // realized queue depth comes from its kResponse trace record.
+  const std::vector<DecisionRecord> decisions = client.decisions().snapshot();
+  const telemetry::DecisionQualitySummary quality =
+      telemetry::reconstruct_decision_quality(decisions, merged);
+
+  // --- final snapshots + health plane ---------------------------------------
   docs.clear();
   for (const auto& node : nodes) docs.push_back(node->stats_json());
   docs.push_back(client.stats_json());
   const std::string final_doc = telemetry::cluster_to_json(docs);
+  // Second evaluation of the same engine: delta rules (blacklist spikes,
+  // election churn) now have their live-scrape baseline. The client's
+  // document carries the reconstructed decision metrics, so the
+  // mistake-rate rule sees the measured value.
+  std::vector<telemetry::MetricsSnapshot> final_snaps = collect_snapshots();
+  telemetry::append_decision_metrics(final_snaps.back(), quality);
+  const std::vector<telemetry::Alert> final_alerts =
+      alert_engine.evaluate_cluster(final_snaps);
+  std::vector<telemetry::Alert> all_alerts = live_alerts;
+  all_alerts.insert(all_alerts.end(), final_alerts.begin(),
+                    final_alerts.end());
 
   bench::print_header(
       "Cluster stats snapshot (STATS_INQUIRY pull channel)",
@@ -146,7 +208,7 @@ int main(int argc, char** argv) {
           " accesses; scraped live over UDP, then again after the run");
   std::printf("live scrape: %zu/%d servers answered (%d unreachable)\n",
               live_answered, servers, unreachable);
-  std::printf("%s\n", live.c_str());
+  std::printf("%s\n", prom ? live_prom.c_str() : live.c_str());
 
   if (!json_path.empty()) {
     if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
@@ -188,5 +250,27 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+
+  // --- decision observatory + health plane report ----------------------------
+  if (decision_scrape) {
+    std::printf(
+        "\ndecision pull (DECISION_INQUIRY over UDP, mid-run): "
+        "%zu records from node %d%s\n",
+        decision_scrape->records.size(), decision_scrape->node,
+        decision_scrape->complete ? "" : " (partial)");
+  } else {
+    std::printf("\ndecision pull (DECISION_INQUIRY over UDP): no answer\n");
+  }
+  std::printf("decision quality over %zu audited decisions: %s\n",
+              decisions.size(),
+              telemetry::decision_quality_to_json(quality).c_str());
+  if (prom) {
+    std::printf("\nfinal exposition:\n%s",
+                telemetry::cluster_to_prometheus(final_snaps).c_str());
+  }
+  std::printf("\nalerts (%zu live + %zu final): %s\n", live_alerts.size(),
+              final_alerts.size(),
+              telemetry::alerts_to_json(all_alerts).c_str());
+  std::printf("%s", telemetry::alerts_to_prometheus(all_alerts).c_str());
   return 0;
 }

@@ -5,7 +5,12 @@
 #                       steady-state allocation gate (micro_net --smoke
 #                       fails if the request/poll hot loop allocates), the
 #                       telemetry-overhead gate (alloc-free with tracing
-#                       live, poll RTT p50 within 5% of bare), and the
+#                       live, poll RTT p50 within 5% of bare), the
+#                       decision-audit gate (micro_decision --smoke:
+#                       alloc-free with every dispatch audited, poll RTT
+#                       p50 within 2% of bare), the decision-quality smoke
+#                       (exact sim + trace-reconstructed prototype
+#                       mistake/regret numbers), and the
 #                       staleness-observatory smoke; the resulting
 #                       BENCH_*.json snapshots are folded into
 #                       BENCH_trajectory.json (keyed by git SHA) and gated
@@ -16,9 +21,10 @@
 #   4. sanitizers     — ASan+UBSan and TSan builds running the threaded
 #                       runtime, trace, and HA tests
 #                       (ctest -L "runtime|trace|ha"), which cover the
-#                       lock-free registry/trace-ring record paths, the
-#                       scrape-during-write protocol, the chunked
-#                       TRACE_INQUIRY wire path, and the replicated
+#                       lock-free registry/trace-ring/decision-ring record
+#                       paths, the scrape-during-write protocol, the
+#                       chunked TRACE_INQUIRY and DECISION_INQUIRY wire
+#                       paths, and the replicated
 #                       directory (election state machine, replica threads,
 #                       client failover/redirect).
 #

@@ -69,7 +69,10 @@ ClientNode::ClientNode(ClientOptions options,
       source_(std::move(source)),
       rng_(options_.seed),
       trace_(options_.trace_capacity == 0 ? 1 : options_.trace_capacity,
-             options_.trace_sample_period) {
+             options_.trace_sample_period),
+      decision_ring_(
+          options_.decision_capacity == 0 ? 1 : options_.decision_capacity,
+          options_.decision_sample_period) {
   FINELB_CHECK(!options_.servers.empty(), "client needs at least one server");
   FINELB_CHECK(options_.total_requests > 0, "nothing to do");
   FINELB_CHECK(source_ != nullptr, "client needs a request source");
@@ -435,6 +438,17 @@ void ClientNode::finish_poll_round(std::size_t index) {
     m_poll_time_ms_.record(ms);
   }
   std::size_t target = 0;
+  // Audit context for the core/selection.h choke point: the decision lands
+  // in the ring keyed by the same request id as the trace records, so the
+  // post-run join can look up what actually happened to it. RNG consumption
+  // is identical to the unrecorded overloads.
+  DecisionContext ctx;
+  ctx.request_id = request_key(round.access.index);
+  ctx.now_ns = now;
+  ctx.sink =
+      decision_ring_.sampled(static_cast<std::uint64_t>(round.access.index))
+          ? decision_ring_.sink()
+          : nullptr;
   if (round.replies.empty()) {
     // Every inquiry (or every reply) was lost: dispatch blind. Prefer the
     // current candidate set over the polled targets — if the targets were
@@ -442,12 +456,17 @@ void ClientNode::finish_poll_round(std::size_t index) {
     // would just hit the same dead servers again.
     ++stats_.fallback_dispatches;
     m_fallback_dispatches_.inc();
+    const std::int64_t hits_before = blacklist_.hits();
     const auto candidates = candidate_indices(now);
-    target = static_cast<std::size_t>(pick_random(candidates, rng_));
+    ctx.blacklist_filtered = static_cast<std::uint8_t>(
+        std::clamp<std::int64_t>(blacklist_.hits() - hits_before, 0, 255));
+    target = static_cast<std::size_t>(
+        pick_random_fallback(candidates, rng_, ctx));
   } else {
     // ServerLoad.server holds endpoint *indices* here (see
     // drain_poll_socket), so the selection result is directly usable.
-    target = static_cast<std::size_t>(pick_least_loaded(round.replies, rng_));
+    target = static_cast<std::size_t>(
+        pick_least_loaded(round.replies, rng_, ctx));
     stats_.poll_replies_used +=
         static_cast<std::int64_t>(round.replies.size());
   }
@@ -511,6 +530,14 @@ void ClientNode::drain_service_socket() {
       net::ServiceResponse response;
       if (!net::ServiceResponse::try_decode(recv_batch_.payload(d),
                                             response)) {
+        // The service socket doubles as the decision-scrape endpoint:
+        // clients own no load socket, so DECISION_INQUIRY pulls land here.
+        net::DecisionInquiry inquiry;
+        if (net::DecisionInquiry::try_decode(recv_batch_.payload(d),
+                                             inquiry)) {
+          answer_decision_inquiry(inquiry.seq, inquiry.offset,
+                                  recv_batch_.address(d));
+        }
         continue;
       }
       std::size_t idx = outstanding_.size();
@@ -547,6 +574,48 @@ void ClientNode::drain_service_socket() {
       outstanding_[idx] = outstanding_.back();
       outstanding_.pop_back();
     }
+  }
+}
+
+void ClientNode::answer_decision_inquiry(std::uint64_t seq,
+                                         std::uint32_t offset,
+                                         const net::Address& to) {
+  // Cold path (allocates), mirroring the server's trace inquiry answer: the
+  // ring is snapshotted per inquiry and returned one chunk at a time, so a
+  // scraper walking offsets sees a consistent total only while the ring is
+  // quiescent — fine for the post-run pull this serves.
+  const std::vector<DecisionRecord> records = decision_ring_.snapshot();
+  net::DecisionReply reply;
+  reply.seq = seq;
+  reply.node = options_.id;
+  reply.server_ns = net::monotonic_now();
+  reply.total = static_cast<std::uint32_t>(records.size());
+  reply.offset = std::min(offset, reply.total);
+  const std::size_t end = std::min<std::size_t>(
+      records.size(), reply.offset + net::kDecisionReplyMaxRecords);
+  reply.records.reserve(end - reply.offset);
+  for (std::size_t i = reply.offset; i < end; ++i) {
+    const DecisionRecord& rec = records[i];
+    net::DecisionRecordWire wire;
+    wire.request_id = rec.request_id;
+    wire.at_ns = rec.at_ns;
+    wire.chosen = rec.chosen;
+    wire.polled_count = rec.polled_count;
+    wire.flags = rec.blind_fallback ? 1 : 0;
+    wire.blacklist_filtered = rec.blacklist_filtered;
+    for (std::size_t p = 0;
+         p < rec.polled_count && p < net::kDecisionWirePollMax; ++p) {
+      wire.polled[p].server = rec.polled[p].server;
+      wire.polled[p].queue_length = rec.polled[p].queue_length;
+      wire.polled[p].age_ns = rec.polled[p].age_ns;
+    }
+    reply.records.push_back(wire);
+  }
+  std::vector<std::uint8_t> buf(reply.encoded_size());
+  const std::size_t n = reply.encode_into(buf);
+  if (n == 0 || !service_socket_.send_to({buf.data(), n}, to)) {
+    ++stats_.send_failures;
+    m_send_failures_.inc();
   }
 }
 

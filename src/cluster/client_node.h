@@ -44,6 +44,7 @@
 #include "net/socket.h"
 #include "stats/accumulator.h"
 #include "stats/histogram.h"
+#include "telemetry/decision.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 #include "workload/workload.h"
@@ -121,6 +122,16 @@ struct ClientOptions {
   std::uint32_t trace_sample_period = 0;
   std::size_t trace_capacity = 256;
 
+  /// Decision auditing: every Nth access's dispatch decision (the polled
+  /// server set with reported loads and report ages, the chosen server, the
+  /// blind-fallback/blacklist flags) lands in the client's decision ring;
+  /// 0 = off. Records are keyed by the same request id as traces, so the
+  /// post-run join (telemetry::reconstruct_decision_quality) can look up
+  /// what actually happened to each audited decision. Use 1 to audit every
+  /// decision, or trace_sample_period so audits cover the traced subset.
+  std::uint32_t decision_sample_period = 0;
+  std::size_t decision_capacity = 256;
+
   std::uint64_t seed = 1;
 };
 
@@ -188,6 +199,15 @@ class ClientNode {
   /// thread while run() is live (every cell and probe reads atomics).
   const telemetry::Registry& metrics() const { return metrics_; }
   const telemetry::TraceRing& trace() const { return trace_; }
+  const telemetry::DecisionRing& decisions() const { return decision_ring_; }
+
+  /// Where the service socket listens. DECISION_INQUIRY datagrams sent here
+  /// are answered (chunked) while run() is live — decisions happen at
+  /// clients, so the client's service socket doubles as its scrape
+  /// endpoint, the way a server's load socket serves STATS/TRACE pulls.
+  net::Address decision_scrape_addr() const {
+    return service_socket_.local_address();
+  }
 
   /// The node's snapshot (+ sampled trace) as JSON.
   std::string stats_json() const;
@@ -240,6 +260,8 @@ class ClientNode {
                 bool manager_acquired = false);
   void release_manager_slot(std::size_t server_index);
   void drain_service_socket();
+  void answer_decision_inquiry(std::uint64_t seq, std::uint32_t offset,
+                               const net::Address& to);
   void drain_manager_socket();
   void drain_broadcast_socket();
   void drain_poll_socket(std::size_t server_index);
@@ -308,6 +330,7 @@ class ClientNode {
   // constructor; recording is lock- and allocation-free).
   telemetry::Registry metrics_;
   telemetry::TraceRing trace_;
+  telemetry::DecisionRing decision_ring_;
   telemetry::Counter m_issued_;
   telemetry::Counter m_completed_;
   telemetry::Counter m_polls_sent_;

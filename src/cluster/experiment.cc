@@ -198,6 +198,7 @@ PrototypeResult run_prototype(const PrototypeConfig& config,
     opts.timeline_bucket = config.timeline_bucket;
     opts.max_access_retries = config.max_access_retries;
     opts.trace_sample_period = config.trace_sample_period;
+    opts.decision_sample_period = config.decision_sample_period;
     if (!directory_addrs.empty() && config.client_mapping_refresh > 0) {
       opts.directory = directory_addrs.front();
       opts.directory_replicas = directory_addrs;
@@ -394,6 +395,23 @@ PrototypeResult run_prototype(const PrototypeConfig& config,
     }
     result.staleness =
         telemetry::compute_staleness(telemetry::merge_traces(result.node_traces));
+  }
+  // --- decision observatory --------------------------------------------------
+  // Client decision rings live in this process (like client trace rings),
+  // so the post-run pull is a snapshot; the wire channel (DECISION_INQUIRY
+  // on the client's service socket) exists for scraping a *live* client and
+  // is exercised by telemetry::scrape_decisions tests. The regret join
+  // reads each decision's realized queue depth from the merged timeline's
+  // kResponse records, hence the collect_traces dependency.
+  if (config.collect_decisions && config.decision_sample_period > 0) {
+    std::vector<DecisionRecord> decisions;
+    for (const auto& client : clients) {
+      std::vector<DecisionRecord> ring = client->decisions().snapshot();
+      decisions.insert(decisions.end(), ring.begin(), ring.end());
+    }
+    result.decision_records = static_cast<std::int64_t>(decisions.size());
+    result.decision_quality = telemetry::reconstruct_decision_quality(
+        decisions, telemetry::merge_traces(result.node_traces));
   }
 
   result.offered_load = offered_load;

@@ -24,6 +24,7 @@
 #include "cluster/server_node.h"
 #include "core/policy.h"
 #include "fault/fault.h"
+#include "telemetry/decision.h"
 #include "telemetry/merge.h"
 #include "workload/workload.h"
 
@@ -118,6 +119,16 @@ struct PrototypeConfig {
   /// PrototypeResult::node_traces and ::staleness. Requires
   /// trace_sample_period > 0 to produce anything.
   bool collect_traces = false;
+  /// Decision observatory: every Nth access's dispatch decision lands in
+  /// its client's decision ring (see ClientOptions::decision_sample_period);
+  /// 0 = off.
+  std::uint32_t decision_sample_period = 0;
+  /// After the run, snapshot every client's decision ring (in-process, like
+  /// client trace rings) and join the records with the merged timeline into
+  /// PrototypeResult::decision_quality. Needs decision_sample_period > 0;
+  /// the regret join additionally needs collect_traces (a decision's
+  /// realized queue depth comes from its kResponse trace record).
+  bool collect_decisions = false;
 
   std::uint64_t seed = 1;
 };
@@ -160,6 +171,13 @@ struct PrototypeResult {
   telemetry::StalenessSummary staleness;
   /// Servers whose trace ring could not be scraped (UDP inquiry timed out).
   int trace_scrape_failures = 0;
+  /// Audited decision records collected from the client rings.
+  std::int64_t decision_records = 0;
+  /// Trace-reconstructed decision quality (measured mistake rate / regret,
+  /// the prototype analogue of the simulator's exact accounting — see
+  /// telemetry::reconstruct_decision_quality). Zero-valued when
+  /// collect_decisions is off or nothing joined.
+  telemetry::DecisionQualitySummary decision_quality;
 };
 
 /// Runs one full prototype experiment; blocking.

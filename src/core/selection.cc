@@ -32,6 +32,44 @@ ServerId pick_least_loaded(std::span<const ServerLoad> loads, Rng& rng) {
   return chosen;
 }
 
+ServerId pick_least_loaded(std::span<const ServerLoad> loads, Rng& rng,
+                           const DecisionContext& ctx) {
+  const ServerId chosen = pick_least_loaded(loads, rng);
+  if (ctx.sink != nullptr) {
+    DecisionRecord rec;
+    rec.request_id = ctx.request_id;
+    rec.at_ns = ctx.now_ns;
+    rec.chosen = chosen;
+    rec.blind_fallback = false;
+    rec.blacklist_filtered = ctx.blacklist_filtered;
+    const std::size_t n = std::min(loads.size(), kDecisionPollMax);
+    rec.polled_count = static_cast<std::uint8_t>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      rec.polled[i].server = loads[i].server;
+      rec.polled[i].queue_length = loads[i].queue_length;
+      rec.polled[i].age_ns = ctx.now_ns - loads[i].measured_at;
+    }
+    ctx.sink->record_decision(rec);
+  }
+  return chosen;
+}
+
+ServerId pick_random_fallback(std::span<const ServerId> candidates, Rng& rng,
+                              const DecisionContext& ctx) {
+  const ServerId chosen = pick_random(candidates, rng);
+  if (ctx.sink != nullptr) {
+    DecisionRecord rec;
+    rec.request_id = ctx.request_id;
+    rec.at_ns = ctx.now_ns;
+    rec.chosen = chosen;
+    rec.blind_fallback = true;
+    rec.blacklist_filtered = ctx.blacklist_filtered;
+    rec.polled_count = 0;
+    ctx.sink->record_decision(rec);
+  }
+  return chosen;
+}
+
 std::vector<ServerId> choose_poll_set(std::span<const ServerId> candidates,
                                       std::size_t d, Rng& rng) {
   std::vector<ServerId> out;

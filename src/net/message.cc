@@ -561,6 +561,132 @@ TraceReply TraceReply::decode(std::span<const std::uint8_t> data) {
   return decode_via<TraceReply>(data, "malformed TraceReply");
 }
 
+std::size_t DecisionInquiry::encoded_size() const { return 1 + 8 + 4; }
+
+std::size_t DecisionInquiry::encode_into(std::span<std::uint8_t> out) const {
+  SpanWriter w(out);
+  w.u8(static_cast<std::uint8_t>(MsgType::kDecisionInquiry));
+  w.u64(seq);
+  w.u32(offset);
+  return w.ok() ? w.size() : 0;
+}
+
+bool DecisionInquiry::try_decode(std::span<const std::uint8_t> data,
+                                 DecisionInquiry& out) {
+  TryReader r(data);
+  if (!expect_type(r, MsgType::kDecisionInquiry)) return false;
+  out.seq = r.u64();
+  out.offset = r.u32();
+  return r.ok();
+}
+
+std::vector<std::uint8_t> DecisionInquiry::encode() const {
+  return encode_via(*this);
+}
+
+DecisionInquiry DecisionInquiry::decode(std::span<const std::uint8_t> data) {
+  return decode_via<DecisionInquiry>(data, "malformed DecisionInquiry");
+}
+
+namespace {
+
+// Fixed header of one decision record; each polled entry adds 4 + 4 + 8.
+constexpr std::size_t kDecisionRecordHeaderBytes = 8 + 8 + 4 + 1 + 1 + 1;
+constexpr std::size_t kDecisionPolledBytes = 4 + 4 + 8;
+
+std::size_t decision_record_bytes(const DecisionRecordWire& rec) {
+  return kDecisionRecordHeaderBytes +
+         static_cast<std::size_t>(rec.polled_count) * kDecisionPolledBytes;
+}
+
+void put_decision_record(SpanWriter& w, const DecisionRecordWire& rec) {
+  w.u64(rec.request_id);
+  w.i64(rec.at_ns);
+  w.i32(rec.chosen);
+  w.u8(rec.polled_count);
+  w.u8(rec.flags);
+  w.u8(rec.blacklist_filtered);
+  for (std::uint8_t i = 0; i < rec.polled_count; ++i) {
+    w.i32(rec.polled[i].server);
+    w.i32(rec.polled[i].queue_length);
+    w.i64(rec.polled[i].age_ns);
+  }
+}
+
+bool read_decision_record(TryReader& r, DecisionRecordWire& rec) {
+  rec.request_id = r.u64();
+  rec.at_ns = r.i64();
+  rec.chosen = r.i32();
+  rec.polled_count = r.u8();
+  rec.flags = r.u8();
+  rec.blacklist_filtered = r.u8();
+  if (!r.ok() || rec.polled_count > kDecisionWirePollMax) return false;
+  for (std::uint8_t i = 0; i < rec.polled_count; ++i) {
+    rec.polled[i].server = r.i32();
+    rec.polled[i].queue_length = r.i32();
+    rec.polled[i].age_ns = r.i64();
+  }
+  return r.ok();
+}
+
+}  // namespace
+
+std::size_t DecisionReply::encoded_size() const {
+  std::size_t n = 1 + 8 + 4 + 8 + 4 + 4 + 4;
+  for (const DecisionRecordWire& rec : records) {
+    n += decision_record_bytes(rec);
+  }
+  return n;
+}
+
+std::size_t DecisionReply::encode_into(std::span<std::uint8_t> out) const {
+  SpanWriter w(out);
+  w.u8(static_cast<std::uint8_t>(MsgType::kDecisionReply));
+  w.u64(seq);
+  w.i32(node);
+  w.i64(server_ns);
+  w.u32(total);
+  w.u32(offset);
+  w.u32(static_cast<std::uint32_t>(records.size()));
+  for (const DecisionRecordWire& rec : records) {
+    if (rec.polled_count > kDecisionWirePollMax) return 0;
+    put_decision_record(w, rec);
+  }
+  return w.ok() ? w.size() : 0;
+}
+
+bool DecisionReply::try_decode(std::span<const std::uint8_t> data,
+                               DecisionReply& out) {
+  TryReader r(data);
+  if (!expect_type(r, MsgType::kDecisionReply)) return false;
+  out.seq = r.u64();
+  out.node = r.i32();
+  out.server_ns = r.i64();
+  out.total = r.u32();
+  out.offset = r.u32();
+  const std::uint32_t count = r.u32();
+  if (!r.ok()) return false;
+  // Records are variable-size, so the cheapest-possible record (no polled
+  // entries) bounds the admissible count before any storage is reserved.
+  if (static_cast<std::size_t>(count) >
+      r.remaining() / kDecisionRecordHeaderBytes) {
+    return false;
+  }
+  out.records.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (!read_decision_record(r, out.records[i])) return false;
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> DecisionReply::encode() const {
+  return encode_via(*this);
+}
+
+DecisionReply DecisionReply::decode(std::span<const std::uint8_t> data) {
+  return decode_via<DecisionReply>(data, "malformed DecisionReply");
+}
+
 std::size_t VoteRequest::encoded_size() const { return 1 + 8 + 4; }
 
 std::size_t VoteRequest::encode_into(std::span<std::uint8_t> out) const {

@@ -56,6 +56,8 @@ enum class MsgType : std::uint8_t {
   kHeartbeat = 19,
   kHeartbeatAck = 20,
   kRedirect = 21,
+  kDecisionInquiry = 22,
+  kDecisionReply = 23,
 };
 
 /// Peeks at the type tag; throws on empty payloads.
@@ -333,6 +335,67 @@ struct TraceReply {
   static TraceReply decode(std::span<const std::uint8_t> data);
 };
 
+/// Most polled servers one DecisionRecordWire carries inline — must match
+/// core's kDecisionPollMax (static_asserted where both are visible).
+constexpr std::size_t kDecisionWirePollMax = 8;
+
+/// One decision audit record on the wire (core::DecisionRecord without
+/// depending on the core library from net): access id, decision instant,
+/// chosen server, flags, and the polled set with reported loads and ages.
+struct DecisionRecordWire {
+  std::uint64_t request_id = 0;
+  std::int64_t at_ns = 0;       // recorder's monotonic clock, unaligned
+  std::int32_t chosen = -1;
+  std::uint8_t polled_count = 0;  // <= kDecisionWirePollMax
+  std::uint8_t flags = 0;         // bit 0: blind fallback
+  std::uint8_t blacklist_filtered = 0;
+  struct Polled {
+    std::int32_t server = -1;
+    std::int32_t queue_length = 0;
+    std::int64_t age_ns = 0;
+  };
+  Polled polled[kDecisionWirePollMax] = {};
+};
+
+/// Asks a node for a chunk of its decision ring, starting at record
+/// `offset` of the node's current snapshot (walked like TraceInquiry).
+struct DecisionInquiry {
+  std::uint64_t seq = 0;
+  std::uint32_t offset = 0;
+
+  std::size_t encoded_size() const;
+  std::size_t encode_into(std::span<std::uint8_t> out) const;
+  static bool try_decode(std::span<const std::uint8_t> data,
+                         DecisionInquiry& out);
+
+  std::vector<std::uint8_t> encode() const;
+  static DecisionInquiry decode(std::span<const std::uint8_t> data);
+};
+
+/// One chunk of a node's decision ring. Like TraceReply, `server_ns` is the
+/// answering node's monotonic clock at reply-build time (a free ClockSync
+/// sample per chunk); senders chunk under the 64 KiB datagram cap
+/// (kDecisionReplyMaxRecords records per reply). Records are variable-size
+/// on the wire: only `polled_count` polled entries are encoded.
+struct DecisionReply {
+  std::uint64_t seq = 0;
+  std::int32_t node = -1;
+  std::int64_t server_ns = 0;
+  std::uint32_t total = 0;
+  std::uint32_t offset = 0;
+  std::vector<DecisionRecordWire> records;
+
+  std::size_t encoded_size() const;
+  std::size_t encode_into(std::span<std::uint8_t> out) const;
+  /// Rejects record counts that cannot fit the remaining bytes before
+  /// reserving storage, and per-record polled counts past the inline cap.
+  static bool try_decode(std::span<const std::uint8_t> data,
+                         DecisionReply& out);
+
+  std::vector<std::uint8_t> encode() const;
+  static DecisionReply decode(std::span<const std::uint8_t> data);
+};
+
 /// A candidate's term-stamped vote solicitation (replicated directory
 /// control plane). One vote per term per replica, so two leaders can never
 /// be elected in the same term.
@@ -411,6 +474,10 @@ struct Redirect {
 /// Most records one TraceReply may carry while staying under the UDP
 /// datagram limit (29 bytes per record + 29 bytes of header ≈ 58 KiB).
 constexpr std::size_t kTraceReplyMaxRecords = 2000;
+
+/// Most records one DecisionReply may carry under the UDP datagram limit:
+/// a full record is 23 + 8*16 = 151 bytes, so 400 records ≈ 59 KiB.
+constexpr std::size_t kDecisionReplyMaxRecords = 400;
 
 /// Generous stack-buffer size for every fixed-size message type's
 /// encode_into (the string-bearing publish/snapshot/trace types need

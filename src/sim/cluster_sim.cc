@@ -284,14 +284,22 @@ class Simulation {
         client.memory.server != kInvalidServer) {
       candidates.push_back(client.memory);
     }
-    if (candidates.empty()) {
+    // Route the choice through the core/selection.h choke point so the
+    // audit sink (when configured) sees exactly what the prototype client
+    // records. RNG consumption is identical to the unrecorded overloads.
+    DecisionContext ctx;
+    ctx.request_id = static_cast<std::uint64_t>(round.job.index);
+    ctx.now_ns = engine_.now();
+    ctx.sink = config_.decision_sink;
+    const bool blind = candidates.empty();
+    if (blind) {
       // Fallback rule: every inquiry or reply was lost — dispatch randomly
       // over the polled candidates rather than stalling the access.
       ++result_.poll_fallbacks;
-      target = pick_random(round.targets, client.rng);
+      target = pick_random_fallback(round.targets, client.rng, ctx);
       client.memory = {kInvalidServer, 0, 0};  // blind dispatch: no info
     } else {
-      target = pick_least_loaded(candidates, client.rng);
+      target = pick_least_loaded(candidates, client.rng, ctx);
       if (config_.policy.poll_memory) {
         // Remember the winner, accounting for the access we now add to it.
         for (const ServerLoad& entry : candidates) {
@@ -304,8 +312,28 @@ class Simulation {
     }
     if (should_record(round.job)) {
       result_.poll_time_ms.add(to_ms(engine_.now() - round.job.generated_at));
+      record_decision_quality(target, blind);
     }
     dispatch(round.job, target);
+  }
+
+  /// Exact regret accounting: the simulator is omniscient, so each polling
+  /// decision is compared against the true least-loaded live server at the
+  /// decision instant. Regret = extra queue depth the access suffered by
+  /// not choosing the best server; a mistake is any positive-regret choice.
+  void record_decision_quality(ServerId chosen, bool blind) {
+    ++result_.decisions;
+    if (blind) ++result_.decision_blind_fallbacks;
+    std::int32_t best = servers_[static_cast<std::size_t>(chosen)].qlen;
+    for (const Server& server : servers_) {
+      if (!server.crashed && server.qlen < best) best = server.qlen;
+    }
+    const std::int64_t regret =
+        servers_[static_cast<std::size_t>(chosen)].qlen - best;
+    if (regret > 0) {
+      ++result_.decision_mistakes;
+      result_.decision_regret_total += regret;
+    }
   }
 
   // --- dispatch, queueing, service ------------------------------------------

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/policy.h"
+#include "core/selection.h"
 #include "stats/accumulator.h"
 #include "stats/histogram.h"
 #include "workload/workload.h"
@@ -99,6 +100,12 @@ struct SimConfig {
   std::vector<ServerOutage> outages;
   /// Extension: message loss and crash/restart faults (see SimFaultModel).
   SimFaultModel faults;
+  /// Decision audit sink (telemetry::DecisionRing or any DecisionSink).
+  /// When set, every polling-policy dispatch decision is recorded through
+  /// the core/selection.h choke point — the same records the prototype
+  /// client produces. Non-owning; null disables recording. Does not affect
+  /// RNG consumption, so seeded runs reproduce with or without it.
+  DecisionSink* decision_sink = nullptr;
   std::uint64_t seed = 1;
 };
 
@@ -132,7 +139,27 @@ struct SimResult {
   std::int64_t messages = 0;
   std::int64_t completed = 0;
 
+  // --- decision quality (polling policy, post-warmup; exact) ---------------
+  // Each dispatch decision is compared against the omniscient least-loaded
+  // choice at the decision instant: regret = chosen server's true queue
+  // depth minus the minimum true depth over live servers (extra queueing
+  // the decision suffered); a mistake is any decision with positive regret.
+  std::int64_t decisions = 0;
+  std::int64_t decision_mistakes = 0;
+  std::int64_t decision_blind_fallbacks = 0;
+  std::int64_t decision_regret_total = 0;
+
   double mean_response_ms() const { return response_ms.mean(); }
+  double decision_mistake_rate() const {
+    return decisions > 0 ? static_cast<double>(decision_mistakes) /
+                               static_cast<double>(decisions)
+                         : 0.0;
+  }
+  double decision_mean_regret() const {
+    return decisions > 0 ? static_cast<double>(decision_regret_total) /
+                               static_cast<double>(decisions)
+                         : 0.0;
+  }
 };
 
 /// Runs one policy/workload/load configuration to completion and returns

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "telemetry/decision.h"
 #include "telemetry/export.h"
 
 namespace finelb::sim {
@@ -50,6 +51,15 @@ telemetry::MetricsSnapshot to_metrics_snapshot(const SimResult& result,
   snap.histograms.push_back(summarize(result.response_hist_ms,
                                       result.response_ms.mean(),
                                       "response_time_ms"));
+  // Decision-quality block: appended through the shared helper so the sim
+  // document uses the exact metric names the prototype exports (name parity
+  // is pinned by decision_test).
+  telemetry::DecisionQualitySummary quality;
+  quality.decisions = result.decisions;
+  quality.mistakes = result.decision_mistakes;
+  quality.blind_fallbacks = result.decision_blind_fallbacks;
+  quality.regret_total = result.decision_regret_total;
+  telemetry::append_decision_metrics(snap, quality);
   return snap;
 }
 

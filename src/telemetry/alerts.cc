@@ -1,0 +1,185 @@
+#include "telemetry/alerts.h"
+
+#include <cstdio>
+
+namespace finelb::telemetry {
+
+namespace {
+
+bool find_entry(const std::vector<std::pair<std::string, std::int64_t>>& map,
+                const char* name, std::int64_t& out) {
+  for (const auto& [key, value] : map) {
+    if (key == name) {
+      out = value;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool find_value(const std::vector<std::pair<std::string, double>>& map,
+                const char* name, double& out) {
+  for (const auto& [key, value] : map) {
+    if (key == name) {
+      out = value;
+      return true;
+    }
+  }
+  return false;
+}
+
+Alert make_alert(const char* rule, const std::string& node, double value,
+                 double threshold, const char* what) {
+  Alert alert;
+  alert.rule = rule;
+  alert.node = node;
+  alert.value = value;
+  alert.threshold = threshold;
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "%s on %s: %.6g (threshold %.6g)", what,
+                node.empty() ? "(unnamed node)" : node.c_str(), value,
+                threshold);
+  alert.message = buf;
+  return alert;
+}
+
+}  // namespace
+
+AlertEngine::AlertEngine(AlertThresholds thresholds)
+    : thresholds_(thresholds) {}
+
+AlertEngine::NodeState& AlertEngine::state_for(const std::string& node) {
+  for (NodeState& state : states_) {
+    if (state.node == node) return state;
+  }
+  states_.push_back(NodeState{});
+  states_.back().node = node;
+  return states_.back();
+}
+
+std::vector<Alert> AlertEngine::evaluate(const MetricsSnapshot& snapshot) {
+  std::vector<Alert> fired;
+  NodeState& state = state_for(snapshot.node);
+  const bool had_baseline = state.seen;
+
+  // --- queue-growth overload (server nodes export the queue_depth probe) --
+  std::int64_t queue_depth = 0;
+  if (find_entry(snapshot.gauges, "queue_depth", queue_depth)) {
+    if (thresholds_.queue_depth > 0 && queue_depth >= thresholds_.queue_depth) {
+      fired.push_back(make_alert(
+          "queue_overload", snapshot.node, static_cast<double>(queue_depth),
+          static_cast<double>(thresholds_.queue_depth), "queue depth"));
+    }
+    const std::int64_t growth = queue_depth - state.queue_depth;
+    if (had_baseline && thresholds_.queue_growth > 0 &&
+        growth >= thresholds_.queue_growth) {
+      fired.push_back(make_alert(
+          "queue_growth", snapshot.node, static_cast<double>(growth),
+          static_cast<double>(thresholds_.queue_growth),
+          "queue growth since last scrape"));
+    }
+    state.queue_depth = queue_depth;
+  }
+
+  // --- blacklist spike (client nodes) -------------------------------------
+  std::int64_t blacklist = 0;
+  if (find_entry(snapshot.counters, "blacklist_insertions", blacklist)) {
+    const std::int64_t delta = blacklist - state.blacklist_insertions;
+    if (had_baseline && thresholds_.blacklist_spike > 0 &&
+        delta >= thresholds_.blacklist_spike) {
+      fired.push_back(make_alert(
+          "blacklist_spike", snapshot.node, static_cast<double>(delta),
+          static_cast<double>(thresholds_.blacklist_spike),
+          "blacklist insertions since last scrape"));
+    }
+    state.blacklist_insertions = blacklist;
+  }
+
+  // --- election churn (directory replicas, from the ha trace counters) ----
+  std::int64_t gains = 0;
+  if (find_entry(snapshot.counters, "ha.leadership_gains", gains)) {
+    const std::int64_t delta = gains - state.leadership_gains;
+    if (had_baseline && thresholds_.election_churn > 0 &&
+        delta >= thresholds_.election_churn) {
+      fired.push_back(make_alert(
+          "election_churn", snapshot.node, static_cast<double>(delta),
+          static_cast<double>(thresholds_.election_churn),
+          "leadership changes since last scrape"));
+    }
+    state.leadership_gains = gains;
+  }
+
+  // --- decision mistake rate (decision observatory) -----------------------
+  double mistake_rate = 0.0;
+  if (find_value(snapshot.values, "decision_mistake_rate", mistake_rate)) {
+    if (thresholds_.mistake_rate <= 1.0 &&
+        mistake_rate >= thresholds_.mistake_rate) {
+      fired.push_back(make_alert("decision_mistakes", snapshot.node,
+                                 mistake_rate, thresholds_.mistake_rate,
+                                 "decision mistake rate"));
+    }
+  }
+
+  state.seen = true;
+  return fired;
+}
+
+std::vector<Alert> AlertEngine::evaluate_cluster(
+    const std::vector<MetricsSnapshot>& nodes) {
+  std::vector<Alert> fired;
+  for (const MetricsSnapshot& snapshot : nodes) {
+    std::vector<Alert> node_alerts = evaluate(snapshot);
+    fired.insert(fired.end(), node_alerts.begin(), node_alerts.end());
+  }
+  return fired;
+}
+
+namespace {
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
+}  // namespace
+
+std::string alerts_to_json(const std::vector<Alert>& alerts) {
+  std::string out = "{\"alerts\":[";
+  bool first = true;
+  char buf[64];
+  for (const Alert& alert : alerts) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"rule\":\"";
+    append_json_escaped(out, alert.rule);
+    out += "\",\"node\":\"";
+    append_json_escaped(out, alert.node);
+    out += "\",\"value\":";
+    std::snprintf(buf, sizeof(buf), "%.6g", alert.value);
+    out += buf;
+    out += ",\"threshold\":";
+    std::snprintf(buf, sizeof(buf), "%.6g", alert.threshold);
+    out += buf;
+    out += ",\"message\":\"";
+    append_json_escaped(out, alert.message);
+    out += "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string alerts_to_prometheus(const std::vector<Alert>& alerts) {
+  std::string out = "# TYPE finelb_alert_firing gauge\n";
+  for (const Alert& alert : alerts) {
+    out += "finelb_alert_firing{rule=\"";
+    append_json_escaped(out, alert.rule);
+    out += "\",node=\"";
+    append_json_escaped(out, alert.node);
+    out += "\"} 1\n";
+  }
+  return out;
+}
+
+}  // namespace finelb::telemetry

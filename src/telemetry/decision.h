@@ -1,0 +1,151 @@
+// Decision audit trail: a fixed-capacity, lock-free ring of dispatch
+// decisions (DESIGN.md §13).
+//
+// PR 5's staleness observatory measures how wrong the load indexes are;
+// this ring captures what the balancer *did* with them — per decision, the
+// polled server set with reported loads and report ages, the chosen server,
+// and the blind-fallback/blacklist flags. Records are produced at the
+// single choke point in core/selection.h (pick_least_loaded /
+// pick_random_fallback with a DecisionContext), so the simulator and the
+// prototype fill structurally identical rings.
+//
+// The ring uses the same fence-free seqlock protocol as TraceRing: one
+// relaxed fetch_add claims a slot, release stores fill the payload, and a
+// final release store of the even sequence seals it; readers validate the
+// sequence before and after copying. Every word is a 64-bit atomic —
+// TSan-clean under concurrent writers. Under FINELB_TELEMETRY=OFF the ring
+// allocates nothing and record() compiles to a no-op.
+//
+// Decision quality: the sim computes exact mistake/regret online against
+// its omniscient queue view; the prototype reconstructs the measured
+// analogue post-run by joining these records with the clock-aligned merged
+// traces (reconstruct_decision_quality below) — the chosen server's actual
+// queue depth at dispatch comes from its kResponse trace record.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/selection.h"
+#include "telemetry/merge.h"
+#include "telemetry/metrics.h"
+
+namespace finelb::telemetry {
+
+class DecisionRing final : public DecisionSink {
+ public:
+  /// `sample_period` of 0 disables recording entirely (no slot allocation);
+  /// N records every decision whose request id is a multiple of N — use 1
+  /// to audit every decision, or the trace sample period so decision
+  /// records join the traced subset.
+  explicit DecisionRing(std::size_t capacity = 256,
+                        std::uint32_t sample_period = 0);
+
+  /// Hot-path gate, mirroring TraceRing::sampled.
+  bool sampled(std::uint64_t request_id) const {
+    if constexpr (!kRingEnabled) {
+      (void)request_id;
+      return false;
+    }
+    return period_ != 0 && request_id % period_ == 0;
+  }
+
+  /// True when the ring records at all (telemetry compiled in and a nonzero
+  /// sample period).
+  bool active() const {
+    if constexpr (!kRingEnabled) return false;
+    return slots_ != nullptr;
+  }
+
+  /// The sink the choke point writes through (null when inactive, so the
+  /// selection call skips record construction entirely).
+  DecisionSink* sink() { return active() ? this : nullptr; }
+
+  void record_decision(const DecisionRecord& record) override;
+
+  /// Valid records, oldest first. Safe against concurrent writers; slots
+  /// overwritten mid-read are skipped rather than returned torn.
+  std::vector<DecisionRecord> snapshot() const;
+
+  std::uint32_t sample_period() const { return period_; }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+#if defined(FINELB_TELEMETRY_DISABLED)
+  static constexpr bool kRingEnabled = false;
+#else
+  static constexpr bool kRingEnabled = true;
+#endif
+
+  struct Slot {
+    // seq = 2*claim+1 while writing, 2*claim+2 sealed (0 = never written).
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> request_id{0};
+    std::atomic<std::int64_t> at_ns{0};
+    // chosen (low 32) | polled_count << 32 | blind << 40 | filtered << 48.
+    std::atomic<std::uint64_t> meta{0};
+    // Per polled entry: server (low 32) | queue_length << 32, plus its age.
+    std::atomic<std::uint64_t> polled_id_qlen[kDecisionPollMax] = {};
+    std::atomic<std::int64_t> polled_age_ns[kDecisionPollMax] = {};
+  };
+
+  std::size_t capacity_;
+  std::uint32_t period_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+// --- regret accounting -------------------------------------------------------
+
+/// Decision-quality aggregates with identical metric names in the sim
+/// (exact, omniscient baseline) and the prototype (trace-reconstructed).
+/// Regret = extra queue depth the decision suffered over the best available
+/// choice; a mistake is any decision with positive regret.
+struct DecisionQualitySummary {
+  std::int64_t decisions = 0;
+  std::int64_t mistakes = 0;
+  std::int64_t blind_fallbacks = 0;
+  /// Sum of per-decision regret (queue-depth units).
+  std::int64_t regret_total = 0;
+
+  double mistake_rate() const {
+    return decisions > 0
+               ? static_cast<double>(mistakes) / static_cast<double>(decisions)
+               : 0.0;
+  }
+  double mean_regret() const {
+    return decisions > 0 ? static_cast<double>(regret_total) /
+                               static_cast<double>(decisions)
+                         : 0.0;
+  }
+};
+
+/// Exports the summary under the shared metric names (decisions_total,
+/// decision_mistakes_total, decision_blind_fallbacks, decision_regret_total;
+/// values decision_mistake_rate, decision_regret_mean) — appended to an
+/// existing snapshot so sim and prototype documents stay name-compatible.
+void append_decision_metrics(MetricsSnapshot& snapshot,
+                             const DecisionQualitySummary& summary);
+
+/// Renders the summary as a JSON object for bench output.
+std::string decision_quality_to_json(const DecisionQualitySummary& summary);
+
+/// Prototype-side reconstruction: joins decision records with the
+/// clock-aligned merged timeline. For each decision whose request also left
+/// a kResponse trace record (detail = the chosen server's queue length when
+/// the dispatched request arrived), the measured regret is
+///   max(0, Q_arrival(chosen) - min reported queue length in the polled set)
+/// — how much deeper the chosen queue actually was than the best promise
+/// the balancer acted on. Exact in-sim regret compares true queue depths
+/// instead; both definitions coincide when load reports are fresh.
+/// Blind-fallback decisions count (and count as mistakes when their
+/// realized queue was nonzero) but contribute no reported minimum.
+DecisionQualitySummary reconstruct_decision_quality(
+    const std::vector<DecisionRecord>& decisions,
+    const std::vector<MergedRecord>& merged);
+
+}  // namespace finelb::telemetry

@@ -189,6 +189,125 @@ std::string to_text(const MetricsSnapshot& snapshot) {
   return out;
 }
 
+namespace {
+
+// --- Prometheus text exposition ---------------------------------------------
+
+void append_prom_name(std::string& out, std::string_view name) {
+  out += "finelb_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+}
+
+/// Emits `# TYPE` once per (family, type) across a whole document —
+/// Prometheus rejects re-declarations when several nodes share families.
+void append_prom_type(std::string& out, std::string_view family,
+                      const char* type, std::vector<std::string>& seen) {
+  for (const std::string& s : seen) {
+    if (s == family) return;
+  }
+  seen.emplace_back(family);
+  out += "# TYPE ";
+  append_prom_name(out, family);
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+void append_prom_label(std::string& out, std::string_view node) {
+  out += "{node=\"";
+  append_escaped(out, node);
+  out += "\"}";
+}
+
+void append_prometheus_body(std::string& out, const MetricsSnapshot& snap,
+                            std::vector<std::string>& seen_types) {
+  for (const auto& [name, value] : snap.counters) {
+    append_prom_type(out, name, "counter", seen_types);
+    append_prom_name(out, name);
+    append_prom_label(out, snap.node);
+    out += ' ';
+    append_int(out, value);
+    out += '\n';
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    append_prom_type(out, name, "gauge", seen_types);
+    append_prom_name(out, name);
+    append_prom_label(out, snap.node);
+    out += ' ';
+    append_int(out, value);
+    out += '\n';
+  }
+  for (const auto& [name, value] : snap.values) {
+    append_prom_type(out, name, "gauge", seen_types);
+    append_prom_name(out, name);
+    append_prom_label(out, snap.node);
+    out += ' ';
+    append_double(out, value);
+    out += '\n';
+  }
+  for (const auto& h : snap.histograms) {
+    append_prom_type(out, h.name, "histogram", seen_types);
+    // Cumulative buckets: each occupied log bucket contributes its upper
+    // bound as `le`; +Inf closes the series with the total count.
+    std::int64_t cumulative = 0;
+    for (const auto& [value, count] : h.buckets) {
+      cumulative += count;
+      append_prom_name(out, h.name);
+      out += "_bucket{node=\"";
+      append_escaped(out, snap.node);
+      out += "\",le=\"";
+      append_double(out,
+                    detail::kHistBucketing.upper(
+                        detail::kHistBucketing.index(value)));
+      out += "\"} ";
+      append_int(out, cumulative);
+      out += '\n';
+    }
+    append_prom_name(out, h.name);
+    out += "_bucket{node=\"";
+    append_escaped(out, snap.node);
+    out += "\",le=\"+Inf\"} ";
+    append_int(out, h.count);
+    out += '\n';
+    append_prom_name(out, h.name);
+    out += "_sum";
+    append_prom_label(out, snap.node);
+    out += ' ';
+    append_double(out, h.mean * static_cast<double>(h.count));
+    out += '\n';
+    append_prom_name(out, h.name);
+    out += "_count";
+    append_prom_label(out, snap.node);
+    out += ' ';
+    append_int(out, h.count);
+    out += '\n';
+  }
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(1024);
+  std::vector<std::string> seen_types;
+  append_prometheus_body(out, snapshot, seen_types);
+  return out;
+}
+
+std::string cluster_to_prometheus(const std::vector<MetricsSnapshot>& nodes) {
+  std::string out;
+  out.reserve(1024 * (nodes.size() + 1));
+  std::vector<std::string> seen_types;
+  for (const MetricsSnapshot& snap : nodes) {
+    append_prometheus_body(out, snap, seen_types);
+  }
+  return out;
+}
+
 std::string cluster_to_json(const std::vector<std::string>& node_documents) {
   std::string out = "{\"nodes\":[";
   bool first = true;

@@ -29,6 +29,19 @@ std::string to_json(const MetricsSnapshot& snapshot,
 /// Aligned human-readable block, one metric per line.
 std::string to_text(const MetricsSnapshot& snapshot);
 
+/// Prometheus text exposition (version 0.0.4): every metric is prefixed
+/// `finelb_`, name-sanitized to [a-zA-Z0-9_:], and labeled with the node
+/// (`finelb_polls_sent{node="client.0"} 42`). Counters render as `counter`
+/// with a `_total`-preserving name, gauges and values as `gauge`, and each
+/// histogram as the conventional cumulative `_bucket{le="..."}` series plus
+/// `_sum` and `_count` (bucket thresholds come from the snapshot's occupied
+/// log-bucket upper bounds; `le="+Inf"` closes the series).
+std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+/// Concatenated exposition for a node set, with `# TYPE` lines emitted once
+/// per metric family (Prometheus rejects duplicate TYPE declarations).
+std::string cluster_to_prometheus(const std::vector<MetricsSnapshot>& nodes);
+
 /// Merges per-node JSON documents into {"nodes":[...]} — inputs must
 /// already be valid JSON objects (e.g. from to_json or a STATS_REPLY).
 std::string cluster_to_json(const std::vector<std::string>& node_documents);

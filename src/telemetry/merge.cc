@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <map>
 
@@ -425,6 +426,74 @@ std::string staleness_to_json(const StalenessSummary& summary) {
   out += ",\"max_us\":";
   append_double(out, summary.max_delay_us);
   out += "}}";
+  return out;
+}
+
+HistogramSnapshot merge_histograms(std::span<const HistogramSnapshot> parts,
+                                   std::string name) {
+  HistogramSnapshot merged;
+  merged.name = std::move(name);
+  // Bucket-wise sum keyed by representative value. std::map keeps the
+  // merged buckets ascending, matching every input's ordering.
+  std::map<double, std::int64_t> buckets;
+  double sum = 0.0;
+  for (const HistogramSnapshot& part : parts) {
+    for (const auto& [value, count] : part.buckets) {
+      buckets[value] += count;
+    }
+    sum += part.mean * static_cast<double>(part.count);
+    if (part.count > 0) {
+      merged.min = merged.count > 0 ? std::min(merged.min, part.min)
+                                    : part.min;
+      merged.max = merged.count > 0 ? std::max(merged.max, part.max)
+                                    : part.max;
+      merged.count += part.count;
+    }
+  }
+  merged.buckets.assign(buckets.begin(), buckets.end());
+  if (merged.count == 0) return merged;
+  merged.mean = sum / static_cast<double>(merged.count);
+  // Same quantile rule as Registry::snapshot: representative value of the
+  // bucket where the cumulative count first reaches ceil(q * count) — so a
+  // merged result is bit-identical to one histogram that saw every sample.
+  const auto quantile = [&](double q) {
+    const auto rank = static_cast<std::int64_t>(
+        std::ceil(q * static_cast<double>(merged.count)));
+    std::int64_t seen = 0;
+    for (const auto& [value, count] : merged.buckets) {
+      seen += count;
+      if (seen >= rank) return value;
+    }
+    return merged.buckets.back().first;
+  };
+  merged.p50 = quantile(0.50);
+  merged.p95 = quantile(0.95);
+  merged.p99 = quantile(0.99);
+  return merged;
+}
+
+std::vector<HistogramSnapshot> merge_node_histograms(
+    const std::vector<MetricsSnapshot>& nodes) {
+  std::vector<HistogramSnapshot> out;
+  for (const MetricsSnapshot& node : nodes) {
+    for (const HistogramSnapshot& hist : node.histograms) {
+      bool seen = false;
+      for (const HistogramSnapshot& done : out) {
+        if (done.name == hist.name) {
+          seen = true;
+          break;
+        }
+      }
+      if (seen) continue;
+      std::vector<HistogramSnapshot> family;
+      for (const MetricsSnapshot& other : nodes) {
+        for (const HistogramSnapshot& candidate : other.histograms) {
+          if (candidate.name == hist.name) family.push_back(candidate);
+        }
+      }
+      out.push_back(merge_histograms(family, hist.name));
+    }
+  }
   return out;
 }
 

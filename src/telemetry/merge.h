@@ -30,9 +30,11 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
 namespace finelb::telemetry {
@@ -108,5 +110,23 @@ StalenessSummary compute_staleness(const std::vector<MergedRecord>& merged);
 /// Renders a StalenessSummary as a JSON object (for run_prototype and the
 /// stats_snapshot cluster document).
 std::string staleness_to_json(const StalenessSummary& summary);
+
+// --- cross-node histogram merging --------------------------------------------
+
+/// Bucket-wise sum of per-node histogram snapshots sharing the registry's
+/// log bucketing: buckets with the same representative value add their
+/// counts, count/sum/min/max/quantiles are recomputed from the merged
+/// buckets with the registry's own quantile rule — so cluster-wide
+/// quantiles exactly equal what one histogram recording every node's
+/// samples would have reported (pinned by merge_test). `name` labels the
+/// result (parts may carry per-node names).
+HistogramSnapshot merge_histograms(std::span<const HistogramSnapshot> parts,
+                                   std::string name);
+
+/// Merges every histogram family across node snapshots by name (the
+/// cluster-wide quantile surface for a scraped node set), ordered by first
+/// appearance.
+std::vector<HistogramSnapshot> merge_node_histograms(
+    const std::vector<MetricsSnapshot>& nodes);
 
 }  // namespace finelb::telemetry

@@ -1,5 +1,6 @@
 #include "telemetry/scrape.h"
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 
@@ -39,6 +40,37 @@ std::optional<std::string> scrape_stats(const net::Address& load_addr,
       // Anything else on this ephemeral socket is noise; keep waiting.
     }
   }
+}
+
+std::vector<std::string> ClusterStatsScrape::answered_documents() const {
+  std::vector<std::string> docs;
+  docs.reserve(static_cast<std::size_t>(answered));
+  for (const auto& doc : documents) {
+    if (doc) docs.push_back(*doc);
+  }
+  return docs;
+}
+
+ClusterStatsScrape scrape_cluster_stats(
+    const std::vector<net::Address>& load_addrs, SimDuration per_node_timeout,
+    int retries_per_node) {
+  ClusterStatsScrape result;
+  result.documents.reserve(load_addrs.size());
+  for (const net::Address& addr : load_addrs) {
+    std::optional<std::string> doc;
+    // Each attempt is a fresh inquiry on a fresh ephemeral socket — on a
+    // lossy link a retry beats waiting longer for a datagram that is gone.
+    for (int attempt = 0; attempt <= retries_per_node && !doc; ++attempt) {
+      doc = scrape_stats(addr, per_node_timeout);
+    }
+    if (doc) {
+      ++result.answered;
+    } else {
+      ++result.failed;
+    }
+    result.documents.push_back(std::move(doc));
+  }
+  return result;
 }
 
 namespace {
@@ -93,7 +125,14 @@ std::optional<NodeTraceScrape> scrape_trace(const net::Address& load_addr,
     net::ClockSample sample{};
     auto reply =
         trace_round_trip(socket, load_addr, offset, deadline, sample);
-    if (!reply) return std::nullopt;
+    if (!reply) {
+      // First chunk lost: the node is unreachable. A later chunk lost:
+      // return the prefix pulled so far (partial-result hardening for
+      // lossy links) instead of discarding everything.
+      if (offset == 0) return std::nullopt;
+      result.complete = false;
+      return result;
+    }
     result.node = reply->node;
     result.clock_samples.push_back(sample);
     for (const net::TraceRecordWire& wire : reply->records) {
@@ -103,6 +142,86 @@ std::optional<NodeTraceScrape> scrape_trace(const net::Address& load_addr,
       rec.node = wire.node;
       rec.at_ns = wire.at_ns;
       rec.detail = wire.detail;
+      result.records.push_back(rec);
+    }
+    offset = reply->offset + static_cast<std::uint32_t>(reply->records.size());
+    if (offset >= reply->total || reply->records.empty()) break;
+  }
+  return result;
+}
+
+namespace {
+
+/// One DECISION_INQUIRY round trip, mirroring trace_round_trip.
+std::optional<net::DecisionReply> decision_round_trip(
+    net::UdpSocket& socket, const net::Address& addr, std::uint32_t offset,
+    SimTime deadline, net::ClockSample& sample) {
+  static std::atomic<std::uint64_t> next_seq{1};
+
+  net::DecisionInquiry inquiry;
+  inquiry.seq = next_seq.fetch_add(1, std::memory_order_relaxed);
+  inquiry.offset = offset;
+  std::array<std::uint8_t, net::kMaxFixedMsgSize> out;
+  const std::size_t n = inquiry.encode_into(out);
+  sample.local_send_ns = net::monotonic_now();
+  if (n == 0 || !socket.send_to({out.data(), n}, addr)) {
+    return std::nullopt;
+  }
+
+  net::Poller poller;
+  poller.add(socket.fd(), 0);
+  std::vector<std::uint8_t> buf(64 * 1024);
+  while (true) {
+    const SimDuration remaining = deadline - net::monotonic_now();
+    if (remaining <= 0) return std::nullopt;
+    if (poller.wait(remaining).empty()) continue;
+    while (const auto dgram = socket.recv_from(buf)) {
+      net::DecisionReply reply;
+      if (net::DecisionReply::try_decode({buf.data(), dgram->size}, reply) &&
+          reply.seq == inquiry.seq) {
+        sample.local_recv_ns = net::monotonic_now();
+        sample.remote_ns = reply.server_ns;
+        return reply;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<NodeDecisionScrape> scrape_decisions(const net::Address& addr,
+                                                   SimDuration timeout) {
+  static_assert(net::kDecisionWirePollMax == kDecisionPollMax,
+                "wire and core polled-set caps must agree");
+  const SimTime deadline = net::monotonic_now() + timeout;
+  net::UdpSocket socket;
+  NodeDecisionScrape result;
+  std::uint32_t offset = 0;
+  while (true) {
+    net::ClockSample sample{};
+    auto reply = decision_round_trip(socket, addr, offset, deadline, sample);
+    if (!reply) {
+      if (offset == 0) return std::nullopt;
+      result.complete = false;  // partial prefix, same contract as traces
+      return result;
+    }
+    result.node = reply->node;
+    result.clock_samples.push_back(sample);
+    for (const net::DecisionRecordWire& wire : reply->records) {
+      DecisionRecord rec;
+      rec.request_id = wire.request_id;
+      rec.at_ns = wire.at_ns;
+      rec.chosen = wire.chosen;
+      rec.polled_count = std::min<std::uint8_t>(
+          wire.polled_count,
+          static_cast<std::uint8_t>(kDecisionPollMax));
+      rec.blind_fallback = (wire.flags & 1) != 0;
+      rec.blacklist_filtered = wire.blacklist_filtered;
+      for (std::uint8_t i = 0; i < rec.polled_count; ++i) {
+        rec.polled[i].server = wire.polled[i].server;
+        rec.polled[i].queue_length = wire.polled[i].queue_length;
+        rec.polled[i].age_ns = wire.polled[i].age_ns;
+      }
       result.records.push_back(rec);
     }
     offset = reply->offset + static_cast<std::uint32_t>(reply->records.size());

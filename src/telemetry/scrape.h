@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/time.h"
+#include "core/selection.h"
 #include "net/pingpong.h"
 #include "net/socket.h"
 #include "telemetry/trace.h"
@@ -20,6 +21,25 @@ std::optional<std::string> scrape_stats(const net::Address& load_addr,
                                         SimDuration timeout = 200 *
                                                               kMillisecond);
 
+/// Lossy-link-hardened cluster scrape: every node gets its own inquiry and
+/// per-node timeout, and a node that stays silent (or answers garbage)
+/// costs one `failed` slot instead of sinking the whole scrape — the
+/// partial document set is still returned in input order.
+struct ClusterStatsScrape {
+  /// One entry per requested address; nullopt where the node never answered.
+  std::vector<std::optional<std::string>> documents;
+  int answered = 0;
+  int failed = 0;
+
+  /// The answered documents, in input order (feed to cluster_to_json).
+  std::vector<std::string> answered_documents() const;
+};
+
+ClusterStatsScrape scrape_cluster_stats(
+    const std::vector<net::Address>& load_addrs,
+    SimDuration per_node_timeout = 200 * kMillisecond,
+    int retries_per_node = 1);
+
 /// One node's trace ring pulled over the wire, plus the clock-sync samples
 /// each chunked round trip yielded for free (every TRACE_REPLY carries the
 /// answering node's monotonic clock — feed these to ClockSync::add_sample).
@@ -28,14 +48,38 @@ struct NodeTraceScrape {
   std::int32_t node = -1;
   std::vector<TraceRecord> records;
   std::vector<net::ClockSample> clock_samples;
+  /// False when a later chunk timed out on a lossy link: `records` then
+  /// holds the prefix pulled so far (still usable for merging — the caller
+  /// just has fewer samples), rather than the all-or-nothing nullopt the
+  /// channel used to return.
+  bool complete = true;
 };
 
 /// Pulls the full trace ring from `load_addr` with chunked TRACE_INQUIRYs
-/// (each reply stays under the 64 KiB datagram cap). Returns nullopt if any
-/// chunk times out. Cold path: allocates freely, creates its own socket.
+/// (each reply stays under the 64 KiB datagram cap). Returns nullopt only
+/// when the very first chunk goes unanswered; a scrape cut short mid-walk
+/// returns the partial prefix with `complete` false. Cold path: allocates
+/// freely, creates its own socket.
 std::optional<NodeTraceScrape> scrape_trace(const net::Address& load_addr,
                                             SimDuration timeout = 200 *
                                                                   kMillisecond);
+
+/// One node's decision ring pulled over the chunked DECISION_INQUIRY
+/// channel, with the same partial-result and clock-sample semantics as
+/// NodeTraceScrape.
+struct NodeDecisionScrape {
+  std::int32_t node = -1;
+  std::vector<DecisionRecord> records;
+  std::vector<net::ClockSample> clock_samples;
+  bool complete = true;
+};
+
+/// Pulls the full decision ring from `addr` (a socket answering
+/// DECISION_INQUIRY — the prototype client's service socket, or a server's
+/// load socket). Returns nullopt only when the first chunk goes
+/// unanswered.
+std::optional<NodeDecisionScrape> scrape_decisions(
+    const net::Address& addr, SimDuration timeout = 200 * kMillisecond);
 
 /// One clock-probe round trip: an out-of-range TRACE_INQUIRY (offset past any
 /// ring) that returns an empty, stamped TRACE_REPLY. Cheaper than a full

@@ -128,6 +128,74 @@ TEST(MessageTest, TraceReplyMaxChunkStaysUnderDatagramCap) {
   EXPECT_EQ(decoded.records.size(), kTraceReplyMaxRecords);
 }
 
+TEST(MessageTest, DecisionInquiryReplyRoundTrip) {
+  DecisionInquiry inquiry;
+  inquiry.seq = 777;
+  inquiry.offset = 0xfffffffeu;
+  const auto dinq = DecisionInquiry::decode(inquiry.encode());
+  EXPECT_EQ(dinq.seq, 777u);
+  EXPECT_EQ(dinq.offset, 0xfffffffeu);
+
+  DecisionReply reply;
+  reply.seq = 777;
+  reply.node = 5;
+  reply.server_ns = 987654321012345ll;
+  reply.total = 30;
+  reply.offset = 10;
+  for (int i = 0; i < 20; ++i) {
+    DecisionRecordWire rec;
+    rec.request_id = (1ull << 40) | static_cast<std::uint64_t>(i);
+    rec.at_ns = 1000000ll * i;
+    rec.chosen = i % 16;
+    rec.polled_count = static_cast<std::uint8_t>(i % (kDecisionWirePollMax + 1));
+    rec.flags = static_cast<std::uint8_t>(i % 2);  // bit 0: blind fallback
+    rec.blacklist_filtered = static_cast<std::uint8_t>(i % 3);
+    for (std::uint8_t p = 0; p < rec.polled_count; ++p) {
+      rec.polled[p].server = p;
+      rec.polled[p].queue_length = -p;  // sign must survive
+      rec.polled[p].age_ns = 500ll * p;
+    }
+    reply.records.push_back(rec);
+  }
+  const auto dreply = DecisionReply::decode(reply.encode());
+  EXPECT_EQ(dreply.seq, 777u);
+  EXPECT_EQ(dreply.node, 5);
+  EXPECT_EQ(dreply.server_ns, reply.server_ns);
+  EXPECT_EQ(dreply.total, 30u);
+  EXPECT_EQ(dreply.offset, 10u);
+  ASSERT_EQ(dreply.records.size(), 20u);
+  for (std::size_t i = 0; i < dreply.records.size(); ++i) {
+    const DecisionRecordWire& rec = dreply.records[i];
+    EXPECT_EQ(rec.request_id, reply.records[i].request_id);
+    EXPECT_EQ(rec.at_ns, reply.records[i].at_ns);
+    EXPECT_EQ(rec.chosen, reply.records[i].chosen);
+    ASSERT_EQ(rec.polled_count, reply.records[i].polled_count);
+    EXPECT_EQ(rec.flags, reply.records[i].flags);
+    EXPECT_EQ(rec.blacklist_filtered, reply.records[i].blacklist_filtered);
+    for (std::uint8_t p = 0; p < rec.polled_count; ++p) {
+      EXPECT_EQ(rec.polled[p].server, p);
+      EXPECT_EQ(rec.polled[p].queue_length, -p);
+      EXPECT_EQ(rec.polled[p].age_ns, 500ll * p);
+    }
+  }
+}
+
+TEST(MessageTest, DecisionReplyMaxChunkStaysUnderDatagramCap) {
+  // A full chunk of worst-case records (every polled slot occupied) must
+  // encode below 64 KiB so a single sendto never fails on datagram size.
+  DecisionReply reply;
+  reply.seq = 1;
+  reply.total = static_cast<std::uint32_t>(kDecisionReplyMaxRecords);
+  reply.records.resize(kDecisionReplyMaxRecords);
+  for (auto& rec : reply.records) {
+    rec.polled_count = static_cast<std::uint8_t>(kDecisionWirePollMax);
+  }
+  const auto bytes = reply.encode();
+  EXPECT_LT(bytes.size(), 64u * 1024u);
+  const auto decoded = DecisionReply::decode(bytes);
+  EXPECT_EQ(decoded.records.size(), kDecisionReplyMaxRecords);
+}
+
 TEST(MessageTest, ManagerProtocolRoundTrips) {
   Acquire a;
   a.seq = 1001;
@@ -351,6 +419,21 @@ TEST_P(MessageTruncation, AllPrefixesRejected) {
       bytes = m.encode();
       break;
     }
+    case 12: {
+      DecisionInquiry m;
+      m.seq = 7;
+      bytes = m.encode();
+      break;
+    }
+    case 13: {
+      DecisionReply m;
+      m.seq = 7;
+      m.total = 1;
+      m.records.emplace_back();
+      m.records.back().polled_count = 2;
+      bytes = m.encode();
+      break;
+    }
   }
   const std::span<const std::uint8_t> all(bytes);
   for (std::size_t len = 1; len < bytes.size(); ++len) {
@@ -392,12 +475,18 @@ TEST_P(MessageTruncation, AllPrefixesRejected) {
       case 11:
         EXPECT_THROW(Redirect::decode(prefix), InvariantError);
         break;
+      case 12:
+        EXPECT_THROW(DecisionInquiry::decode(prefix), InvariantError);
+        break;
+      case 13:
+        EXPECT_THROW(DecisionReply::decode(prefix), InvariantError);
+        break;
     }
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllMessageTypes, MessageTruncation,
-                         ::testing::Range(0, 12));
+                         ::testing::Range(0, 14));
 
 // ---------------------------------------------------------------------------
 // Hot-path codec surfaces: for every one of the 12 message types,
@@ -717,6 +806,93 @@ TEST(MessageHotPath, TraceReplyCorruptedCountRejected) {
   TraceReply out;
   EXPECT_FALSE(TraceReply::try_decode(bytes, out));
   EXPECT_THROW(TraceReply::decode(bytes), InvariantError);
+}
+
+TEST(MessageHotPath, DecisionTypesRoundTrip) {
+  DecisionInquiry inquiry;
+  inquiry.seq = ~0ull;
+  inquiry.offset = 12345;
+  CheckWireSurfaces(inquiry);
+  DecisionInquiry inquiry_out;
+  ASSERT_TRUE(DecisionInquiry::try_decode(inquiry.encode(), inquiry_out));
+  EXPECT_EQ(inquiry_out.seq, ~0ull);
+  EXPECT_EQ(inquiry_out.offset, 12345u);
+
+  // Variable-size records (mixed polled counts) through every surface.
+  DecisionReply reply;
+  reply.seq = 9;
+  reply.node = -1;
+  reply.server_ns = -5;  // sign must survive
+  reply.total = 3;
+  for (std::uint8_t n : {std::uint8_t{0}, std::uint8_t{3},
+                         std::uint8_t{kDecisionWirePollMax}}) {
+    DecisionRecordWire rec;
+    rec.request_id = 0xfeedface0000ull + n;
+    rec.at_ns = -1000;
+    rec.chosen = -1;
+    rec.polled_count = n;
+    rec.flags = 1;
+    rec.blacklist_filtered = 255;
+    for (std::uint8_t p = 0; p < n; ++p) {
+      rec.polled[p].server = 0x7fffffff - p;
+      rec.polled[p].queue_length = -2;
+      rec.polled[p].age_ns = -42;
+    }
+    reply.records.push_back(rec);
+  }
+  CheckWireSurfaces(reply);
+  DecisionReply reply_out;
+  ASSERT_TRUE(DecisionReply::try_decode(reply.encode(), reply_out));
+  EXPECT_EQ(reply_out.server_ns, -5);
+  ASSERT_EQ(reply_out.records.size(), 3u);
+  EXPECT_EQ(reply_out.records[2].polled_count, kDecisionWirePollMax);
+  EXPECT_EQ(reply_out.records[2].polled[7].server, 0x7fffffff - 7);
+  EXPECT_EQ(reply_out.records[2].polled[7].queue_length, -2);
+  EXPECT_EQ(reply_out.records[2].polled[7].age_ns, -42);
+  EXPECT_EQ(reply_out.records[0].blacklist_filtered, 255);
+
+  // An empty chunk (the "ring is empty" reply) still round-trips.
+  DecisionReply empty;
+  empty.seq = 1;
+  CheckWireSurfaces(empty);
+}
+
+TEST(MessageHotPath, DecisionReplyHostileInputsRejected) {
+  // A record count the remaining bytes cannot possibly hold must be
+  // rejected before any storage is reserved. Count u32 sits at the same
+  // offset 29 as TraceReply's (tag + seq + node + server_ns + total +
+  // offset).
+  DecisionReply reply;
+  reply.seq = 2;
+  std::vector<std::uint8_t> bytes = reply.encode();
+  ASSERT_GE(bytes.size(), 33u);
+  for (int i = 29; i < 33; ++i) bytes[static_cast<std::size_t>(i)] = 0xff;
+  DecisionReply out;
+  EXPECT_FALSE(DecisionReply::try_decode(bytes, out));
+  EXPECT_THROW(DecisionReply::decode(bytes), InvariantError);
+
+  // A per-record polled count past the inline cap is hostile (it would
+  // walk the reader past the record boundary): rejected, never clamped.
+  DecisionReply one;
+  one.seq = 3;
+  one.total = 1;
+  one.records.emplace_back();
+  one.records.back().polled_count = 1;
+  std::vector<std::uint8_t> corrupt = one.encode();
+  // polled_count u8 sits after the count (33) + record header's u64 + i64 +
+  // i32 = byte 53.
+  ASSERT_EQ(corrupt[53], 1);
+  corrupt[53] = static_cast<std::uint8_t>(kDecisionWirePollMax + 1);
+  EXPECT_FALSE(DecisionReply::try_decode(corrupt, out));
+
+  // encode_into refuses (returns 0) rather than truncating a record whose
+  // in-memory polled count exceeds the wire cap.
+  DecisionReply overfull;
+  overfull.records.emplace_back();
+  overfull.records.back().polled_count =
+      static_cast<std::uint8_t>(kDecisionWirePollMax + 1);
+  std::vector<std::uint8_t> big(1024);
+  EXPECT_EQ(overfull.encode_into(big), 0u);
 }
 
 TEST(MessageHotPath, MaxLengthServiceString) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/check.h"
+#include "telemetry/decision.h"
 #include "workload/catalog.h"
 
 namespace finelb::sim {
@@ -161,6 +162,41 @@ TEST(ClusterSimTest, ConfigValidation) {
   config.servers = 16;
   config.warmup_requests = config.total_requests;
   EXPECT_THROW(run_cluster_sim(config, poisson50()), InvariantError);
+}
+
+TEST(ClusterSimTest, DecisionAuditingDoesNotPerturbTheRun) {
+  // Attaching a decision sink must not change a seeded run: the recorded
+  // selection calls consume the RNG exactly like the unrecorded ones.
+  SimConfig config = base_config(PolicyConfig::polling(3), 0.7);
+  config.total_requests = 10'000;
+  config.warmup_requests = 1'000;
+  const SimResult bare = run_cluster_sim(config, poisson50());
+
+  telemetry::DecisionRing ring(1024, /*sample_period=*/1);
+  config.decision_sink = ring.sink();
+  const SimResult audited = run_cluster_sim(config, poisson50());
+
+  EXPECT_EQ(audited.completed, bare.completed);
+  EXPECT_DOUBLE_EQ(audited.response_ms.mean(), bare.response_ms.mean());
+  EXPECT_EQ(audited.polls_sent, bare.polls_sent);
+  EXPECT_EQ(audited.messages, bare.messages);
+  // The exact regret accounting is sink-independent (post-warmup only).
+  EXPECT_EQ(audited.decisions, bare.decisions);
+  EXPECT_EQ(audited.decision_mistakes, bare.decision_mistakes);
+  EXPECT_EQ(audited.decisions,
+            config.total_requests - config.warmup_requests);
+  if (telemetry::kEnabled) {
+    // The ring saw the tail of the run's decisions, polled set included.
+    const auto records = ring.snapshot();
+    ASSERT_EQ(records.size(), ring.capacity());
+    for (const auto& rec : records) {
+      EXPECT_GE(rec.chosen, 0);
+      EXPECT_LT(rec.chosen, config.servers);
+      if (!rec.blind_fallback) {
+        EXPECT_GT(rec.polled_count, 0);
+      }
+    }
+  }
 }
 
 TEST(ClusterSimTest, ResponseTimeIncludesNetworkTransit) {

@@ -55,6 +55,31 @@ TEST(SimTelemetryParityTest, CountersMirrorSimResult) {
   EXPECT_GT(r.completed, 0);
 }
 
+TEST(SimTelemetryParityTest, DecisionQualityCountersShareNames) {
+  const SimResult r = small_run();
+  const telemetry::MetricsSnapshot snap = to_metrics_snapshot(r, "sim.x");
+  // The decision observatory publishes under the same names the prototype's
+  // append_decision_metrics emits; the sim side is the exact accounting.
+  EXPECT_EQ(counter(snap, "decisions_total"), r.decisions);
+  EXPECT_EQ(counter(snap, "decision_mistakes_total"), r.decision_mistakes);
+  EXPECT_EQ(counter(snap, "decision_blind_fallbacks"),
+            r.decision_blind_fallbacks);
+  EXPECT_EQ(counter(snap, "decision_regret_total"), r.decision_regret_total);
+  const auto value = [&](const std::string& name) -> double {
+    for (const auto& [key, v] : snap.values) {
+      if (key == name) return v;
+    }
+    ADD_FAILURE() << "missing value " << name;
+    return -1.0;
+  };
+  EXPECT_DOUBLE_EQ(value("decision_mistake_rate"), r.decision_mistake_rate());
+  EXPECT_DOUBLE_EQ(value("decision_regret_mean"), r.decision_mean_regret());
+  // A polling run at 70% load makes decisions, and not all are perfect.
+  EXPECT_GT(r.decisions, 0);
+  EXPECT_GT(r.decision_mistakes, 0);
+  EXPECT_GE(r.decisions, r.decision_mistakes);
+}
+
 TEST(SimTelemetryParityTest, HistogramSummarizesResponseDistribution) {
   const SimResult r = small_run();
   const telemetry::MetricsSnapshot snap = to_metrics_snapshot(r, "sim.x");

@@ -1,0 +1,224 @@
+#include "telemetry/alerts.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/client_node.h"
+#include "cluster/server_node.h"
+#include "fault/fault.h"
+#include "telemetry/metrics.h"
+#include "workload/catalog.h"
+
+namespace finelb::telemetry {
+namespace {
+
+MetricsSnapshot snapshot_with_gauge(const std::string& node,
+                                    const std::string& name,
+                                    std::int64_t value) {
+  MetricsSnapshot snap;
+  snap.node = node;
+  snap.gauges.emplace_back(name, value);
+  return snap;
+}
+
+MetricsSnapshot snapshot_with_counter(const std::string& node,
+                                      const std::string& name,
+                                      std::int64_t value) {
+  MetricsSnapshot snap;
+  snap.node = node;
+  snap.counters.emplace_back(name, value);
+  return snap;
+}
+
+bool fired(const std::vector<Alert>& alerts, const std::string& rule) {
+  for (const Alert& alert : alerts) {
+    if (alert.rule == rule) return true;
+  }
+  return false;
+}
+
+TEST(AlertEngineTest, QueueOverloadFiresOnInstantaneousDepth) {
+  AlertEngine engine;
+  const auto below = snapshot_with_gauge("server.0", "queue_depth", 63);
+  EXPECT_FALSE(fired(engine.evaluate(below), "queue_overload"));
+  const auto at = snapshot_with_gauge("server.0", "queue_depth", 64);
+  EXPECT_TRUE(fired(engine.evaluate(at), "queue_overload"));
+}
+
+TEST(AlertEngineTest, DeltaRulesSeedOnFirstEvaluation) {
+  AlertEngine engine;
+  // First sighting of the node: a huge counter reading must only seed the
+  // baseline, never fire — these are spike detectors, not lifetime alarms.
+  const auto first =
+      snapshot_with_counter("client.1", "blacklist_insertions", 1000);
+  EXPECT_FALSE(fired(engine.evaluate(first), "blacklist_spike"));
+  // No growth: still quiet.
+  EXPECT_FALSE(fired(engine.evaluate(first), "blacklist_spike"));
+  // Delta of 3 since the last evaluation: fires.
+  const auto spike =
+      snapshot_with_counter("client.1", "blacklist_insertions", 1003);
+  const auto alerts = engine.evaluate(spike);
+  ASSERT_TRUE(fired(alerts, "blacklist_spike"));
+  EXPECT_DOUBLE_EQ(alerts[0].value, 3.0);
+}
+
+TEST(AlertEngineTest, QueueGrowthFiresOnDeltaBelowAbsoluteCeiling) {
+  AlertEngine engine;
+  engine.evaluate(snapshot_with_gauge("server.2", "queue_depth", 4));
+  const auto grown = snapshot_with_gauge("server.2", "queue_depth", 40);
+  const auto alerts = engine.evaluate(grown);
+  EXPECT_TRUE(fired(alerts, "queue_growth"));
+  EXPECT_FALSE(fired(alerts, "queue_overload"));  // 40 < 64
+}
+
+TEST(AlertEngineTest, ElectionChurnReadsHaCounters) {
+  AlertEngine engine;
+  engine.evaluate(snapshot_with_counter("replica.0", "ha.leadership_gains", 1));
+  // One more election since the last scrape: healthy (threshold 2).
+  EXPECT_FALSE(fired(
+      engine.evaluate(
+          snapshot_with_counter("replica.0", "ha.leadership_gains", 2)),
+      "election_churn"));
+  // Two elections in one scrape interval: flapping.
+  EXPECT_TRUE(fired(
+      engine.evaluate(
+          snapshot_with_counter("replica.0", "ha.leadership_gains", 4)),
+      "election_churn"));
+}
+
+TEST(AlertEngineTest, DecisionMistakeRateFiresOnValue) {
+  AlertEngine engine;
+  MetricsSnapshot snap;
+  snap.node = "client.0";
+  snap.values.emplace_back("decision_mistake_rate", 0.6);
+  EXPECT_TRUE(fired(engine.evaluate(snap), "decision_mistakes"));
+  snap.values[0].second = 0.4;
+  EXPECT_FALSE(fired(engine.evaluate(snap), "decision_mistakes"));
+}
+
+TEST(AlertEngineTest, NodesTrackIndependentBaselines) {
+  AlertEngine engine;
+  engine.evaluate(snapshot_with_counter("client.0", "blacklist_insertions", 0));
+  engine.evaluate(snapshot_with_counter("client.1", "blacklist_insertions", 0));
+  // Only client.1 spikes; client.0 must stay quiet.
+  std::vector<MetricsSnapshot> cluster = {
+      snapshot_with_counter("client.0", "blacklist_insertions", 1),
+      snapshot_with_counter("client.1", "blacklist_insertions", 9)};
+  const auto alerts = engine.evaluate_cluster(cluster);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].rule, "blacklist_spike");
+  EXPECT_EQ(alerts[0].node, "client.1");
+}
+
+TEST(AlertEngineTest, ThresholdsDisableRules) {
+  AlertThresholds off;
+  off.queue_depth = 0;
+  off.queue_growth = 0;
+  off.blacklist_spike = 0;
+  off.election_churn = 0;
+  off.mistake_rate = 2.0;  // > 1 disables (rates live in [0, 1])
+  AlertEngine engine(off);
+  MetricsSnapshot snap;
+  snap.node = "n";
+  snap.gauges.emplace_back("queue_depth", 1 << 20);
+  snap.counters.emplace_back("blacklist_insertions", 1 << 20);
+  snap.counters.emplace_back("ha.leadership_gains", 1 << 20);
+  snap.values.emplace_back("decision_mistake_rate", 1.0);
+  engine.evaluate(snap);  // seed
+  EXPECT_TRUE(engine.evaluate(snap).empty());
+}
+
+TEST(AlertExportTest, SameAlertVisibleInJsonAndPrometheus) {
+  Alert alert;
+  alert.rule = "queue_overload";
+  alert.node = "server.3";
+  alert.value = 70;
+  alert.threshold = 64;
+  alert.message = "queue depth on server.3: 70 (threshold 64)";
+
+  const std::string json = alerts_to_json({alert});
+  EXPECT_NE(json.find("\"rule\":\"queue_overload\""), std::string::npos);
+  EXPECT_NE(json.find("\"node\":\"server.3\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":70"), std::string::npos);
+  EXPECT_NE(json.find("\"threshold\":64"), std::string::npos);
+
+  const std::string prom = alerts_to_prometheus({alert});
+  EXPECT_NE(prom.find("# TYPE finelb_alert_firing gauge"), std::string::npos);
+  EXPECT_NE(
+      prom.find(
+          "finelb_alert_firing{rule=\"queue_overload\",node=\"server.3\"} 1"),
+      std::string::npos);
+
+  // An empty firing set still exposes the gauge family (scrapers see "no
+  // alerts" rather than a missing metric).
+  EXPECT_EQ(alerts_to_prometheus({}), "# TYPE finelb_alert_firing gauge\n");
+  EXPECT_EQ(alerts_to_json({}), "{\"alerts\":[]}");
+}
+
+// End to end: a live client dispatching into a cluster whose second server
+// drops every datagram must blacklist it repeatedly; scraping the client's
+// registry across the run fires blacklist_spike, visible on both the JSON
+// and the Prometheus export path (the ISSUE acceptance criterion).
+TEST(AlertEngineTest, FaultInjectedRunFiresOnBothExportPaths) {
+  if (!kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  std::vector<std::unique_ptr<cluster::ServerNode>> servers;
+  std::vector<cluster::ServerEndpoints> endpoints;
+  for (int s = 0; s < 2; ++s) {
+    cluster::ServerOptions opts;
+    opts.id = s;
+    opts.inject_busy_reply_delay = false;
+    opts.seed = 100 + static_cast<std::uint64_t>(s);
+    if (s == 1) {
+      opts.fault = std::make_shared<fault::FaultInjector>(
+          fault::FaultSpec::symmetric_loss(1.0));
+    }
+    servers.push_back(std::make_unique<cluster::ServerNode>(opts));
+    servers.back()->start();
+    endpoints.push_back({servers.back()->id(),
+                         servers.back()->service_address(),
+                         servers.back()->load_address()});
+  }
+
+  cluster::ClientOptions copts;
+  copts.id = 1;
+  copts.policy = PolicyConfig::random();  // keeps dispatching to the dead one
+  copts.servers = endpoints;
+  copts.total_requests = 60;
+  copts.warmup_requests = 0;
+  copts.seed = 7;
+  copts.response_timeout = 30 * kMillisecond;
+  copts.blacklist_cooldown = 10 * kMillisecond;  // short: repeated insertions
+  copts.blacklist_after = 1;
+  static const Workload workload = make_poisson_exp(0.002);
+  cluster::ClientNode client(copts, workload.make_source(1.0, 900));
+  client.run();
+  for (auto& server : servers) server->stop();
+  ASSERT_GE(client.stats().blacklist_insertions, 3)
+      << "fault injection did not blacklist the dead server";
+
+  AlertEngine engine;
+  // Pre-run scrape baseline (all counters zero), then the post-run scrape.
+  MetricsSnapshot baseline;
+  baseline.node = "client.1";
+  baseline.counters.emplace_back("blacklist_insertions", 0);
+  EXPECT_TRUE(engine.evaluate(baseline).empty());
+  const auto alerts = engine.evaluate(client.metrics().snapshot("client.1"));
+  ASSERT_TRUE(fired(alerts, "blacklist_spike"));
+
+  const std::string json = alerts_to_json(alerts);
+  EXPECT_NE(json.find("\"rule\":\"blacklist_spike\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"node\":\"client.1\""), std::string::npos) << json;
+  const std::string prom = alerts_to_prometheus(alerts);
+  EXPECT_NE(
+      prom.find(
+          "finelb_alert_firing{rule=\"blacklist_spike\",node=\"client.1\"} 1"),
+      std::string::npos)
+      << prom;
+}
+
+}  // namespace
+}  // namespace finelb::telemetry

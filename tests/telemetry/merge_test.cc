@@ -168,5 +168,78 @@ TEST(MergeTest, EmptyInputs) {
   EXPECT_EQ(json, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
 }
 
+// --- cross-node histogram merging --------------------------------------------
+
+// Exactness pin: merging per-node snapshots must reproduce, bit for bit,
+// the snapshot one histogram recording every node's samples would have
+// produced — count, sum-derived mean, min/max bounds, the quantiles, and
+// the bucket list itself.
+TEST(HistogramMergeTest, MergedPartsMatchSingleCombinedHistogram) {
+  if (!kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  Registry node_a;
+  Registry node_b;
+  Registry combined;
+  Histogram ha = node_a.histogram("response_ms");
+  Histogram hb = node_b.histogram("response_ms");
+  Histogram hc = combined.histogram("response_ms");
+
+  // A deterministic spread crossing many log buckets, split unevenly
+  // between the two nodes.
+  double value = 0.037;
+  for (int i = 0; i < 500; ++i) {
+    (i % 3 == 0 ? ha : hb).record(value);
+    hc.record(value);
+    value *= 1.031;
+    if (value > 5'000.0) value = 0.037;
+  }
+
+  const HistogramSnapshot sa = node_a.snapshot("a").histograms.at(0);
+  const HistogramSnapshot sb = node_b.snapshot("b").histograms.at(0);
+  const HistogramSnapshot expect = combined.snapshot("c").histograms.at(0);
+
+  const std::vector<HistogramSnapshot> parts = {sa, sb};
+  const HistogramSnapshot merged = merge_histograms(parts, "response_ms");
+  EXPECT_EQ(merged.name, "response_ms");
+  EXPECT_EQ(merged.count, expect.count);
+  // The mean derives from per-shard double sums added in a different order
+  // than the combined histogram's — equal up to summation reordering.
+  EXPECT_NEAR(merged.mean, expect.mean, 1e-9 * expect.mean);
+  EXPECT_DOUBLE_EQ(merged.p50, expect.p50);
+  EXPECT_DOUBLE_EQ(merged.p95, expect.p95);
+  EXPECT_DOUBLE_EQ(merged.p99, expect.p99);
+  EXPECT_DOUBLE_EQ(merged.min, expect.min);
+  EXPECT_DOUBLE_EQ(merged.max, expect.max);
+  ASSERT_EQ(merged.buckets.size(), expect.buckets.size());
+  for (std::size_t i = 0; i < merged.buckets.size(); ++i) {
+    EXPECT_DOUBLE_EQ(merged.buckets[i].first, expect.buckets[i].first);
+    EXPECT_EQ(merged.buckets[i].second, expect.buckets[i].second);
+  }
+}
+
+TEST(HistogramMergeTest, MergesAcrossNodeSnapshotsByName) {
+  if (!kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  Registry a;
+  Registry b;
+  a.histogram("response_ms").record(1.0);
+  a.histogram("queue_wait_ms").record(2.0);
+  b.histogram("response_ms").record(4.0);
+  const std::vector<MetricsSnapshot> nodes = {a.snapshot("a"),
+                                              b.snapshot("b")};
+  const std::vector<HistogramSnapshot> merged = merge_node_histograms(nodes);
+  ASSERT_EQ(merged.size(), 2u);
+  // First-appearance order; counts pool across nodes.
+  EXPECT_EQ(merged[0].name, "response_ms");
+  EXPECT_EQ(merged[0].count, 2);
+  EXPECT_EQ(merged[1].name, "queue_wait_ms");
+  EXPECT_EQ(merged[1].count, 1);
+}
+
+TEST(HistogramMergeTest, EmptyParts) {
+  const HistogramSnapshot merged = merge_histograms({}, "nothing");
+  EXPECT_EQ(merged.name, "nothing");
+  EXPECT_EQ(merged.count, 0);
+  EXPECT_TRUE(merged.buckets.empty());
+}
+
 }  // namespace
 }  // namespace finelb::telemetry
